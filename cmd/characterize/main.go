@@ -1,0 +1,204 @@
+// Command characterize regenerates the paper's characterization study
+// (Section IV): Table I (the benchmark roster), Figure 3 (API call
+// breakdown, program structures, dynamic work), and Figure 4
+// (instruction mixes, SIMD widths, memory activity) for the 25 OpenCL
+// applications, profiled with CoFluent (host side) and GT-Pin (device
+// side).
+//
+// Usage:
+//
+//	characterize [-scale full|small|tiny] [-app name] [-fig table1|3a|3b|3c|4a|4b|4c|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtpin/internal/device"
+	"gtpin/internal/isa"
+	"gtpin/internal/par"
+	"gtpin/internal/report"
+	"gtpin/internal/stats"
+	"gtpin/internal/workloads"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
+	appFlag := flag.String("app", "", "profile a single benchmark by name")
+	figFlag := flag.String("fig", "all", "which output to produce: table1, 3a, 3b, 3c, 4a, 4b, 4c, or all")
+	flag.Parse()
+
+	sc, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+
+	specs := workloads.All()
+	if *appFlag != "" {
+		spec, err := workloads.ByName(*appFlag)
+		if err != nil {
+			fatal(err)
+		}
+		specs = []*workloads.Spec{spec}
+	}
+
+	if show(*figFlag, "table1") {
+		printTableI(specs)
+	}
+
+	type row struct {
+		spec *workloads.Spec
+		res  *workloads.Result
+	}
+	rows := make([]row, len(specs))
+	cfg := device.IvyBridgeHD4000()
+	if err := par.ForEach(len(specs), func(i int) error {
+		spec := specs[i]
+		res, err := workloads.Run(spec, sc, cfg, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "profiled %-28s %s instrs, %d invocations\n",
+			spec.Name, report.HumanCount(float64(res.Profile.TotalInstrs())), len(res.Profile.Invocations))
+		rows[i] = row{spec, res}
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+
+	if show(*figFlag, "3a") {
+		report.Section(os.Stdout, "Figure 3a: OpenCL API call breakdown (%%)")
+		t := report.NewTable("", "Application", "Total Calls", "Kernel%", "Sync%", "Other%")
+		var ks, ss []float64
+		for _, r := range rows {
+			k, s, o := r.res.Tracer.BreakdownPct()
+			kc, scc, oc := r.res.Tracer.Breakdown()
+			t.Row(r.spec.Name, kc+scc+oc, k, s, o)
+			ks = append(ks, k)
+			ss = append(ss, s)
+		}
+		t.Row("AVERAGE", "", stats.Mean(ks), stats.Mean(ss), 100-stats.Mean(ks)-stats.Mean(ss))
+		t.Write(os.Stdout)
+	}
+
+	if show(*figFlag, "3b") {
+		report.Section(os.Stdout, "Figure 3b: GPU program structures (static)")
+		t := report.NewTable("", "Application", "Unique Kernels", "Unique Basic Blks")
+		var uk, ub []float64
+		for _, r := range rows {
+			kernels := r.res.GTPin.Kernels()
+			blocks := 0
+			for _, ki := range kernels {
+				blocks += ki.NumBlocks
+			}
+			t.Row(r.spec.Name, len(kernels), blocks)
+			uk = append(uk, float64(len(kernels)))
+			ub = append(ub, float64(blocks))
+		}
+		t.Row("AVERAGE", stats.Mean(uk), stats.Mean(ub))
+		t.Write(os.Stdout)
+	}
+
+	if show(*figFlag, "3c") {
+		report.Section(os.Stdout, "Figure 3c: dynamic GPU work")
+		t := report.NewTable("", "Application", "Kernel Count", "Basic Blk Count", "Instr. Count")
+		var inv, bb, in []float64
+		for _, r := range rows {
+			agg := r.res.Profile.Aggregate()
+			t.Row(r.spec.Name, agg.KernelInvocations,
+				report.HumanCount(float64(agg.BlockExecs)), report.HumanCount(float64(agg.Instrs)))
+			inv = append(inv, float64(agg.KernelInvocations))
+			bb = append(bb, float64(agg.BlockExecs))
+			in = append(in, float64(agg.Instrs))
+		}
+		t.Row("AVERAGE", stats.Mean(inv), report.HumanCount(stats.Mean(bb)), report.HumanCount(stats.Mean(in)))
+		t.Write(os.Stdout)
+	}
+
+	if show(*figFlag, "4a") {
+		report.Section(os.Stdout, "Figure 4a: dynamic instruction mixes (%%)")
+		t := report.NewTable("", "Application", "Moves", "Logic", "Control", "Computation", "Sends")
+		sums := make([][]float64, isa.NumCategories)
+		for _, r := range rows {
+			agg := r.res.Profile.Aggregate()
+			total := float64(agg.Instrs)
+			var pct [isa.NumCategories]float64
+			for c := 0; c < isa.NumCategories; c++ {
+				pct[c] = stats.Pct(float64(agg.ByCategory[c]), total)
+				sums[c] = append(sums[c], pct[c])
+			}
+			t.Row(r.spec.Name, pct[isa.CatMove], pct[isa.CatLogic], pct[isa.CatControl],
+				pct[isa.CatComputation], pct[isa.CatSend])
+		}
+		t.Row("AVERAGE", stats.Mean(sums[isa.CatMove]), stats.Mean(sums[isa.CatLogic]),
+			stats.Mean(sums[isa.CatControl]), stats.Mean(sums[isa.CatComputation]), stats.Mean(sums[isa.CatSend]))
+		t.Write(os.Stdout)
+	}
+
+	if show(*figFlag, "4b") {
+		report.Section(os.Stdout, "Figure 4b: SIMD widths (%% of dynamic instructions)")
+		t := report.NewTable("", "Application", "W16", "W8", "W4", "W2", "W1")
+		sums := make([][]float64, isa.NumWidths)
+		for _, r := range rows {
+			agg := r.res.Profile.Aggregate()
+			total := float64(agg.Instrs)
+			var pct [isa.NumWidths]float64
+			for w := 0; w < isa.NumWidths; w++ {
+				pct[w] = stats.Pct(float64(agg.ByWidth[w]), total)
+				sums[w] = append(sums[w], pct[w])
+			}
+			t.Row(r.spec.Name, pct[4], pct[3], pct[2], pct[1], pct[0])
+		}
+		t.Row("AVERAGE", stats.Mean(sums[4]), stats.Mean(sums[3]), stats.Mean(sums[2]),
+			stats.Mean(sums[1]), stats.Mean(sums[0]))
+		t.Write(os.Stdout)
+	}
+
+	if show(*figFlag, "4c") {
+		report.Section(os.Stdout, "Figure 4c: GPU memory activity")
+		t := report.NewTable("", "Application", "Bytes Read", "Bytes Written", "W/R Ratio")
+		var rd, wr []float64
+		for _, r := range rows {
+			agg := r.res.Profile.Aggregate()
+			ratio := 0.0
+			if agg.BytesRead > 0 {
+				ratio = float64(agg.BytesWritten) / float64(agg.BytesRead)
+			}
+			t.Row(r.spec.Name, report.HumanBytes(float64(agg.BytesRead)),
+				report.HumanBytes(float64(agg.BytesWritten)), ratio)
+			rd = append(rd, float64(agg.BytesRead))
+			wr = append(wr, float64(agg.BytesWritten))
+		}
+		t.Row("AVERAGE", report.HumanBytes(stats.Mean(rd)), report.HumanBytes(stats.Mean(wr)), "")
+		t.Write(os.Stdout)
+	}
+}
+
+func printTableI(specs []*workloads.Spec) {
+	report.Section(os.Stdout, "Table I: benchmarks used in this study")
+	t := report.NewTable("", "Source", "Application")
+	for _, s := range specs {
+		t.Row(s.Suite, s.Name)
+	}
+	t.Write(os.Stdout)
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "full":
+		return workloads.ScaleFull, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "tiny":
+		return workloads.ScaleTiny, nil
+	}
+	return workloads.Scale{}, fmt.Errorf("unknown scale %q (want full, small, or tiny)", s)
+}
+
+func show(figFlag, name string) bool { return figFlag == "all" || figFlag == name }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package gtpin is a reproduction of "Fast Computational GPU Design with
+// GT-Pin" (IISWC 2015): a GEN-flavoured GPU simulation substrate, the
+// GT-Pin dynamic binary instrumentation engine, a CoFluent-style API
+// tracer with record/replay, the 25-application characterization suite,
+// and the SimPoint-based simulation subset selection methodology.
+//
+// The root package carries only documentation and the repository-level
+// benchmark harness (bench_test.go), which regenerates every table and
+// figure of the paper; the implementation lives under internal/ and the
+// runnable harnesses under cmd/ and examples/.
+package gtpin

@@ -1,0 +1,218 @@
+// Newworkload: how a user brings their own OpenCL-style application to
+// the selection methodology. The example authors a small two-phase
+// molecular-dynamics-flavoured app (neighbour search + force integration,
+// with an equilibration phase shift), records it under CoFluent, profiles
+// it under GT-Pin, explores the interval/feature space, and prints the
+// subset a simulator should run.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+	"gtpin/internal/report"
+	"gtpin/internal/selection"
+	"gtpin/internal/workloads"
+)
+
+// buildProgram writes the app's two kernels.
+func buildProgram() (*kernel.Program, error) {
+	// neighbours: per particle, scan `count` (arg 0) candidates and count
+	// those within a cutoff — branchy, data-dependent.
+	a := asm.NewKernel("neighbours", isa.W16)
+	count := a.Arg(0)
+	pos := a.Surface(0)
+	nbr := a.Surface(1)
+	addr, p, q, d, n, i := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Load(p, addr, pos, 4)
+	a.MovI(n, 0)
+	a.MovI(i, 0)
+	a.Label("scan")
+	a.Mad(q, asm.R(i), asm.I(613), asm.R(kernel.GIDReg))
+	a.And(q, asm.R(q), asm.I(0xFFFF))
+	a.Shl(q, asm.R(q), asm.I(2))
+	a.Load(q, q, pos, 4)
+	a.Sub(d, asm.R(p), asm.R(q))
+	a.Abs(d, asm.R(d))
+	a.Cmp(isa.CondLT, asm.R(d), asm.I(1<<28)) // within cutoff
+	a.SetPred(isa.PredOn)
+	a.AddI(n, n, 1)
+	a.SetPred(isa.PredNoneMode)
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondLT, asm.R(i), asm.R(count))
+	a.Br(isa.BranchAny, "scan")
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Store(nbr, addr, n, 4)
+	a.End()
+	kNbr, err := a.Build()
+	if err != nil {
+		return nil, err
+	}
+
+	// integrate: forces from neighbour counts, inverse-sqrt flavoured.
+	b := asm.NewKernel("integrate", isa.W8)
+	dt := b.Arg(0)
+	nbrS := b.Surface(0)
+	posS := b.Surface(1)
+	ad, nv, pv, f := b.Temp(), b.Temp(), b.Temp(), b.Temp()
+	b.Shl(ad, asm.R(kernel.GIDReg), asm.I(2))
+	b.Load(nv, ad, nbrS, 4)
+	b.Load(pv, ad, posS, 4)
+	b.AddI(nv, nv, 1)
+	b.Math(isa.MathSqrt, f, asm.R(nv), asm.I(0))
+	b.Math(isa.MathInv, f, asm.R(f), asm.I(0))
+	b.Shr(f, asm.R(f), asm.I(12))
+	b.Mad(pv, asm.R(f), asm.R(dt), asm.R(pv))
+	b.Store(posS, ad, pv, 4)
+	b.End()
+	kInt, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return asm.Program("md-demo", kNbr, kInt)
+}
+
+func main() {
+	prog, err := buildProgram()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Host driver: 400 MD steps; the first quarter is "equilibration"
+	// with a wider neighbour scan — a phase the selection must represent.
+	run := func(ctx *cl.Context) error {
+		ctx.EmitSetupCalls()
+		q := ctx.CreateQueue()
+		pos, err := ctx.CreateBuffer(1 << 18)
+		if err != nil {
+			return err
+		}
+		nbr, err := ctx.CreateBuffer(1 << 18)
+		if err != nil {
+			return err
+		}
+		seed := make([]byte, 1<<18)
+		for i := range seed {
+			seed[i] = byte(i * 2654435761)
+		}
+		if err := q.EnqueueWriteBuffer(pos, 0, seed); err != nil {
+			return err
+		}
+		p := ctx.CreateProgram(prog)
+		if err := p.Build(); err != nil {
+			return err
+		}
+		kn, err := p.CreateKernel("neighbours")
+		if err != nil {
+			return err
+		}
+		ki, err := p.CreateKernel("integrate")
+		if err != nil {
+			return err
+		}
+		if err := kn.SetBuffer(0, pos); err != nil {
+			return err
+		}
+		if err := kn.SetBuffer(1, nbr); err != nil {
+			return err
+		}
+		if err := ki.SetBuffer(0, nbr); err != nil {
+			return err
+		}
+		if err := ki.SetBuffer(1, pos); err != nil {
+			return err
+		}
+		const steps, gws = 400, 1024
+		for s := 0; s < steps; s++ {
+			scan := uint32(8)
+			if s < steps/4 {
+				scan = 20 // equilibration scans wider
+			}
+			if err := kn.SetArg(0, scan); err != nil {
+				return err
+			}
+			if err := q.EnqueueNDRangeKernel(kn, gws); err != nil {
+				return err
+			}
+			if err := ki.SetArg(0, uint32(3+s%2)); err != nil {
+				return err
+			}
+			if err := q.EnqueueNDRangeKernel(ki, gws); err != nil {
+				return err
+			}
+			if err := q.Finish(); err != nil {
+				return err
+			}
+		}
+		return q.EnqueueReadBuffer(pos, 0, make([]byte, 4096))
+	}
+
+	// Step 1: native timed run + recording.
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev.SetJitter(device.NewTimingJitter(1, workloads.JitterSigma))
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	if err := run(ctx); err != nil {
+		log.Fatal(err)
+	}
+	rec, err := cofluent.Record("md-demo", tr, []*kernel.Program{prog})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: instrumented replay.
+	idev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var g *gtpin.GTPin
+	if _, err := rec.Replay(idev, func(rctx *cl.Context) error {
+		var aerr error
+		g, aerr = gtpin.Attach(rctx, gtpin.Options{})
+		return aerr
+	}); err != nil {
+		log.Fatal(err)
+	}
+	prof, err := profile.Build("md-demo", g, tr.TimesNs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %d invocations, %d dynamic instructions, measured SPI %.3g s/instr\n\n",
+		len(prof.Invocations), prof.TotalInstrs(), prof.MeasuredSPI())
+
+	// Step 3: explore the 30 interval/feature configurations.
+	evals, err := selection.EvaluateAll(prof, selection.Options{ApproxTarget: 10000, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := selection.MinError(evals)
+	t := report.NewTable("Top configurations by error", "Config", "Intervals", "Error%", "Speedup")
+	shown := 0
+	for _, ev := range evals {
+		if ev.ErrorPct <= best.ErrorPct*4+0.05 && shown < 8 {
+			t.Row(ev.Config.String(), ev.NumIntervals, ev.ErrorPct, ev.Speedup)
+			shown++
+		}
+	}
+	t.Write(os.Stdout)
+
+	fmt.Printf("chosen: %s — simulate these %d invocation ranges (of %d invocations):\n",
+		best.Config, len(best.Selections), len(prof.Invocations))
+	for _, s := range best.Selections {
+		iv := best.Intervals[s.Interval]
+		fmt.Printf("  invocations [%5d, %5d): weight %.3f\n", iv.Start, iv.End, s.Ratio)
+	}
+}

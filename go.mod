@@ -1,0 +1,3 @@
+module gtpin
+
+go 1.22

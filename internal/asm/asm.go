@@ -1,0 +1,436 @@
+// Package asm provides a small assembler for authoring kernels in the
+// gtpin/internal/kernel IR. Workloads and tests use it to write kernels as
+// straight Go code with labels; Build resolves labels to basic blocks and
+// validates the result.
+//
+// Usage sketch:
+//
+//	a := asm.NewKernel("saxpy", isa.W16)
+//	n := a.Arg(0)                    // element count
+//	x := a.Temp()
+//	a.Mov(x, asm.R(kernel.GIDReg))
+//	a.Label("loop")
+//	...
+//	a.CmpI(isa.CondLT, x, 100)
+//	a.Br(isa.BranchAny, "loop")
+//	a.End()
+//	k, err := a.Build()
+package asm
+
+import (
+	"fmt"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// R returns a register operand. It re-exports isa.R for brevity at call
+// sites that already import asm.
+func R(r isa.Reg) isa.Operand { return isa.R(r) }
+
+// I returns an immediate operand.
+func I(v uint32) isa.Operand { return isa.Imm(v) }
+
+// KernelBuilder accumulates instructions and labels and assembles them
+// into a kernel.Kernel.
+type KernelBuilder struct {
+	name     string
+	simd     isa.Width
+	width    isa.Width
+	pred     isa.PredMode
+	numArgs  int
+	numSurfs int
+	nextTemp isa.Reg
+
+	instrs []pendingInstr
+	labels map[string]int // label -> instruction index it precedes
+	err    error
+}
+
+type pendingInstr struct {
+	in    isa.Instruction
+	label string // branch target label, resolved at Build
+}
+
+// NewKernel starts a kernel named name whose default instruction width is
+// simd (the dispatch width).
+func NewKernel(name string, simd isa.Width) *KernelBuilder {
+	return &KernelBuilder{
+		name:     name,
+		simd:     simd,
+		width:    simd,
+		nextTemp: kernel.FirstFreeReg,
+		labels:   make(map[string]int),
+	}
+}
+
+func (b *KernelBuilder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kernel %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Arg declares that the kernel uses at least i+1 scalar arguments and
+// returns the register argument i is broadcast into.
+func (b *KernelBuilder) Arg(i int) isa.Reg {
+	if i < 0 || i >= kernel.MaxArgs {
+		b.fail("argument index %d out of range", i)
+		return 0
+	}
+	if i+1 > b.numArgs {
+		b.numArgs = i + 1
+	}
+	return kernel.ArgReg(i)
+}
+
+// Surface declares that the kernel binds at least i+1 memory surfaces and
+// returns i for use in send helpers.
+func (b *KernelBuilder) Surface(i int) uint8 {
+	if i < 0 || i > 255 {
+		b.fail("surface index %d out of range", i)
+		return 0
+	}
+	if i+1 > b.numSurfs {
+		b.numSurfs = i + 1
+	}
+	return uint8(i)
+}
+
+// Temp allocates a fresh temporary register.
+func (b *KernelBuilder) Temp() isa.Reg {
+	r := b.nextTemp
+	if int(r) >= isa.ScratchBase {
+		b.fail("out of temporary registers")
+		return 0
+	}
+	b.nextTemp++
+	return r
+}
+
+// Temps allocates n fresh temporaries.
+func (b *KernelBuilder) Temps(n int) []isa.Reg {
+	regs := make([]isa.Reg, n)
+	for i := range regs {
+		regs[i] = b.Temp()
+	}
+	return regs
+}
+
+// SetWidth overrides the width of subsequently emitted instructions.
+// Pass 0 to restore the kernel's dispatch width.
+func (b *KernelBuilder) SetWidth(w isa.Width) {
+	if w == 0 {
+		b.width = b.simd
+		return
+	}
+	if !w.Valid() {
+		b.fail("invalid width %d", w)
+		return
+	}
+	b.width = w
+}
+
+// SetPred sets the predication mode of subsequently emitted non-control
+// instructions. Pass isa.PredNoneMode to clear.
+func (b *KernelBuilder) SetPred(p isa.PredMode) { b.pred = p }
+
+// Label marks the next emitted instruction as the start of a new basic
+// block reachable by branches naming the label.
+func (b *KernelBuilder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.fail("duplicate label %q", name)
+		return
+	}
+	b.labels[name] = len(b.instrs)
+}
+
+func (b *KernelBuilder) emit(in isa.Instruction) {
+	in.Width = b.width
+	if !in.Op.IsControl() && in.Op != isa.OpMovi {
+		in.Pred = b.pred
+	}
+	b.instrs = append(b.instrs, pendingInstr{in: in})
+}
+
+func (b *KernelBuilder) emitBranch(in isa.Instruction, label string) {
+	in.Width = b.width
+	b.instrs = append(b.instrs, pendingInstr{in: in, label: label})
+}
+
+// --- Moves ---
+
+// Mov emits dst = src.
+func (b *KernelBuilder) Mov(dst isa.Reg, src isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpMov, Dst: dst, Src0: src})
+}
+
+// MovI emits dst = broadcast immediate.
+func (b *KernelBuilder) MovI(dst isa.Reg, v uint32) {
+	b.emit(isa.Instruction{Op: isa.OpMovi, Dst: dst, Src0: I(v)})
+}
+
+// Sel emits dst = flag ? a : c per channel.
+func (b *KernelBuilder) Sel(dst isa.Reg, a, c isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpSel, Dst: dst, Src0: a, Src1: c})
+}
+
+// --- Logic ---
+
+func (b *KernelBuilder) logic(op isa.Opcode, dst isa.Reg, a, c isa.Operand) {
+	b.emit(isa.Instruction{Op: op, Dst: dst, Src0: a, Src1: c})
+}
+
+// And emits dst = a & c.
+func (b *KernelBuilder) And(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpAnd, dst, a, c) }
+
+// Or emits dst = a | c.
+func (b *KernelBuilder) Or(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpOr, dst, a, c) }
+
+// Xor emits dst = a ^ c.
+func (b *KernelBuilder) Xor(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpXor, dst, a, c) }
+
+// Not emits dst = ^a.
+func (b *KernelBuilder) Not(dst isa.Reg, a isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpNot, Dst: dst, Src0: a})
+}
+
+// Shl emits dst = a << c.
+func (b *KernelBuilder) Shl(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpShl, dst, a, c) }
+
+// Shr emits dst = a >> c (logical).
+func (b *KernelBuilder) Shr(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpShr, dst, a, c) }
+
+// Asr emits dst = a >> c (arithmetic).
+func (b *KernelBuilder) Asr(dst isa.Reg, a, c isa.Operand) { b.logic(isa.OpAsr, dst, a, c) }
+
+// Cmp emits flag = a <cond> c per channel.
+func (b *KernelBuilder) Cmp(cond isa.CondMod, a, c isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpCmp, Cond: cond, Src0: a, Src1: c})
+}
+
+// CmpI emits flag = a <cond> imm per channel.
+func (b *KernelBuilder) CmpI(cond isa.CondMod, a isa.Reg, imm uint32) {
+	b.Cmp(cond, R(a), I(imm))
+}
+
+// --- Computation ---
+
+func (b *KernelBuilder) alu(op isa.Opcode, dst isa.Reg, a, c isa.Operand) {
+	b.emit(isa.Instruction{Op: op, Dst: dst, Src0: a, Src1: c})
+}
+
+// Add emits dst = a + c.
+func (b *KernelBuilder) Add(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpAdd, dst, a, c) }
+
+// AddI emits dst = a + imm.
+func (b *KernelBuilder) AddI(dst, a isa.Reg, imm uint32) { b.Add(dst, R(a), I(imm)) }
+
+// Sub emits dst = a - c.
+func (b *KernelBuilder) Sub(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpSub, dst, a, c) }
+
+// Mul emits dst = a * c (low 32 bits).
+func (b *KernelBuilder) Mul(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpMul, dst, a, c) }
+
+// MulI emits dst = a * imm.
+func (b *KernelBuilder) MulI(dst, a isa.Reg, imm uint32) { b.Mul(dst, R(a), I(imm)) }
+
+// Mach emits dst = high 32 bits of a * c.
+func (b *KernelBuilder) Mach(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpMach, dst, a, c) }
+
+// Mad emits dst = a * c + d.
+func (b *KernelBuilder) Mad(dst isa.Reg, a, c, d isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpMad, Dst: dst, Src0: a, Src1: c, Src2: d})
+}
+
+// Min emits dst = min(a, c), unsigned.
+func (b *KernelBuilder) Min(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpMin, dst, a, c) }
+
+// Max emits dst = max(a, c), unsigned.
+func (b *KernelBuilder) Max(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpMax, dst, a, c) }
+
+// Abs emits dst = |a|.
+func (b *KernelBuilder) Abs(dst isa.Reg, a isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpAbs, Dst: dst, Src0: a})
+}
+
+// Avg emits dst = (a + c + 1) >> 1.
+func (b *KernelBuilder) Avg(dst isa.Reg, a, c isa.Operand) { b.alu(isa.OpAvg, dst, a, c) }
+
+// Math emits dst = fn(a, c) on the extended math unit.
+func (b *KernelBuilder) Math(fn isa.MathFn, dst isa.Reg, a, c isa.Operand) {
+	b.emit(isa.Instruction{Op: isa.OpMath, Fn: fn, Dst: dst, Src0: a, Src1: c})
+}
+
+// --- Sends ---
+
+// Load emits a gather: dst[ch] = surface[addr[ch]], elemBytes per channel.
+func (b *KernelBuilder) Load(dst, addr isa.Reg, surface uint8, elemBytes uint8) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Dst: dst, Src0: R(addr),
+		Msg: isa.MsgDesc{Kind: isa.MsgLoad, Surface: surface, ElemBytes: elemBytes}})
+}
+
+// Store emits a scatter: surface[addr[ch]] = data[ch].
+func (b *KernelBuilder) Store(surface uint8, addr, data isa.Reg, elemBytes uint8) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Src0: R(addr), Src1: R(data),
+		Msg: isa.MsgDesc{Kind: isa.MsgStore, Surface: surface, ElemBytes: elemBytes}})
+}
+
+// LoadBlock emits a contiguous block read at the channel-0 address.
+func (b *KernelBuilder) LoadBlock(dst, addr isa.Reg, surface uint8, elemBytes uint8) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Dst: dst, Src0: R(addr),
+		Msg: isa.MsgDesc{Kind: isa.MsgLoadBlock, Surface: surface, ElemBytes: elemBytes}})
+}
+
+// StoreBlock emits a contiguous block write at the channel-0 address.
+func (b *KernelBuilder) StoreBlock(surface uint8, addr, data isa.Reg, elemBytes uint8) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Src0: R(addr), Src1: R(data),
+		Msg: isa.MsgDesc{Kind: isa.MsgStoreBlock, Surface: surface, ElemBytes: elemBytes}})
+}
+
+// AtomicAdd emits per-channel atomic adds; dst receives the old values.
+func (b *KernelBuilder) AtomicAdd(dst isa.Reg, surface uint8, addr, data isa.Reg, elemBytes uint8) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Dst: dst, Src0: R(addr), Src1: R(data),
+		Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: surface, ElemBytes: elemBytes}})
+}
+
+// Timer reads the EU timestamp register into channel 0 of dst.
+func (b *KernelBuilder) Timer(dst isa.Reg) {
+	b.emit(isa.Instruction{Op: isa.OpSend, Dst: dst, Msg: isa.MsgDesc{Kind: isa.MsgTimer}})
+}
+
+// --- Control ---
+
+// Jmp emits an unconditional branch to label.
+func (b *KernelBuilder) Jmp(label string) {
+	b.emitBranch(isa.Instruction{Op: isa.OpJmp}, label)
+}
+
+// Br emits a conditional branch to label, taken when the per-channel flag
+// vector reduces true under mode.
+func (b *KernelBuilder) Br(mode isa.BranchMode, label string) {
+	b.emitBranch(isa.Instruction{Op: isa.OpBr, BrMode: mode}, label)
+}
+
+// Call emits a subroutine call to label; execution resumes at the next
+// block after the callee's Ret.
+func (b *KernelBuilder) Call(label string) {
+	b.emitBranch(isa.Instruction{Op: isa.OpCall}, label)
+}
+
+// Ret emits a subroutine return.
+func (b *KernelBuilder) Ret() { b.emit(isa.Instruction{Op: isa.OpRet}) }
+
+// End emits the end-of-thread.
+func (b *KernelBuilder) End() { b.emit(isa.Instruction{Op: isa.OpEnd}) }
+
+// Build assembles the accumulated instructions into a validated kernel.
+func (b *KernelBuilder) Build() (*kernel.Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.instrs) == 0 {
+		return nil, fmt.Errorf("kernel %s: no instructions", b.name)
+	}
+
+	// Block boundaries: instruction 0, every label position, and every
+	// instruction following a control instruction.
+	starts := map[int]bool{0: true}
+	for _, pos := range b.labels {
+		if pos >= len(b.instrs) {
+			return nil, fmt.Errorf("kernel %s: label past end of kernel", b.name)
+		}
+		starts[pos] = true
+	}
+	for i, pi := range b.instrs {
+		if pi.in.Op.IsControl() && i+1 < len(b.instrs) {
+			starts[i+1] = true
+		}
+	}
+
+	// Assign block IDs in instruction order.
+	blockAt := make(map[int]int) // instruction index -> block ID
+	id := 0
+	for i := range b.instrs {
+		if starts[i] {
+			blockAt[i] = id
+			id++
+		}
+	}
+	labelBlock := make(map[string]int, len(b.labels))
+	for name, pos := range b.labels {
+		labelBlock[name] = blockAt[pos]
+	}
+
+	k := &kernel.Kernel{
+		Name:        b.name,
+		SIMD:        b.simd,
+		NumArgs:     b.numArgs,
+		NumSurfaces: b.numSurfs,
+	}
+	var cur *kernel.Block
+	flush := func() {
+		if cur != nil {
+			// A label split straight-line code: add an explicit jump to
+			// the fall-through block so every block ends in control flow.
+			if !cur.Terminator().Op.IsControl() {
+				cur.Instrs = append(cur.Instrs, isa.Instruction{
+					Op: isa.OpJmp, Width: b.simd, Target: uint16(cur.ID + 1),
+				})
+			}
+			k.Blocks = append(k.Blocks, cur)
+			cur = nil
+		}
+	}
+	for i, pi := range b.instrs {
+		if starts[i] {
+			flush()
+			cur = &kernel.Block{ID: blockAt[i]}
+		}
+		in := pi.in
+		if pi.label != "" {
+			target, ok := labelBlock[pi.label]
+			if !ok {
+				return nil, fmt.Errorf("kernel %s: undefined label %q", b.name, pi.label)
+			}
+			if target > 0xFFFF {
+				return nil, fmt.Errorf("kernel %s: too many blocks", b.name)
+			}
+			in.Target = uint16(target)
+		}
+		cur.Instrs = append(cur.Instrs, in)
+	}
+	flush()
+
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build for static kernels known to be correct; it panics on
+// error.
+func (b *KernelBuilder) MustBuild() *kernel.Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// Program assembles kernels into a validated program.
+func Program(name string, kernels ...*kernel.Kernel) (*kernel.Program, error) {
+	p := &kernel.Program{Name: name, Kernels: kernels}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is Program for static programs; it panics on error.
+func MustProgram(name string, kernels ...*kernel.Kernel) *kernel.Program {
+	p, err := Program(name, kernels...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

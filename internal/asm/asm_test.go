@@ -1,0 +1,268 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+func TestBuildSimpleLoop(t *testing.T) {
+	a := NewKernel("loop", isa.W16)
+	n := a.Arg(0)
+	i := a.Temp()
+	a.MovI(i, 0)
+	a.Label("top")
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondLT, R(i), R(n))
+	a.Br(isa.BranchAny, "top")
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3 (preamble, loop, end)", len(k.Blocks))
+	}
+	// Loop block branches back to itself.
+	loop := k.Blocks[1]
+	term := loop.Terminator()
+	if term.Op != isa.OpBr || term.Target != 1 {
+		t.Errorf("loop terminator = %v", term)
+	}
+	if k.NumArgs != 1 {
+		t.Errorf("NumArgs = %d", k.NumArgs)
+	}
+}
+
+func TestLabelSplitsStraightLineWithAutoJump(t *testing.T) {
+	a := NewKernel("split", isa.W16)
+	r := a.Temp()
+	a.MovI(r, 1)
+	a.Label("mid") // splits straight-line code
+	a.MovI(r, 2)
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(k.Blocks) != 2 {
+		t.Fatalf("blocks = %d, want 2", len(k.Blocks))
+	}
+	// The first block must end with an inserted jump to the next block.
+	term := k.Blocks[0].Terminator()
+	if term.Op != isa.OpJmp || term.Target != 1 {
+		t.Errorf("auto-inserted fall-through = %v", term)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	a := NewKernel("bad", isa.W16)
+	a.Jmp("nowhere")
+	a.End()
+	if _, err := a.Build(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("expected undefined-label error, got %v", err)
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	a := NewKernel("dup", isa.W16)
+	a.Label("x")
+	r := a.Temp()
+	a.MovI(r, 1)
+	a.Label("x")
+	a.End()
+	if _, err := a.Build(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("expected duplicate-label error, got %v", err)
+	}
+}
+
+func TestOutOfTemps(t *testing.T) {
+	a := NewKernel("overflow", isa.W16)
+	for i := 0; i < 200; i++ {
+		a.Temp()
+	}
+	a.End()
+	if _, err := a.Build(); err == nil || !strings.Contains(err.Error(), "out of temporary registers") {
+		t.Errorf("expected out-of-registers error, got %v", err)
+	}
+}
+
+func TestArgAndSurfaceTracking(t *testing.T) {
+	a := NewKernel("args", isa.W8)
+	if got := a.Arg(2); got != kernel.ArgReg(2) {
+		t.Errorf("Arg(2) = %v", got)
+	}
+	a.Surface(1)
+	r := a.Temp()
+	a.MovI(r, 0)
+	a.Store(1, r, r, 4)
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NumArgs != 3 {
+		t.Errorf("NumArgs = %d, want 3", k.NumArgs)
+	}
+	if k.NumSurfaces != 2 {
+		t.Errorf("NumSurfaces = %d, want 2", k.NumSurfaces)
+	}
+}
+
+func TestArgOutOfRange(t *testing.T) {
+	a := NewKernel("bad", isa.W16)
+	a.Arg(kernel.MaxArgs)
+	a.End()
+	if _, err := a.Build(); err == nil {
+		t.Error("expected arg-range error")
+	}
+}
+
+func TestSetWidthApplies(t *testing.T) {
+	a := NewKernel("widths", isa.W16)
+	r := a.Temp()
+	a.MovI(r, 1) // W16
+	a.SetWidth(1)
+	a.AddI(r, r, 1) // W1
+	a.SetWidth(0)
+	a.MovI(r, 2) // back to W16
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := k.Blocks[0].Instrs
+	if ins[0].Width != isa.W16 || ins[1].Width != isa.W1 || ins[2].Width != isa.W16 {
+		t.Errorf("widths = %d, %d, %d", ins[0].Width, ins[1].Width, ins[2].Width)
+	}
+}
+
+func TestSetPredApplies(t *testing.T) {
+	a := NewKernel("pred", isa.W16)
+	r := a.Temp()
+	a.CmpI(isa.CondLT, r, 5)
+	a.SetPred(isa.PredOn)
+	a.AddI(r, r, 1)
+	a.SetPred(isa.PredNoneMode)
+	a.AddI(r, r, 1)
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := k.Blocks[0].Instrs
+	if ins[1].Pred != isa.PredOn {
+		t.Error("first add should be predicated")
+	}
+	if ins[2].Pred != isa.PredNoneMode {
+		t.Error("second add should be unpredicated")
+	}
+	// End (control) must never be predicated.
+	if ins[3].Pred != isa.PredNoneMode {
+		t.Error("control instruction must not inherit predication")
+	}
+}
+
+func TestEmptyKernelFails(t *testing.T) {
+	a := NewKernel("empty", isa.W16)
+	if _, err := a.Build(); err == nil {
+		t.Error("expected error for empty kernel")
+	}
+}
+
+func TestBuilderErrorStops(t *testing.T) {
+	a := NewKernel("err", isa.W16)
+	a.SetWidth(7) // invalid, poisons the builder
+	a.End()
+	if _, err := a.Build(); err == nil {
+		t.Error("expected builder error to surface at Build")
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a := NewKernel("panic", isa.W16)
+	a.Jmp("missing")
+	a.End()
+	a.MustBuild()
+}
+
+func TestProgramHelpers(t *testing.T) {
+	a := NewKernel("k1", isa.W16)
+	a.End()
+	k1 := a.MustBuild()
+	p, err := Program("prog", k1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "prog" || len(p.Kernels) != 1 {
+		t.Errorf("program = %+v", p)
+	}
+	if _, err := Program("empty"); err == nil {
+		t.Error("expected error for empty program")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram should panic on error")
+		}
+	}()
+	MustProgram("empty")
+}
+
+func TestAllEmitters(t *testing.T) {
+	// Exercise every emitter and validate the result end to end.
+	a := NewKernel("everything", isa.W16)
+	n := a.Arg(0)
+	s0 := a.Surface(0)
+	r := a.Temps(6)
+	a.Mov(r[0], R(kernel.GIDReg))
+	a.MovI(r[1], 3)
+	a.Sel(r[2], R(r[0]), R(r[1]))
+	a.And(r[2], R(r[0]), R(r[1]))
+	a.Or(r[2], R(r[0]), R(r[1]))
+	a.Xor(r[2], R(r[0]), R(r[1]))
+	a.Not(r[2], R(r[0]))
+	a.Shl(r[2], R(r[0]), I(2))
+	a.Shr(r[2], R(r[0]), I(2))
+	a.Asr(r[2], R(r[0]), I(2))
+	a.Add(r[3], R(r[0]), R(r[1]))
+	a.AddI(r[3], r[3], 1)
+	a.Sub(r[3], R(r[3]), R(r[1]))
+	a.Mul(r[3], R(r[3]), R(r[1]))
+	a.MulI(r[3], r[3], 3)
+	a.Mach(r[3], R(r[3]), R(r[1]))
+	a.Mad(r[3], R(r[0]), R(r[1]), R(r[2]))
+	a.Min(r[4], R(r[3]), R(r[0]))
+	a.Max(r[4], R(r[3]), R(r[0]))
+	a.Abs(r[4], R(r[4]))
+	a.Avg(r[4], R(r[4]), R(r[0]))
+	a.Math(isa.MathSqrt, r[4], R(r[4]), I(0))
+	a.Load(r[5], r[0], s0, 4)
+	a.Store(s0, r[0], r[5], 4)
+	a.LoadBlock(r[5], r[0], s0, 4)
+	a.StoreBlock(s0, r[0], r[5], 4)
+	a.AtomicAdd(r[5], s0, r[0], r[1], 4)
+	a.Timer(r[5])
+	a.Call("sub")
+	a.Cmp(isa.CondNE, R(r[5]), R(n))
+	a.Br(isa.BranchNone, "done")
+	a.Jmp("done")
+	a.Label("sub")
+	a.AddI(r[0], r[0], 1)
+	a.Ret()
+	a.Label("done")
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.StaticInstrs() < 30 {
+		t.Errorf("expected a rich kernel, got %d instructions", k.StaticInstrs())
+	}
+}

@@ -1,0 +1,39 @@
+package asm_test
+
+import (
+	"fmt"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Author a counted-loop kernel in the DSL and inspect its structure.
+func Example() {
+	a := asm.NewKernel("sum", isa.W16)
+	n := a.Arg(0)
+	out := a.Surface(0)
+	acc, i, addr := a.Temp(), a.Temp(), a.Temp()
+
+	a.MovI(acc, 0)
+	a.MovI(i, 0)
+	a.Label("loop")
+	a.Add(acc, asm.R(acc), asm.R(i))
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondLT, asm.R(i), asm.R(n))
+	a.Br(isa.BranchAny, "loop")
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Store(out, addr, acc, 4)
+	a.End()
+
+	k, err := a.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("kernel %s: %d blocks, %d static instructions, %d arg(s), %d surface(s)\n",
+		k.Name, len(k.Blocks), k.StaticInstrs(), k.NumArgs, k.NumSurfaces)
+	fmt.Printf("loop block terminator: %v\n", k.Blocks[1].Terminator().Op)
+	// Output:
+	// kernel sum: 3 blocks, 10 static instructions, 1 arg(s), 1 surface(s)
+	// loop block terminator: br
+}

@@ -1,0 +1,219 @@
+// Package cachesim provides a set-associative, LRU cache hierarchy
+// simulator. It serves two roles from the paper: GT-Pin's "cache
+// simulation through the use of memory traces" (Section III-B) — fed by
+// the addresses the instrumentation writes to the trace buffer — and the
+// memory subsystem of the detailed microarchitectural simulator
+// (gtpin/internal/detsim).
+package cachesim
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Ways      int
+	LineBytes int
+	HitNs     float64 // access latency on hit
+}
+
+// Validate checks the geometry is realizable.
+func (c Config) Validate() error {
+	switch {
+	case c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0:
+		return fmt.Errorf("cache %s: non-positive geometry", c.Name)
+	case c.LineBytes&(c.LineBytes-1) != 0:
+		return fmt.Errorf("cache %s: line size %d not a power of two", c.Name, c.LineBytes)
+	case c.SizeBytes%(c.Ways*c.LineBytes) != 0:
+		return fmt.Errorf("cache %s: size %d not divisible into %d ways of %dB lines", c.Name, c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * c.LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %s: %d sets is not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// HD4000L3 returns a cache config modelling the HD 4000's GPU L3.
+func HD4000L3() Config {
+	return Config{Name: "L3", SizeBytes: 256 << 10, Ways: 8, LineBytes: 64, HitNs: 12}
+}
+
+// HD4000LLC returns a cache config modelling the shared last-level cache
+// slice available to the GPU.
+func HD4000LLC() Config {
+	return Config{Name: "LLC", SizeBytes: 4 << 20, Ways: 16, LineBytes: 64, HitNs: 35}
+}
+
+// Stats counts accesses at one level.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Writes    uint64
+}
+
+// HitRate returns hits/accesses, or 0 with no accesses.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is one set-associative LRU level.
+type Cache struct {
+	cfg      Config
+	sets     int
+	setShift uint
+	setMask  uint64
+	// tags[set*ways+way]; lru[set*ways+way] is a recency stamp.
+	tags  []uint64
+	valid []bool
+	dirty []bool
+	lru   []uint64
+	clock uint64
+	stats Stats
+}
+
+// New creates a cache level.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.Ways * cfg.LineBytes)
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setShift: shift,
+		setMask:  uint64(sets - 1),
+		tags:     make([]uint64, n),
+		valid:    make([]bool, n),
+		dirty:    make([]bool, n),
+		lru:      make([]uint64, n),
+	}, nil
+}
+
+// Config returns the level's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the level's access statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+		c.lru[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}
+
+// Access looks up addr; on miss the line is filled (allocate-on-miss for
+// both reads and writes). Returns whether the access hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	if write {
+		c.stats.Writes++
+	}
+	line := addr >> c.setShift
+	set := int(line & c.setMask)
+	tag := line >> uint(log2(c.sets))
+	base := set * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.stats.Hits++
+			c.lru[i] = c.clock
+			if write {
+				c.dirty[i] = true
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	// Victim: invalid way, else least recently used.
+	victim := base
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		c.stats.Evictions++
+	}
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
+	c.dirty[victim] = write
+	return false
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Hierarchy chains cache levels in front of memory.
+type Hierarchy struct {
+	levels []*Cache
+	memNs  float64
+	// MemAccesses counts accesses that missed every level.
+	MemAccesses uint64
+}
+
+// NewHierarchy builds a hierarchy from level configs (nearest first) and
+// a memory latency for full misses.
+func NewHierarchy(memNs float64, cfgs ...Config) (*Hierarchy, error) {
+	h := &Hierarchy{memNs: memNs}
+	for _, cfg := range cfgs {
+		c, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h.levels = append(h.levels, c)
+	}
+	return h, nil
+}
+
+// Access walks the hierarchy and returns the access latency in
+// nanoseconds: the hit latency of the first level that hits, or the
+// memory latency on a full miss. Missing levels are filled on the way.
+func (h *Hierarchy) Access(addr uint64, write bool) float64 {
+	for _, c := range h.levels {
+		if c.Access(addr, write) {
+			return c.cfg.HitNs
+		}
+	}
+	h.MemAccesses++
+	return h.memNs
+}
+
+// Levels returns the cache levels, nearest first.
+func (h *Hierarchy) Levels() []*Cache { return h.levels }
+
+// Reset clears all levels and counters.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.levels {
+		c.Reset()
+	}
+	h.MemAccesses = 0
+}

@@ -1,0 +1,178 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func small() Config {
+	// 4 sets × 2 ways × 64B lines = 512B.
+	return Config{Name: "t", SizeBytes: 512, Ways: 2, LineBytes: 64, HitNs: 2}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "zero", SizeBytes: 0, Ways: 1, LineBytes: 64},
+		{Name: "line", SizeBytes: 512, Ways: 2, LineBytes: 48},
+		{Name: "indiv", SizeBytes: 500, Ways: 2, LineBytes: 64},
+		{Name: "sets", SizeBytes: 3 * 64 * 2, Ways: 2, LineBytes: 64}, // 3 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected error", c.Name)
+		}
+	}
+	for _, preset := range []Config{HD4000L3(), HD4000LLC()} {
+		if err := preset.Validate(); err != nil {
+			t.Errorf("preset %s: %v", preset.Name, err)
+		}
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c, err := New(small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0x100, false) {
+		t.Error("cold access must miss")
+	}
+	if !c.Access(0x100, false) {
+		t.Error("second access must hit")
+	}
+	if !c.Access(0x13F, false) {
+		t.Error("same line must hit")
+	}
+	if c.Access(0x140, false) {
+		t.Error("next line must miss")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %f", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(small()) // 4 sets, 2 ways
+	// Three lines mapping to set 0: line size 64, 4 sets → set stride 256.
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Access(a, false) {
+		t.Error("a should still be resident")
+	}
+	if c.Access(b, false) {
+		t.Error("b should have been evicted")
+	}
+	if c.Stats().Evictions < 1 {
+		t.Error("expected at least one eviction")
+	}
+}
+
+func TestWriteTracking(t *testing.T) {
+	c, _ := New(small())
+	c.Access(0, true)
+	c.Access(0, true)
+	st := c.Stats()
+	if st.Writes != 2 {
+		t.Errorf("writes = %d", st.Writes)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c, _ := New(small())
+	c.Access(0, false)
+	c.Reset()
+	if c.Stats().Accesses != 0 {
+		t.Error("stats not cleared")
+	}
+	if c.Access(0, false) {
+		t.Error("contents not cleared")
+	}
+}
+
+// TestAccountingInvariant: accesses = hits + misses, always.
+func TestAccountingInvariant(t *testing.T) {
+	c, _ := New(small())
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10000; i++ {
+		c.Access(uint64(rng.Intn(1<<14)), rng.Intn(2) == 0)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != st.Accesses {
+		t.Errorf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+}
+
+// TestCapacityWorkingSet: a working set that fits never misses after
+// warm-up; one that exceeds capacity keeps missing.
+func TestCapacityWorkingSet(t *testing.T) {
+	c, _ := New(small()) // 512B = 8 lines
+	fitLines := 8
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < fitLines; i++ {
+			c.Access(uint64(i*64), false)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != uint64(fitLines) {
+		t.Errorf("fitting working set missed %d times, want %d", st.Misses, fitLines)
+	}
+
+	c.Reset()
+	// 16 lines cycled through 8-line capacity with LRU: every access
+	// misses (classic thrash).
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 16; i++ {
+			c.Access(uint64(i*64), false)
+		}
+	}
+	st = c.Stats()
+	if st.Hits != 0 {
+		t.Errorf("thrashing working set hit %d times", st.Hits)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	l1 := Config{Name: "l1", SizeBytes: 512, Ways: 2, LineBytes: 64, HitNs: 2}
+	l2 := Config{Name: "l2", SizeBytes: 2048, Ways: 4, LineBytes: 64, HitNs: 10}
+	h, err := NewHierarchy(100, l1, l2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Access(0, false); got != 100 {
+		t.Errorf("cold access latency = %f, want 100", got)
+	}
+	if got := h.Access(0, false); got != 2 {
+		t.Errorf("warm access latency = %f, want 2", got)
+	}
+	if h.MemAccesses != 1 {
+		t.Errorf("mem accesses = %d", h.MemAccesses)
+	}
+	// Evict from L1 but not L2: touch 9 lines mapping across sets, then
+	// the first line again — L2 should catch it.
+	for i := 1; i < 9; i++ {
+		h.Access(uint64(i*64), false)
+	}
+	if got := h.Access(0, false); got != 10 {
+		t.Errorf("L2 catch latency = %f, want 10", got)
+	}
+	h.Reset()
+	if h.MemAccesses != 0 || h.Levels()[0].Stats().Accesses != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestHierarchyPropagatesConfigError(t *testing.T) {
+	if _, err := NewHierarchy(100, Config{Name: "bad"}); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,28 @@
+package cachesim_test
+
+import (
+	"fmt"
+
+	"gtpin/internal/cachesim"
+)
+
+// Replay a small access pattern through an L3+LLC hierarchy and read the
+// per-level statistics.
+func Example() {
+	h, err := cachesim.NewHierarchy(180, cachesim.HD4000L3(), cachesim.HD4000LLC())
+	if err != nil {
+		panic(err)
+	}
+	// Touch 4 lines, then re-touch them: 4 cold misses, 4 hits.
+	for pass := 0; pass < 2; pass++ {
+		for line := 0; line < 4; line++ {
+			h.Access(uint64(line*64), false)
+		}
+	}
+	l3 := h.Levels()[0].Stats()
+	fmt.Printf("L3: %d accesses, %d hits, %d misses\n", l3.Accesses, l3.Hits, l3.Misses)
+	fmt.Printf("memory fills: %d\n", h.MemAccesses)
+	// Output:
+	// L3: 8 accesses, 4 hits, 4 misses
+	// memory fills: 4
+}

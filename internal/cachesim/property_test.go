@@ -1,0 +1,72 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestInclusionOfRecencyProperty: immediately re-accessing any address
+// always hits, regardless of prior history.
+func TestInclusionOfRecencyProperty(t *testing.T) {
+	f := func(seed int64, addrs []uint32) bool {
+		c, err := New(small())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, a := range addrs {
+			c.Access(uint64(a), rng.Intn(2) == 0)
+			if !c.Access(uint64(a), false) {
+				return false // the just-filled line must be resident
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccountingProperty: accesses = hits + misses and evictions never
+// exceed misses, for arbitrary access streams.
+func TestAccountingProperty(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		c, err := New(small())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			c.Access(uint64(a), w)
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Evictions <= st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHierarchyLatencyBoundsProperty: every access latency is one of the
+// configured level latencies or the memory latency.
+func TestHierarchyLatencyBoundsProperty(t *testing.T) {
+	l1 := Config{Name: "l1", SizeBytes: 512, Ways: 2, LineBytes: 64, HitNs: 2}
+	l2 := Config{Name: "l2", SizeBytes: 2048, Ways: 4, LineBytes: 64, HitNs: 10}
+	f := func(addrs []uint16) bool {
+		h, err := NewHierarchy(100, l1, l2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range addrs {
+			ns := h.Access(uint64(a), false)
+			if ns != 2 && ns != 10 && ns != 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

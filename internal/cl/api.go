@@ -1,0 +1,138 @@
+// Package cl models the OpenCL host runtime: contexts, command queues,
+// buffers, programs, kernels, and the API-call semantics the paper's
+// methodology is built around.
+//
+// Two properties of real OpenCL are preserved because the paper depends
+// on them:
+//
+//  1. Kernels enqueued with EnqueueNDRangeKernel execute asynchronously
+//     with respect to the host; only the seven synchronization calls
+//     (Finish, Flush, WaitForEvents, EnqueueReadBuffer, EnqueueCopyBuffer,
+//     EnqueueReadImage, EnqueueCopyImageToBuffer) align host and device.
+//     Those calls are therefore the only legal simulation-interval
+//     boundaries coarser than a kernel invocation (Section V-B).
+//
+//  2. Every API call flows through an interception point, where tools
+//     like the CoFluent tracer observe the call stream without perturbing
+//     it (Figure 3a), and where GT-Pin hooks runtime initialization and
+//     the driver JIT (Figure 1).
+package cl
+
+import "gtpin/internal/device"
+
+// APIKind classifies API calls the way Figure 3a of the paper does.
+type APIKind uint8
+
+// API call kinds.
+const (
+	KindOther  APIKind = iota // setup, argument supply, post-processing, cleanup
+	KindKernel                // EnqueueNDRangeKernel: kernel invocations
+	KindSync                  // the seven synchronization calls
+)
+
+// String returns the Figure 3a label for the kind.
+func (k APIKind) String() string {
+	switch k {
+	case KindKernel:
+		return "Kernel"
+	case KindSync:
+		return "Synchronization"
+	default:
+		return "Other"
+	}
+}
+
+// API call names. SyncCallNames lists exactly the seven calls the paper
+// identifies as synchronization points.
+const (
+	CallGetPlatformIDs        = "clGetPlatformIDs"
+	CallGetDeviceIDs          = "clGetDeviceIDs"
+	CallGetDeviceInfo         = "clGetDeviceInfo"
+	CallCreateContext         = "clCreateContext"
+	CallCreateCommandQueue    = "clCreateCommandQueue"
+	CallCreateBuffer          = "clCreateBuffer"
+	CallCreateProgram         = "clCreateProgramWithSource"
+	CallBuildProgram          = "clBuildProgram"
+	CallCreateKernel          = "clCreateKernel"
+	CallSetKernelArg          = "clSetKernelArg"
+	CallEnqueueNDRangeKernel  = "clEnqueueNDRangeKernel"
+	CallEnqueueWriteBuffer    = "clEnqueueWriteBuffer"
+	CallReleaseMemObject      = "clReleaseMemObject"
+	CallReleaseKernel         = "clReleaseKernel"
+	CallReleaseProgram        = "clReleaseProgram"
+	CallGetEventProfilingInfo = "clGetEventProfilingInfo"
+	CallFinish                = "clFinish"
+	CallFlush                 = "clFlush"
+	CallWaitForEvents         = "clWaitForEvents"
+	CallEnqueueReadBuffer     = "clEnqueueReadBuffer"
+	CallEnqueueCopyBuffer     = "clEnqueueCopyBuffer"
+	CallEnqueueReadImage      = "clEnqueueReadImage"
+	CallEnqueueCopyImgToBuf   = "clEnqueueCopyImageToBuffer"
+)
+
+// SyncCallNames is the set of the paper's seven synchronization calls.
+var SyncCallNames = map[string]bool{
+	CallFinish:              true,
+	CallFlush:               true,
+	CallWaitForEvents:       true,
+	CallEnqueueReadBuffer:   true,
+	CallEnqueueCopyBuffer:   true,
+	CallEnqueueReadImage:    true,
+	CallEnqueueCopyImgToBuf: true,
+}
+
+// KindOf classifies an API call name.
+func KindOf(name string) APIKind {
+	switch {
+	case name == CallEnqueueNDRangeKernel:
+		return KindKernel
+	case SyncCallNames[name]:
+		return KindSync
+	default:
+		return KindOther
+	}
+}
+
+// APICall is one observed host API call. Payload fields are populated
+// according to the call: argument sets carry ArgIndex/ArgValue, enqueues
+// carry Kernel/GWS, data transfers carry BufferID/Offset/Size and, for
+// writes, the data itself (so recordings can be replayed).
+type APICall struct {
+	Seq     int // global call order within the context
+	Name    string
+	Kind    APIKind
+	Program int    // program ID for program-scoped calls
+	Kernel  string // kernel name for kernel-scoped calls
+	KID     int    // kernel object ID
+	ArgIdx  int
+	ArgVal  uint32
+	Buffer  int // buffer object ID
+	Buffer2 int // destination buffer for copies
+	Offset  int
+	Offset2 int // destination offset for copies
+	Size    int
+	GWS     int
+	Payload []byte // write-buffer data, retained for replay
+}
+
+// KernelCompletion reports one finished kernel invocation, delivered to
+// interceptors when a synchronization call drains the queue.
+type KernelCompletion struct {
+	// InvocationSeq numbers kernel invocations in enqueue order,
+	// starting at 0, across the whole context.
+	InvocationSeq int
+	// EnqueueSeq is the Seq of the EnqueueNDRangeKernel call.
+	EnqueueSeq int
+	Kernel     string
+	GWS        int
+	Args       []uint32 // scalar argument snapshot at enqueue time
+	Stats      device.ExecStats
+}
+
+// Interceptor observes the API stream and kernel completions. The
+// CoFluent tracer and the GT-Pin runtime are both interceptors.
+// Implementations must not mutate what they observe.
+type Interceptor interface {
+	OnAPICall(call *APICall)
+	OnKernelComplete(comp *KernelCompletion)
+}

@@ -1,0 +1,73 @@
+package cl
+
+import (
+	"testing"
+)
+
+func TestEventCompletesOnSync(t *testing.T) {
+	ctx := newCtx(t)
+	q := ctx.CreateQueue()
+	buf, _ := ctx.CreateBuffer(4 * 16)
+	p := ctx.CreateProgram(writeOne(t))
+	check(t, p.Build())
+	k, _ := p.CreateKernel("writeone")
+	check(t, k.SetArg(0, 7))
+	check(t, k.SetBuffer(0, buf))
+
+	ev, err := q.EnqueueNDRangeKernelWithEvent(k, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Complete() {
+		t.Fatal("event complete before any sync call")
+	}
+	if _, err := ev.ProfilingTimeNs(); err == nil {
+		t.Fatal("profiling info available before completion")
+	}
+	if _, ok := ev.Stats(); ok {
+		t.Fatal("stats available before completion")
+	}
+
+	check(t, q.WaitForEvents(ev))
+	if !ev.Complete() {
+		t.Fatal("event incomplete after wait")
+	}
+	tm, err := ev.ProfilingTimeNs()
+	if err != nil || tm <= 0 {
+		t.Fatalf("profiling time = %f, %v", tm, err)
+	}
+	st, ok := ev.Stats()
+	if !ok || st.Instrs == 0 {
+		t.Fatalf("stats = %+v, %v", st, ok)
+	}
+	if ev.Kernel() != "writeone" {
+		t.Errorf("event kernel = %q", ev.Kernel())
+	}
+}
+
+func TestEventsCompleteInOrder(t *testing.T) {
+	ctx := newCtx(t)
+	q := ctx.CreateQueue()
+	buf, _ := ctx.CreateBuffer(4 * 16)
+	p := ctx.CreateProgram(writeOne(t))
+	check(t, p.Build())
+	k, _ := p.CreateKernel("writeone")
+	check(t, k.SetArg(0, 1))
+	check(t, k.SetBuffer(0, buf))
+
+	var events []*Event
+	for i := 0; i < 3; i++ {
+		ev, err := q.EnqueueNDRangeKernelWithEvent(k, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	// Waiting on the last event drains the in-order queue: all complete.
+	check(t, q.WaitForEvents(events[2]))
+	for i, ev := range events {
+		if !ev.Complete() {
+			t.Errorf("event %d incomplete", i)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+// Package cofluent models the Intel CoFluent CPR tracing tool the paper
+// uses alongside GT-Pin: it observes the host-side OpenCL API call stream
+// without perturbing it, times kernel invocations, and supports recording
+// an execution's API calls for deterministic replay on other devices —
+// the mechanism behind the paper's cross-trial, cross-frequency, and
+// cross-architecture validations (Section V-E).
+package cofluent
+
+import (
+	"fmt"
+
+	"gtpin/internal/cl"
+)
+
+// KernelTiming is one kernel invocation's wall-clock measurement, plus
+// the device-reported dynamic instruction count (used by the overhead
+// study to compare instrumented and native instruction volumes).
+type KernelTiming struct {
+	Seq    int // invocation order
+	Kernel string
+	GWS    int
+	TimeNs float64
+	Instrs uint64
+}
+
+// Tracer records the API call stream and per-kernel timings of one
+// context's execution.
+type Tracer struct {
+	calls   []cl.APICall
+	timings []KernelTiming
+}
+
+// Attach creates a tracer and registers it on the context. Attach before
+// the application issues any calls to observe the full stream.
+func Attach(ctx *cl.Context) *Tracer {
+	t := &Tracer{}
+	ctx.AddInterceptor(t)
+	return t
+}
+
+// OnAPICall implements cl.Interceptor.
+func (t *Tracer) OnAPICall(call *cl.APICall) {
+	t.calls = append(t.calls, *call)
+}
+
+// OnKernelComplete implements cl.Interceptor.
+func (t *Tracer) OnKernelComplete(comp *cl.KernelCompletion) {
+	t.timings = append(t.timings, KernelTiming{
+		Seq:    comp.InvocationSeq,
+		Kernel: comp.Kernel,
+		GWS:    comp.GWS,
+		TimeNs: comp.Stats.TimeNs,
+		Instrs: comp.Stats.Instrs,
+	})
+}
+
+// Calls returns the observed API call stream.
+func (t *Tracer) Calls() []cl.APICall { return t.calls }
+
+// Timings returns per-invocation kernel timings in invocation order.
+func (t *Tracer) Timings() []KernelTiming { return t.timings }
+
+// TimesNs returns just the per-invocation times, indexed by invocation
+// sequence number.
+func (t *Tracer) TimesNs() []float64 {
+	out := make([]float64, len(t.timings))
+	for _, kt := range t.timings {
+		out[kt.Seq] = kt.TimeNs
+	}
+	return out
+}
+
+// TotalKernelTimeNs returns the summed device time of all invocations.
+func (t *Tracer) TotalKernelTimeNs() float64 {
+	sum := 0.0
+	for _, kt := range t.timings {
+		sum += kt.TimeNs
+	}
+	return sum
+}
+
+// Breakdown counts API calls by Figure 3a's three categories.
+func (t *Tracer) Breakdown() (kernelCalls, syncCalls, otherCalls int) {
+	for i := range t.calls {
+		switch t.calls[i].Kind {
+		case cl.KindKernel:
+			kernelCalls++
+		case cl.KindSync:
+			syncCalls++
+		default:
+			otherCalls++
+		}
+	}
+	return
+}
+
+// BreakdownPct returns the Figure 3a percentages (kernel, sync, other).
+func (t *Tracer) BreakdownPct() (kernelPct, syncPct, otherPct float64) {
+	k, s, o := t.Breakdown()
+	total := float64(k + s + o)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(k) / total, 100 * float64(s) / total, 100 * float64(o) / total
+}
+
+// SyncEpochs returns, for each kernel invocation in order, the number of
+// synchronization calls that preceded its enqueue — the information the
+// interval divider uses to place synchronization boundaries.
+func (t *Tracer) SyncEpochs() []int {
+	var epochs []int
+	epoch := 0
+	for i := range t.calls {
+		switch t.calls[i].Kind {
+		case cl.KindKernel:
+			epochs = append(epochs, epoch)
+		case cl.KindSync:
+			epoch++
+		}
+	}
+	return epochs
+}
+
+// validate sanity-checks internal consistency between the call stream and
+// completions (every enqueue must have completed).
+func (t *Tracer) validate() error {
+	k, _, _ := t.Breakdown()
+	if k != len(t.timings) {
+		return fmt.Errorf("cofluent: %d enqueues but %d completions (unflushed queue?)", k, len(t.timings))
+	}
+	return nil
+}

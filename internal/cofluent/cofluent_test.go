@@ -1,0 +1,254 @@
+package cofluent
+
+import (
+	"reflect"
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// testApp drives a small two-kernel app and returns its program.
+func testProgram(t *testing.T) *kernel.Program {
+	t.Helper()
+	a := asm.NewKernel("scale", isa.W16)
+	s := a.Arg(0)
+	buf := a.Surface(0)
+	addr, v := a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Load(v, addr, buf, 4)
+	a.Mul(v, asm.R(v), asm.R(s))
+	a.Store(buf, addr, v, 4)
+	a.End()
+	k1, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	b := asm.NewKernel("fill", isa.W8)
+	val := b.Arg(0)
+	out := b.Surface(0)
+	ad, vv := b.Temp(), b.Temp()
+	b.Shl(ad, asm.R(kernel.GIDReg), asm.I(2))
+	b.Mov(vv, asm.R(val))
+	b.Store(out, ad, vv, 4)
+	b.End()
+	k2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Program("cofluent-test", k1, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func driveApp(t *testing.T, ctx *cl.Context, prog *kernel.Program) {
+	t.Helper()
+	ctx.EmitSetupCalls()
+	q := ctx.CreateQueue()
+	buf, err := ctx.CreateBuffer(4 * 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueWriteBuffer(buf, 0, []byte{1, 0, 0, 0, 2, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p := ctx.CreateProgram(prog)
+	if err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	fill, err := p.CreateKernel("fill")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale, err := p.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fill.SetArg(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := fill.SetBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := scale.SetArg(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := scale.SetBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueNDRangeKernel(fill, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.EnqueueNDRangeKernel(scale, 32); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.EnqueueReadBuffer(buf, 0, make([]byte, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx.ReleaseBuffer(buf)
+	scale.Release()
+	fill.Release()
+	p.Release()
+}
+
+func TestBreakdownAndTimings(t *testing.T) {
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	prog := testProgram(t)
+	driveApp(t, ctx, prog)
+
+	k, s, o := tr.Breakdown()
+	if k != 4 {
+		t.Errorf("kernel calls = %d, want 4", k)
+	}
+	if s != 4 { // 1 finish + 3 reads
+		t.Errorf("sync calls = %d, want 4", s)
+	}
+	if o == 0 {
+		t.Error("no other calls")
+	}
+	kp, sp, op := tr.BreakdownPct()
+	if kp <= 0 || sp <= 0 || op <= 0 || kp+sp+op < 99.9 || kp+sp+op > 100.1 {
+		t.Errorf("percentages: %f %f %f", kp, sp, op)
+	}
+	if len(tr.Timings()) != 4 {
+		t.Fatalf("timings = %d", len(tr.Timings()))
+	}
+	for i, kt := range tr.Timings() {
+		if kt.TimeNs <= 0 {
+			t.Errorf("timing %d not positive", i)
+		}
+		if kt.Instrs == 0 {
+			t.Errorf("timing %d has no instructions", i)
+		}
+	}
+	if tr.TotalKernelTimeNs() <= 0 {
+		t.Error("total time must be positive")
+	}
+	times := tr.TimesNs()
+	if len(times) != 4 || times[0] <= 0 {
+		t.Errorf("TimesNs = %v", times)
+	}
+}
+
+func TestSyncEpochs(t *testing.T) {
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, testProgram(t))
+	epochs := tr.SyncEpochs()
+	// fill enqueued at epoch 0; scale_i at epochs 1, 2, 3.
+	want := []int{0, 1, 2, 3}
+	if !reflect.DeepEqual(epochs, want) {
+		t.Errorf("epochs = %v, want %v", epochs, want)
+	}
+}
+
+func TestRecordReplayPreservesCallStream(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, prog)
+	rec, err := Record("cofluent-test", tr, []*kernel.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev2, _ := device.New(device.IvyBridgeHD4000())
+	tr2, err := rec.Replay(dev2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := tr.Calls(), tr2.Calls()
+	if len(c1) != len(c2) {
+		t.Fatalf("call counts differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i].Name != c2[i].Name || c1[i].Kind != c2[i].Kind {
+			t.Fatalf("call %d differs: %s vs %s", i, c1[i].Name, c2[i].Name)
+		}
+	}
+	// Functional determinism: the same instruction counts.
+	t1, t2 := tr.Timings(), tr2.Timings()
+	for i := range t1 {
+		if t1[i].Instrs != t2[i].Instrs || t1[i].Kernel != t2[i].Kernel || t1[i].GWS != t2[i].GWS {
+			t.Fatalf("timing %d differs: %+v vs %+v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestReplayOnDifferentDeviceTimesDiffer(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, prog)
+	rec, err := Record("cofluent-test", tr, []*kernel.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := device.New(device.IvyBridgeHD4000().WithFrequency(350))
+	trSlow, err := rec.Replay(slow, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trSlow.TotalKernelTimeNs() <= tr.TotalKernelTimeNs() {
+		t.Error("350MHz replay should be slower than 1150MHz original")
+	}
+}
+
+func TestRecordRejectsUndrainedQueue(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	q := ctx.CreateQueue()
+	buf, _ := ctx.CreateBuffer(64)
+	p := ctx.CreateProgram(prog)
+	if err := p.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, _ := p.CreateKernel("fill")
+	if err := k.SetArg(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBuffer(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueNDRangeKernel(k, 16); err != nil {
+		t.Fatal(err)
+	}
+	// No sync: one enqueue without completion.
+	if _, err := Record("bad", tr, []*kernel.Program{prog}); err == nil {
+		t.Error("expected error for undrained queue")
+	}
+}
+
+func TestReplayUnknownProgram(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, prog)
+	rec, err := Record("cofluent-test", tr, nil) // missing program IR
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev2, _ := device.New(device.IvyBridgeHD4000())
+	if _, err := rec.Replay(dev2, nil); err == nil {
+		t.Error("expected error for missing program in recording")
+	}
+}

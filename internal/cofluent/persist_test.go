@@ -1,0 +1,88 @@
+package cofluent
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/kernel"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, prog)
+	rec, err := Record("persist-test", tr, []*kernel.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := rec.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.App != rec.App || len(loaded.Calls) != len(rec.Calls) || len(loaded.Programs) != len(rec.Programs) {
+		t.Fatalf("loaded recording differs: %s %d %d", loaded.App, len(loaded.Calls), len(loaded.Programs))
+	}
+
+	// The loaded recording must replay identically.
+	dev2, _ := device.New(device.IvyBridgeHD4000())
+	tr2, err := loaded.Replay(dev2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr2.Timings()) != len(tr.Timings()) {
+		t.Fatalf("replay of loaded recording: %d invocations, want %d",
+			len(tr2.Timings()), len(tr.Timings()))
+	}
+	for i := range tr.Timings() {
+		if tr.Timings()[i].Instrs != tr2.Timings()[i].Instrs {
+			t.Fatalf("invocation %d differs after save/load", i)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	prog := testProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	tr := Attach(ctx)
+	driveApp(t, ctx, prog)
+	rec, err := Record("persist-file", tr, []*kernel.Program{prog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.rec")
+	if err := rec.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.App != "persist-file" {
+		t.Errorf("app = %q", loaded.App)
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.rec")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a recording"))); err == nil {
+		t.Error("expected error for garbage input")
+	}
+	// Valid gzip, invalid gob.
+	var buf bytes.Buffer
+	if _, err := Load(&buf); err == nil {
+		t.Error("expected error for empty input")
+	}
+}

@@ -1,0 +1,133 @@
+// Package device models an Intel GEN-style GPU: a set of execution units
+// (EUs) grouped into subslices, each EU running several SMT hardware
+// threads, executing kernels as SIMD channel-groups.
+//
+// The device provides two things the paper's methodology depends on:
+//
+//  1. a functional vector interpreter with real flag/branch semantics, so
+//     dynamic instruction behaviour is data-dependent (exec.go), standing
+//     in for native execution on real hardware; and
+//  2. an analytic timing model producing per-dispatch wall times that
+//     respond to instruction mix, memory traffic, EU count, and frequency
+//     (timing.go), standing in for the wall-clock times CoFluent measures.
+package device
+
+import "fmt"
+
+// Config describes a GPU configuration. The two presets model the paper's
+// test systems: the Ivy Bridge HD 4000 and the Haswell HD 4600.
+type Config struct {
+	Name         string
+	EUs          int     // execution units
+	SubSlices    int     // EU groupings (8 EUs per subslice on HD 4000)
+	ThreadsPerEU int     // SMT hardware threads per EU
+	FreqMHz      int     // core clock
+	MemLatencyNs float64 // average memory access latency, wall-clock
+	MemGBps      float64 // peak memory bandwidth
+	// BWFilter is the fraction of request bytes that reach DRAM after
+	// the cache hierarchy filters the rest; the fast timing model charges
+	// only this fraction against MemGBps. (The detailed simulator models
+	// the caches explicitly instead.)
+	BWFilter   float64
+	DispatchNs float64 // fixed per-kernel-dispatch overhead
+	IssueRate  float64 // instructions issued per EU-thread per cycle
+
+	// ThermalAmp/ThermalPeriod and ContentionAmp/ContentionPeriod model
+	// performance drift at two time scales — slow thermal throttling and
+	// faster shared-resource contention: dispatch times are scaled by
+	// 1 + ThermalAmp·sin(2π·n/ThermalPeriod)
+	//   + ContentionAmp·sin(2π·n/ContentionPeriod), where n counts
+	// dispatches. The drift is deterministic — replayed trials see the
+	// same drift — but it is invisible to phase-based feature vectors,
+	// which is what keeps subset-selection errors realistically non-zero.
+	// Zero amplitudes disable drift.
+	ThermalAmp       float64
+	ThermalPeriod    float64
+	ContentionAmp    float64
+	ContentionPeriod float64
+}
+
+// IvyBridgeHD4000 returns the paper's primary test device: 16 EUs in two
+// subslices, 8 hardware threads per EU (128 simultaneous threads),
+// 1150 MHz maximum frequency.
+func IvyBridgeHD4000() Config {
+	return Config{
+		Name:             "HD4000 (Ivy Bridge)",
+		EUs:              16,
+		SubSlices:        2,
+		ThreadsPerEU:     8,
+		FreqMHz:          1150,
+		MemLatencyNs:     180,
+		MemGBps:          25.6,
+		BWFilter:         0.12,
+		DispatchNs:       4000,
+		IssueRate:        1.0,
+		ThermalAmp:       0.05,
+		ThermalPeriod:    800,
+		ContentionAmp:    0.025,
+		ContentionPeriod: 63,
+	}
+}
+
+// HaswellHD4600 returns the paper's cross-generation validation device:
+// 20 EUs, a faster memory subsystem, and the same 8-thread SMT EUs.
+func HaswellHD4600() Config {
+	return Config{
+		Name:             "HD4600 (Haswell)",
+		EUs:              20,
+		SubSlices:        2,
+		ThreadsPerEU:     8,
+		FreqMHz:          1250,
+		MemLatencyNs:     160,
+		MemGBps:          25.6,
+		BWFilter:         0.10,
+		DispatchNs:       3600,
+		IssueRate:        1.05,
+		ThermalAmp:       0.045,
+		ThermalPeriod:    1100,
+		ContentionAmp:    0.02,
+		ContentionPeriod: 89,
+	}
+}
+
+// WithFrequency returns a copy of the configuration clocked at freqMHz,
+// used for the paper's cross-frequency validation (350-1150 MHz).
+func (c Config) WithFrequency(freqMHz int) Config {
+	c.FreqMHz = freqMHz
+	c.Name = fmt.Sprintf("%s @%dMHz", c.Name, freqMHz)
+	return c
+}
+
+// WithEUs returns a copy with a different EU count, used by design-space
+// sweeps over candidate architectures.
+func (c Config) WithEUs(eus int) Config {
+	c.EUs = eus
+	c.Name = fmt.Sprintf("%s x%dEU", c.Name, eus)
+	return c
+}
+
+// Validate checks the configuration is physically sensible.
+func (c Config) Validate() error {
+	switch {
+	case c.EUs <= 0:
+		return fmt.Errorf("device %s: EUs must be positive", c.Name)
+	case c.SubSlices <= 0 || c.EUs%c.SubSlices != 0:
+		return fmt.Errorf("device %s: %d EUs not divisible into %d subslices", c.Name, c.EUs, c.SubSlices)
+	case c.ThreadsPerEU <= 0:
+		return fmt.Errorf("device %s: ThreadsPerEU must be positive", c.Name)
+	case c.FreqMHz <= 0:
+		return fmt.Errorf("device %s: FreqMHz must be positive", c.Name)
+	case c.MemLatencyNs < 0 || c.MemGBps <= 0:
+		return fmt.Errorf("device %s: invalid memory parameters", c.Name)
+	case c.IssueRate <= 0:
+		return fmt.Errorf("device %s: IssueRate must be positive", c.Name)
+	}
+	return nil
+}
+
+// HWThreads returns the number of simultaneously executing hardware
+// threads (128 on the HD 4000).
+func (c Config) HWThreads() int { return c.EUs * c.ThreadsPerEU }
+
+// freqGHz returns the clock in GHz.
+func (c Config) freqGHz() float64 { return float64(c.FreqMHz) / 1000 }

@@ -1,0 +1,485 @@
+package device
+
+import (
+	"fmt"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// Dispatch describes one kernel invocation: the compiled binary, scalar
+// arguments, bound surfaces, and the global work size (total work-items).
+type Dispatch struct {
+	Binary   *jit.Binary
+	Args     []uint32
+	Surfaces []*Buffer
+	// GlobalWorkSize is the total number of work-items; the device runs
+	// ceil(GlobalWorkSize/SIMD) channel-groups.
+	GlobalWorkSize int
+}
+
+// ExecStats reports what one dispatch did, measured directly by the
+// device (the "ground truth" that GT-Pin's instrumentation-derived
+// profiles are validated against in tests). Counts include any injected
+// instrumentation instructions, since the device has no notion of which
+// instructions are original.
+type ExecStats struct {
+	Groups        int     // channel-groups executed
+	Instrs        uint64  // dynamic instructions executed
+	Sends         uint64  // send instructions executed
+	BytesRead     uint64  // bytes read from surfaces
+	BytesWritten  uint64  // bytes written to surfaces
+	ComputeCycles uint64  // summed per-thread execution cycles
+	TimeNs        float64 // modelled wall-clock time of the dispatch
+}
+
+// maxGroupInstrs bounds dynamic instructions per channel-group, as a
+// runaway-loop backstop.
+const maxGroupInstrs = 64 << 20
+
+// instruction base costs in EU cycles, indexed by opcode.
+var instrCost = func() [isa.NumOpcodes]uint32 {
+	var c [isa.NumOpcodes]uint32
+	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
+		switch {
+		case op == isa.OpMath:
+			c[op] = 8
+		case op == isa.OpMul || op == isa.OpMach || op == isa.OpMad:
+			c[op] = 2
+		case op.IsControl():
+			c[op] = 2
+		case op.IsSend():
+			c[op] = 4 // issue cost; latency modelled at dispatch level
+		default:
+			c[op] = 1
+		}
+	}
+	return c
+}()
+
+// Device is one GPU instance. It owns a decoded-binary cache and the
+// interpreter scratch state; it is not safe for concurrent use, matching
+// a single in-order command queue.
+type Device struct {
+	cfg        Config
+	cycles     uint64 // device timestamp counter, advanced per dispatch
+	dispatches uint64 // dispatches completed, drives thermal drift
+	jitter     *TimingJitter
+
+	// memStallCycles is the per-send memory stall charged to a thread:
+	// the wall-clock latency in cycles, divided by the EU's SMT depth
+	// (co-resident threads hide most of each other's latency).
+	memStallCycles uint64
+
+	decoded map[*jit.Binary]*kernel.Kernel
+
+	// Interpreter scratch, reused across groups. Register contents are
+	// undefined at thread start, as on real hardware; kernels must write
+	// registers before reading them.
+	grf  [isa.NumRegs][isa.MaxWidth]uint32
+	flag [isa.MaxWidth]bool
+	imm  [3][isa.MaxWidth]uint32 // broadcast scratch for immediate operands
+}
+
+// New creates a device with the given configuration.
+func New(cfg Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:            cfg,
+		decoded:        make(map[*jit.Binary]*kernel.Kernel),
+		memStallCycles: uint64(cfg.MemLatencyNs * cfg.freqGHz() / float64(cfg.ThreadsPerEU)),
+	}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Timestamp returns the device cycle counter, advanced as dispatches
+// complete. The MsgTimer send reads this during execution.
+func (d *Device) Timestamp() uint64 { return d.cycles }
+
+func (d *Device) kernelFor(bin *jit.Binary) (*kernel.Kernel, error) {
+	if k, ok := d.decoded[bin]; ok {
+		return k, nil
+	}
+	k, err := jit.Decode(bin)
+	if err != nil {
+		return nil, fmt.Errorf("device: %w", err)
+	}
+	d.decoded[bin] = k
+	return k, nil
+}
+
+// Run executes one dispatch to completion and returns its statistics.
+func (d *Device) Run(disp Dispatch) (ExecStats, error) {
+	var st ExecStats
+	if disp.Binary == nil {
+		return st, fmt.Errorf("device: dispatch has no binary")
+	}
+	k, err := d.kernelFor(disp.Binary)
+	if err != nil {
+		return st, err
+	}
+	if disp.GlobalWorkSize <= 0 {
+		return st, fmt.Errorf("device: kernel %s: global work size %d", k.Name, disp.GlobalWorkSize)
+	}
+	if len(disp.Args) < k.NumArgs {
+		return st, fmt.Errorf("device: kernel %s: %d args supplied, %d required", k.Name, len(disp.Args), k.NumArgs)
+	}
+	if len(disp.Surfaces) < k.NumSurfaces {
+		return st, fmt.Errorf("device: kernel %s: %d surfaces bound, %d required", k.Name, len(disp.Surfaces), k.NumSurfaces)
+	}
+	for i, s := range disp.Surfaces {
+		if s == nil {
+			return st, fmt.Errorf("device: kernel %s: surface %d is nil", k.Name, i)
+		}
+	}
+
+	width := int(k.SIMD)
+	groups := (disp.GlobalWorkSize + width - 1) / width
+	for g := 0; g < groups; g++ {
+		active := disp.GlobalWorkSize - g*width
+		if active > width {
+			active = width
+		}
+		if err := d.runGroup(k, disp, g, active, &st); err != nil {
+			return st, fmt.Errorf("device: kernel %s group %d: %w", k.Name, g, err)
+		}
+	}
+	st.Groups = groups
+	st.TimeNs = d.jitter.Perturb(d.cfg.dispatchTimeNs(&st) * d.thermalDrift())
+	d.dispatches++
+	d.cycles += uint64(st.TimeNs * d.cfg.freqGHz())
+	return st, nil
+}
+
+// operand resolves an instruction source to a channel vector. Immediates
+// are broadcast into per-slot scratch.
+func (d *Device) operand(o isa.Operand, slot, width int) *[isa.MaxWidth]uint32 {
+	switch o.Kind {
+	case isa.OperandReg:
+		return &d.grf[o.Reg]
+	case isa.OperandImm:
+		s := &d.imm[slot]
+		for i := 0; i < width; i++ {
+			s[i] = o.Imm
+		}
+		return s
+	}
+	// OperandNone: a zero vector; reuse scratch.
+	s := &d.imm[slot]
+	for i := 0; i < width; i++ {
+		s[i] = 0
+	}
+	return s
+}
+
+func (d *Device) runGroup(k *kernel.Kernel, disp Dispatch, group, active int, st *ExecStats) error {
+	width := int(k.SIMD)
+
+	// ABI setup: global IDs, group index, broadcast arguments.
+	base := uint32(group * width)
+	for l := 0; l < width; l++ {
+		d.grf[kernel.GIDReg][l] = base + uint32(l)
+	}
+	for l := 0; l < width; l++ {
+		d.grf[kernel.TIDReg][l] = uint32(group)
+	}
+	for i := 0; i < k.NumArgs; i++ {
+		v := disp.Args[i]
+		for l := 0; l < width; l++ {
+			d.grf[kernel.ArgReg(i)][l] = v
+		}
+	}
+
+	var retStack [16]int
+	sp := 0
+	blk := 0
+	groupInstrs := uint64(0)
+	groupCycles := uint64(0)
+
+	for {
+		if blk >= len(k.Blocks) {
+			return fmt.Errorf("fell off end of kernel (block %d)", blk)
+		}
+		b := k.Blocks[blk]
+		next := blk + 1
+	body:
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			groupInstrs++
+			groupCycles += uint64(instrCost[in.Op])
+			if groupInstrs > maxGroupInstrs {
+				return fmt.Errorf("exceeded %d instructions; runaway loop?", maxGroupInstrs)
+			}
+
+			iw := int(in.Width) // instruction execution width
+			switch in.Op {
+			case isa.OpJmp:
+				next = int(in.Target)
+				break body
+			case isa.OpBr:
+				// The branch reduces flags over its own execution width
+				// (a scalar br considers only channel 0).
+				ba := active
+				if iw < ba {
+					ba = iw
+				}
+				if d.reduceFlag(in.BrMode, ba) {
+					next = int(in.Target)
+				}
+				break body
+			case isa.OpCall:
+				if sp == len(retStack) {
+					return fmt.Errorf("call stack overflow")
+				}
+				retStack[sp] = blk + 1
+				sp++
+				next = int(in.Target)
+				break body
+			case isa.OpRet:
+				if sp == 0 {
+					return fmt.Errorf("ret with empty call stack")
+				}
+				sp--
+				next = retStack[sp]
+				break body
+			case isa.OpEnd:
+				st.Instrs += groupInstrs
+				st.ComputeCycles += groupCycles
+				return nil
+			case isa.OpSend, isa.OpSendc:
+				sendActive := active
+				if iw < sendActive {
+					sendActive = iw
+				}
+				if err := d.execSend(in, disp, iw, sendActive, groupCycles, st); err != nil {
+					return err
+				}
+				if in.Msg.Kind.Reads() || in.Msg.Kind.Writes() {
+					// Charge the thread's SMT-amortized share of the memory
+					// latency, so both the timing model and intra-thread
+					// timer reads observe memory stall time.
+					groupCycles += d.memStallCycles
+				}
+			case isa.OpCmp:
+				s0 := d.operand(in.Src0, 0, iw)
+				s1 := d.operand(in.Src1, 1, iw)
+				d.execCmp(in.Cond, s0, s1, iw)
+			default:
+				d.execALU(in, iw)
+			}
+		}
+		blk = next
+	}
+}
+
+// reduceFlag reduces the flag vector over the first active channels.
+func (d *Device) reduceFlag(mode isa.BranchMode, active int) bool {
+	switch mode {
+	case isa.BranchAny:
+		for i := 0; i < active; i++ {
+			if d.flag[i] {
+				return true
+			}
+		}
+		return false
+	case isa.BranchAll:
+		for i := 0; i < active; i++ {
+			if !d.flag[i] {
+				return false
+			}
+		}
+		return true
+	case isa.BranchNone:
+		for i := 0; i < active; i++ {
+			if d.flag[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (d *Device) execCmp(cond isa.CondMod, s0, s1 *[isa.MaxWidth]uint32, width int) {
+	for i := 0; i < width; i++ {
+		a, b := s0[i], s1[i]
+		var r bool
+		switch cond {
+		case isa.CondEQ:
+			r = a == b
+		case isa.CondNE:
+			r = a != b
+		case isa.CondLT:
+			r = a < b
+		case isa.CondLE:
+			r = a <= b
+		case isa.CondGT:
+			r = a > b
+		case isa.CondGE:
+			r = a >= b
+		case isa.CondLTS:
+			r = int32(a) < int32(b)
+		case isa.CondGTS:
+			r = int32(a) > int32(b)
+		}
+		d.flag[i] = r
+	}
+}
+
+// lanesEnabled reports whether channel i executes under the predication
+// mode.
+func (d *Device) laneEnabled(pred isa.PredMode, i int) bool {
+	switch pred {
+	case isa.PredOn:
+		return d.flag[i]
+	case isa.PredOff:
+		return !d.flag[i]
+	}
+	return true
+}
+
+func (d *Device) execALU(in *isa.Instruction, width int) {
+	s0 := d.operand(in.Src0, 0, width)
+	s1 := d.operand(in.Src1, 1, width)
+	dst := &d.grf[in.Dst]
+	pred := in.Pred
+
+	switch in.Op {
+	case isa.OpMov, isa.OpMovi:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i]
+			}
+		}
+	case isa.OpSel:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				if d.flag[i] {
+					dst[i] = s0[i]
+				} else {
+					dst[i] = s1[i]
+				}
+			}
+		}
+	case isa.OpAnd:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] & s1[i]
+			}
+		}
+	case isa.OpOr:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] | s1[i]
+			}
+		}
+	case isa.OpXor:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] ^ s1[i]
+			}
+		}
+	case isa.OpNot:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = ^s0[i]
+			}
+		}
+	case isa.OpShl:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] << (s1[i] & 31)
+			}
+		}
+	case isa.OpShr:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] >> (s1[i] & 31)
+			}
+		}
+	case isa.OpAsr:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = uint32(int32(s0[i]) >> (s1[i] & 31))
+			}
+		}
+	case isa.OpAdd:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] + s1[i]
+			}
+		}
+	case isa.OpSub:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] - s1[i]
+			}
+		}
+	case isa.OpMul:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i] * s1[i]
+			}
+		}
+	case isa.OpMach:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = uint32((uint64(s0[i]) * uint64(s1[i])) >> 32)
+			}
+		}
+	case isa.OpMad:
+		s2 := d.operand(in.Src2, 2, width)
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = s0[i]*s1[i] + s2[i]
+			}
+		}
+	case isa.OpMin:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				if s1[i] < s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		}
+	case isa.OpMax:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				if s1[i] > s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		}
+	case isa.OpAbs:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				v := int32(s0[i])
+				if v < 0 {
+					v = -v
+				}
+				dst[i] = uint32(v)
+			}
+		}
+	case isa.OpAvg:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = uint32((uint64(s0[i]) + uint64(s1[i]) + 1) >> 1)
+			}
+		}
+	case isa.OpMath:
+		for i := 0; i < width; i++ {
+			if d.laneEnabled(pred, i) {
+				dst[i] = isa.EvalMath(in.Fn, s0[i], s1[i])
+			}
+		}
+	}
+}

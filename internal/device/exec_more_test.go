@@ -1,0 +1,238 @@
+package device
+
+import (
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+func compile(t *testing.T, k *kernel.Kernel) *jit.Binary {
+	t.Helper()
+	bin, err := jit.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestCallRetExecution: a subroutine called twice accumulates twice and
+// control resumes after each call site.
+func TestCallRetExecution(t *testing.T) {
+	a := asm.NewKernel("callret", isa.W16)
+	out := a.Surface(0)
+	addr, v := a.Temp(), a.Temp()
+	a.MovI(v, 10)
+	a.Call("double")
+	a.Call("double")
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Store(out, addr, v, 4)
+	a.End()
+	a.Label("double")
+	a.Add(v, asm.R(v), asm.R(v))
+	a.Ret()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev, _ := New(IvyBridgeHD4000())
+	buf, _ := NewBuffer(4 * 16)
+	if _, err := dev.Run(Dispatch{Binary: compile(t, k), Surfaces: []*Buffer{buf}, GlobalWorkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := buf.ReadU32(0, 1)
+	if got[0] != 40 { // 10 doubled twice
+		t.Errorf("result = %d, want 40", got[0])
+	}
+}
+
+// TestRetWithoutCallFails: executing a bare ret is a hardware fault.
+func TestRetWithoutCallFails(t *testing.T) {
+	k := &kernel.Kernel{
+		Name: "badret", SIMD: isa.W16,
+		Blocks: []*kernel.Block{{ID: 0, Instrs: []isa.Instruction{
+			{Op: isa.OpRet, Width: isa.W16},
+		}}},
+	}
+	dev, _ := New(IvyBridgeHD4000())
+	if _, err := dev.Run(Dispatch{Binary: compile(t, k), GlobalWorkSize: 16}); err == nil {
+		t.Error("expected ret-underflow error")
+	}
+}
+
+// TestCallStackOverflowFails: unbounded recursion is detected.
+func TestCallStackOverflowFails(t *testing.T) {
+	k := &kernel.Kernel{
+		Name: "recurse", SIMD: isa.W16,
+		Blocks: []*kernel.Block{
+			{ID: 0, Instrs: []isa.Instruction{{Op: isa.OpCall, Width: isa.W16, Target: 0}}},
+		},
+	}
+	dev, _ := New(IvyBridgeHD4000())
+	if _, err := dev.Run(Dispatch{Binary: compile(t, k), GlobalWorkSize: 16}); err == nil {
+		t.Error("expected call-stack overflow error")
+	}
+}
+
+// TestPredicationGatesLanes: PredOn/PredOff write only flagged lanes, and
+// Sel chooses per lane.
+func TestPredicationGatesLanes(t *testing.T) {
+	a := asm.NewKernel("pred", isa.W16)
+	out := a.Surface(0)
+	addr, v, w := a.Temp(), a.Temp(), a.Temp()
+	a.MovI(v, 0)
+	a.MovI(w, 111)
+	// flag = gid < 8
+	a.Cmp(isa.CondLT, asm.R(kernel.GIDReg), asm.I(8))
+	a.SetPred(isa.PredOn)
+	a.AddI(v, v, 1) // lanes 0-7 -> 1
+	a.SetPred(isa.PredOff)
+	a.AddI(v, v, 2) // lanes 8-15 -> 2
+	a.SetPred(isa.PredNoneMode)
+	a.Sel(w, asm.R(v), asm.I(99)) // flagged lanes keep v, others 99
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(3))
+	a.Store(out, addr, v, 4)
+	a.AddI(addr, addr, 4)
+	a.Store(out, addr, w, 4)
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, _ := New(IvyBridgeHD4000())
+	buf, _ := NewBuffer(8 * 16)
+	if _, err := dev.Run(Dispatch{Binary: compile(t, k), Surfaces: []*Buffer{buf}, GlobalWorkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ := buf.ReadU32(0, 32)
+	for lane := 0; lane < 16; lane++ {
+		v, w := vals[2*lane], vals[2*lane+1]
+		if lane < 8 {
+			if v != 1 || w != 1 {
+				t.Errorf("lane %d: v=%d w=%d, want 1/1", lane, v, w)
+			}
+		} else {
+			if v != 2 || w != 99 {
+				t.Errorf("lane %d: v=%d w=%d, want 2/99", lane, v, w)
+			}
+		}
+	}
+}
+
+// TestBranchModes: BranchAll vs BranchNone vs BranchAny reductions.
+func TestBranchModes(t *testing.T) {
+	build := func(mode isa.BranchMode, threshold uint32) *jit.Binary {
+		a := asm.NewKernel("br", isa.W16)
+		out := a.Surface(0)
+		addr, v := a.Temp(), a.Temp()
+		a.MovI(v, 0)
+		a.Cmp(isa.CondLT, asm.R(kernel.GIDReg), asm.I(threshold))
+		a.Br(mode, "taken")
+		a.MovI(v, 1) // fall-through
+		a.Jmp("store")
+		a.Label("taken")
+		a.MovI(v, 2)
+		a.Label("store")
+		a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+		a.Store(out, addr, v, 4)
+		a.End()
+		return compile(t, a.MustBuild())
+	}
+	run := func(bin *jit.Binary) uint32 {
+		dev, _ := New(IvyBridgeHD4000())
+		buf, _ := NewBuffer(4 * 16)
+		if _, err := dev.Run(Dispatch{Binary: bin, Surfaces: []*Buffer{buf}, GlobalWorkSize: 16}); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := buf.ReadU32(0, 1)
+		return got[0]
+	}
+	// gid<8: half the lanes flagged.
+	if got := run(build(isa.BranchAny, 8)); got != 2 {
+		t.Errorf("any(half) = %d, want taken", got)
+	}
+	if got := run(build(isa.BranchAll, 8)); got != 1 {
+		t.Errorf("all(half) = %d, want fall-through", got)
+	}
+	if got := run(build(isa.BranchAll, 16)); got != 2 {
+		t.Errorf("all(all) = %d, want taken", got)
+	}
+	if got := run(build(isa.BranchNone, 0)); got != 2 {
+		t.Errorf("none(none) = %d, want taken", got)
+	}
+	if got := run(build(isa.BranchNone, 8)); got != 1 {
+		t.Errorf("none(half) = %d, want fall-through", got)
+	}
+}
+
+// TestBlockLoadStore: contiguous block messages move width*elem bytes
+// addressed by channel 0.
+func TestBlockLoadStore(t *testing.T) {
+	a := asm.NewKernel("blk", isa.W16)
+	in := a.Surface(0)
+	out := a.Surface(1)
+	addr, v := a.Temp(), a.Temp()
+	a.SetWidth(1)
+	a.MovI(addr, 64) // block base
+	a.SetWidth(0)
+	a.LoadBlock(v, addr, in, 4)
+	a.AddI(v, v, 1)
+	a.StoreBlock(out, addr, v, 4)
+	a.End()
+	k := a.MustBuild()
+	dev, _ := New(IvyBridgeHD4000())
+	src, _ := NewBuffer(256)
+	dst, _ := NewBuffer(256)
+	for i := 0; i < 16; i++ {
+		if err := src.WriteU32(64+4*i, uint32(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := dev.Run(Dispatch{Binary: compile(t, k), Surfaces: []*Buffer{src, dst}, GlobalWorkSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := dst.ReadU32(64, 16)
+	for i, v := range got {
+		if v != uint32(101+i) {
+			t.Errorf("lane %d: %d, want %d", i, v, 101+i)
+		}
+	}
+	if st.BytesRead != 64 || st.BytesWritten != 64 {
+		t.Errorf("bytes = %d/%d, want 64/64", st.BytesRead, st.BytesWritten)
+	}
+}
+
+// TestTimerMessageAdvances: timer reads within a thread are monotone.
+func TestTimerMessageAdvances(t *testing.T) {
+	a := asm.NewKernel("timer", isa.W16)
+	out := a.Surface(0)
+	addr, t0, t1 := a.Temp(), a.Temp(), a.Temp()
+	a.Timer(t0)
+	// Burn some cycles.
+	x := a.Temp()
+	a.MovI(x, 1)
+	for i := 0; i < 20; i++ {
+		a.Mul(x, asm.R(x), asm.I(3))
+	}
+	a.Timer(t1)
+	a.Sub(t1, asm.R(t1), asm.R(t0))
+	// Timer values land in channel 0 only, so store scalar.
+	a.SetWidth(1)
+	a.MovI(addr, 0)
+	a.Store(out, addr, t1, 4)
+	a.SetWidth(0)
+	a.End()
+	dev, _ := New(IvyBridgeHD4000())
+	buf, _ := NewBuffer(64)
+	if _, err := dev.Run(Dispatch{Binary: compile(t, a.MustBuild()), Surfaces: []*Buffer{buf}, GlobalWorkSize: 16}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := buf.ReadU32(0, 1)
+	if got[0] == 0 {
+		t.Error("timer delta must be positive across 20 instructions")
+	}
+}

@@ -1,0 +1,77 @@
+package device
+
+import (
+	"fmt"
+
+	"gtpin/internal/isa"
+)
+
+// execSend performs the memory message of a send instruction. Only
+// channels below active (the dispatch mask) and enabled by predication
+// participate in gather/scatter/atomic messages; block messages move the
+// full SIMD width addressed by channel 0.
+func (d *Device) execSend(in *isa.Instruction, disp Dispatch, width, active int, groupCycles uint64, st *ExecStats) error {
+	st.Sends++
+	msg := in.Msg
+	switch msg.Kind {
+	case isa.MsgEOT:
+		return nil
+	case isa.MsgTimer:
+		d.grf[in.Dst][0] = uint32(d.cycles + groupCycles)
+		return nil
+	}
+
+	if int(msg.Surface) >= len(disp.Surfaces) {
+		return fmt.Errorf("send %s: surface %d not bound", msg.Kind, msg.Surface)
+	}
+	surf := disp.Surfaces[msg.Surface]
+	elem := int(msg.ElemBytes)
+	addrs := &d.grf[in.Src0.Reg]
+
+	switch msg.Kind {
+	case isa.MsgLoad:
+		dst := &d.grf[in.Dst]
+		for i := 0; i < active; i++ {
+			if d.laneEnabled(in.Pred, i) {
+				dst[i] = uint32(surf.LoadElem(addrs[i], elem))
+				st.BytesRead += uint64(elem)
+			}
+		}
+	case isa.MsgStore:
+		data := &d.grf[in.Src1.Reg]
+		for i := 0; i < active; i++ {
+			if d.laneEnabled(in.Pred, i) {
+				surf.StoreElem(addrs[i], elem, uint64(data[i]))
+				st.BytesWritten += uint64(elem)
+			}
+		}
+	case isa.MsgLoadBlock:
+		dst := &d.grf[in.Dst]
+		base := addrs[0]
+		for i := 0; i < width; i++ {
+			dst[i] = uint32(surf.LoadElem(base+uint32(i*elem), elem))
+		}
+		st.BytesRead += uint64(elem * width)
+	case isa.MsgStoreBlock:
+		data := &d.grf[in.Src1.Reg]
+		base := addrs[0]
+		for i := 0; i < width; i++ {
+			surf.StoreElem(base+uint32(i*elem), elem, uint64(data[i]))
+		}
+		st.BytesWritten += uint64(elem * width)
+	case isa.MsgAtomicAdd:
+		data := &d.grf[in.Src1.Reg]
+		dst := &d.grf[in.Dst]
+		for i := 0; i < active; i++ {
+			if d.laneEnabled(in.Pred, i) {
+				old := surf.AtomicAdd(addrs[i], elem, uint64(data[i]))
+				dst[i] = uint32(old)
+				st.BytesRead += uint64(elem)
+				st.BytesWritten += uint64(elem)
+			}
+		}
+	default:
+		return fmt.Errorf("send: unsupported message kind %s", msg.Kind)
+	}
+	return nil
+}

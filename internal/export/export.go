@@ -1,0 +1,129 @@
+// Package export serializes profiles and selection results to CSV and
+// JSON, so experiment outputs can be fed to external plotting and
+// analysis tools (the figures in the paper are plots over exactly these
+// rows).
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/profile"
+	"gtpin/internal/selection"
+)
+
+// EvaluationsCSV writes one row per selection evaluation: the Figure 5
+// data layout (app, interval scheme, feature kind, interval count,
+// error, selection fraction, speedup).
+func EvaluationsCSV(w io.Writer, evals []*selection.Evaluation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "scheme", "feature", "intervals", "selections",
+		"error_pct", "selected_frac", "speedup",
+	}); err != nil {
+		return err
+	}
+	for _, ev := range evals {
+		row := []string{
+			ev.App,
+			ev.Config.Scheme.String(),
+			ev.Config.Feature.String(),
+			strconv.Itoa(ev.NumIntervals),
+			strconv.Itoa(len(ev.Selections)),
+			fmt.Sprintf("%.6f", ev.ErrorPct),
+			fmt.Sprintf("%.6f", ev.SelectedFrac),
+			fmt.Sprintf("%.3f", ev.Speedup),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SelectionsCSV writes the chosen intervals of one evaluation: the
+// simulation work list a simulator driver consumes (invocation ranges
+// and representation ratios).
+func SelectionsCSV(w io.Writer, ev *selection.Evaluation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cluster", "from_invocation", "to_invocation", "instrs", "ratio"}); err != nil {
+		return err
+	}
+	for _, s := range ev.Selections {
+		iv := ev.Intervals[s.Interval]
+		if err := cw.Write([]string{
+			strconv.Itoa(s.Cluster),
+			strconv.Itoa(iv.Start),
+			strconv.Itoa(iv.End),
+			strconv.FormatUint(iv.Instrs, 10),
+			fmt.Sprintf("%.6f", s.Ratio),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// profileJSON is the serialized profile summary.
+type profileJSON struct {
+	App         string            `json:"app"`
+	Kernels     []kernelJSON      `json:"kernels"`
+	Invocations int               `json:"invocations"`
+	Totals      totalsJSON        `json:"totals"`
+	Mix         map[string]uint64 `json:"instruction_mix"`
+	SIMD        map[string]uint64 `json:"simd_widths"`
+	MeasuredSPI float64           `json:"measured_spi"`
+}
+
+type kernelJSON struct {
+	Name   string `json:"name"`
+	Blocks int    `json:"blocks"`
+	Static int    `json:"static_instrs"`
+}
+
+type totalsJSON struct {
+	Instrs       uint64  `json:"instrs"`
+	BlockExecs   uint64  `json:"block_execs"`
+	BytesRead    uint64  `json:"bytes_read"`
+	BytesWritten uint64  `json:"bytes_written"`
+	TimeSec      float64 `json:"time_sec"`
+}
+
+// ProfileJSON writes a whole-program profile summary as indented JSON.
+func ProfileJSON(w io.Writer, p *profile.Profile) error {
+	agg := p.Aggregate()
+	out := profileJSON{
+		App:         p.App,
+		Invocations: agg.KernelInvocations,
+		Totals: totalsJSON{
+			Instrs:       agg.Instrs,
+			BlockExecs:   agg.BlockExecs,
+			BytesRead:    agg.BytesRead,
+			BytesWritten: agg.BytesWritten,
+			TimeSec:      agg.TimeSec,
+		},
+		Mix:         map[string]uint64{},
+		SIMD:        map[string]uint64{},
+		MeasuredSPI: p.MeasuredSPI(),
+	}
+	for _, k := range p.Kernels {
+		out.Kernels = append(out.Kernels, kernelJSON{
+			Name: k.Name, Blocks: len(k.Blocks), Static: k.StaticInstrs,
+		})
+	}
+	for c := 0; c < isa.NumCategories; c++ {
+		out.Mix[isa.Category(c).String()] = agg.ByCategory[c]
+	}
+	for i, w := range isa.Widths {
+		out.SIMD[fmt.Sprintf("W%d", w)] = agg.ByWidth[i]
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

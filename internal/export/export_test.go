@@ -1,0 +1,107 @@
+package export_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gtpin/internal/export"
+	"gtpin/internal/features"
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+	"gtpin/internal/selection"
+	"gtpin/internal/simpoint"
+)
+
+func sampleEvaluation() *selection.Evaluation {
+	return &selection.Evaluation{
+		App:    "demo",
+		Config: selection.Config{Scheme: intervals.Sync, Feature: features.BBR},
+		Intervals: []intervals.Interval{
+			{Start: 0, End: 3, Instrs: 3000, TimeSec: 3e-6},
+			{Start: 3, End: 5, Instrs: 2000, TimeSec: 2e-6},
+		},
+		Selections: []simpoint.Selection{
+			{Interval: 0, Ratio: 0.6, Cluster: 0},
+			{Interval: 1, Ratio: 0.4, Cluster: 1},
+		},
+		NumIntervals: 2,
+		ErrorPct:     1.25,
+		SelectedFrac: 1.0,
+		Speedup:      1.0,
+	}
+}
+
+func TestEvaluationsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := export.EvaluationsCSV(&buf, []*selection.Evaluation{sampleEvaluation()}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "app" || len(rows[0]) != 8 {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "demo" || rows[1][2] != "BB-R" {
+		t.Errorf("row = %v", rows[1])
+	}
+	if !strings.HasPrefix(rows[1][5], "1.25") {
+		t.Errorf("error column = %q", rows[1][5])
+	}
+}
+
+func TestSelectionsCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := export.SelectionsCSV(&buf, sampleEvaluation()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1][1] != "0" || rows[1][2] != "3" || rows[1][3] != "3000" {
+		t.Errorf("selection row = %v", rows[1])
+	}
+}
+
+func TestProfileJSON(t *testing.T) {
+	ks := []profile.KernelStatic{
+		{Name: "k", Blocks: []kernel.BlockStats{{Instrs: 4}}, StaticInstrs: 4},
+	}
+	invs := []profile.Invocation{
+		{Seq: 0, KernelIdx: 0, Instrs: 40, BlockCounts: []uint64{10}, TimeSec: 1e-6},
+	}
+	p, err := profile.New("jdemo", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := export.ProfileJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if out["app"] != "jdemo" {
+		t.Errorf("app = %v", out["app"])
+	}
+	totals := out["totals"].(map[string]any)
+	if totals["instrs"].(float64) != 40 {
+		t.Errorf("totals = %v", totals)
+	}
+	if _, ok := out["instruction_mix"].(map[string]any)["Computation"]; !ok {
+		t.Error("missing instruction mix")
+	}
+}

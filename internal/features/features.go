@@ -1,0 +1,219 @@
+// Package features constructs the per-interval feature vectors of
+// Table III in the paper: ten vector types spanning kernel-level and
+// basic-block-level program events, optionally augmented with memory
+// interaction (bytes read/written) and invocation parameters (argument
+// values, global work size).
+//
+// A feature vector is a sparse map from feature key to weighted dynamic
+// count. Keys are distinct program events ("calls to kernel foo",
+// "executions of block 17", "calls to kernel foo with argument 256").
+// Following Section V-B, entries are weighted by instruction count so
+// that differently sized kernels and blocks carry proportional weight:
+// a block executed 10 times counting 3 instructions scores 30, while one
+// executed 5 times counting 20 instructions scores 100.
+//
+// The memory-augmented vectors (BB-R, KN-RW, ...) extend the base vector
+// with additional dimensions that accumulate the bytes read and/or
+// written attributed to each block or kernel, capturing data interaction
+// that pure execution counts miss.
+package features
+
+import (
+	"fmt"
+
+	"gtpin/internal/intervals"
+	"gtpin/internal/profile"
+)
+
+// Kind identifies one of the ten feature-vector constructions.
+type Kind uint8
+
+// The feature space of Table III.
+const (
+	KN        Kind = iota // kernel execution counts
+	KNArgs                // kernel + argument values
+	KNGWS                 // kernel + global work size
+	KNArgsGWS             // kernel + argument values + global work size
+	KNRW                  // kernel + bytes read + bytes written
+	BB                    // basic block execution counts
+	BBR                   // basic block + bytes read
+	BBW                   // basic block + bytes written
+	BBRW                  // basic block + bytes read + bytes written
+	BBRpW                 // basic block + (bytes read + bytes written)
+	NumKinds  = 10
+)
+
+// Kinds lists all feature kinds in Table III order.
+var Kinds = [NumKinds]Kind{KN, KNArgs, KNGWS, KNArgsGWS, KNRW, BB, BBR, BBW, BBRW, BBRpW}
+
+// String returns the paper's identifier for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KN:
+		return "KN"
+	case KNArgs:
+		return "KN-ARGS"
+	case KNGWS:
+		return "KN-GWS"
+	case KNArgsGWS:
+		return "KN-ARGS-GWS"
+	case KNRW:
+		return "KN-RW"
+	case BB:
+		return "BB"
+	case BBR:
+		return "BB-R"
+	case BBW:
+		return "BB-W"
+	case BBRW:
+		return "BB-R-W"
+	case BBRpW:
+		return "BB-(R+W)"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// IsBlockBased reports whether the kind keys on basic blocks rather than
+// kernels.
+func (k Kind) IsBlockBased() bool { return k >= BB }
+
+// UsesMemory reports whether the kind includes memory-interaction
+// dimensions.
+func (k Kind) UsesMemory() bool {
+	switch k {
+	case KNRW, BBR, BBW, BBRW, BBRpW:
+		return true
+	}
+	return false
+}
+
+// Vector is a sparse feature vector: feature key → weighted value.
+type Vector map[uint64]float64
+
+// Feature key construction: the low bits carry the program-event identity
+// (global block ID, or kernel index mixed with argument/GWS identity);
+// the top byte tags the dimension class so execution-count dimensions and
+// memory dimensions never collide.
+const (
+	tagExec  uint64 = 0 << 56
+	tagRead  uint64 = 1 << 56
+	tagWrite uint64 = 2 << 56
+	tagRW    uint64 = 3 << 56
+)
+
+func mix(a, b uint64) uint64 {
+	// splitmix64-style mixing for composite keys.
+	x := a ^ (b + 0x9E3779B97F4A7C15 + (a << 6) + (a >> 2))
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x &^ (uint64(0xFF) << 56)
+}
+
+// Extract builds the feature vector of kind k for interval iv of profile p.
+func Extract(p *profile.Profile, iv intervals.Interval, k Kind) Vector {
+	v := make(Vector)
+	for i := iv.Start; i < iv.End; i++ {
+		inv := &p.Invocations[i]
+		if k.IsBlockBased() {
+			extractBlocks(p, inv, k, v)
+		} else {
+			extractKernel(p, inv, k, v)
+		}
+	}
+	return v
+}
+
+func extractKernel(p *profile.Profile, inv *profile.Invocation, k Kind, v Vector) {
+	key := uint64(inv.KernelIdx)
+	switch k {
+	case KNArgs:
+		key = mix(key, inv.ArgsKey)
+	case KNGWS:
+		key = mix(key, uint64(inv.GWS))
+	case KNArgsGWS:
+		key = mix(mix(key, inv.ArgsKey), uint64(inv.GWS))
+	}
+	// Execution-count dimension, instruction-weighted: the invocation's
+	// dynamic instructions are exactly count × per-invocation size.
+	v[tagExec|key] += float64(inv.Instrs)
+	if k == KNRW {
+		v[tagRead|key] += float64(inv.BytesRead)
+		v[tagWrite|key] += float64(inv.BytesWritten)
+	}
+}
+
+func extractBlocks(p *profile.Profile, inv *profile.Invocation, k Kind, v Vector) {
+	ks := &p.Kernels[inv.KernelIdx]
+	for b, count := range inv.BlockCounts {
+		if count == 0 {
+			continue
+		}
+		bs := &ks.Blocks[b]
+		key := uint64(ks.BlockBase + b)
+		// Execution count weighted by block instruction size.
+		v[tagExec|key] += float64(count * uint64(bs.Instrs))
+		switch k {
+		case BBR:
+			if bs.BytesRead > 0 {
+				v[tagRead|key] += float64(count * bs.BytesRead)
+			}
+		case BBW:
+			if bs.BytesWritten > 0 {
+				v[tagWrite|key] += float64(count * bs.BytesWritten)
+			}
+		case BBRW:
+			if bs.BytesRead > 0 {
+				v[tagRead|key] += float64(count * bs.BytesRead)
+			}
+			if bs.BytesWritten > 0 {
+				v[tagWrite|key] += float64(count * bs.BytesWritten)
+			}
+		case BBRpW:
+			if t := bs.BytesRead + bs.BytesWritten; t > 0 {
+				v[tagRW|key] += float64(count * t)
+			}
+		}
+	}
+}
+
+// ExtractRawBB builds an *unweighted* basic-block vector: values are raw
+// execution counts, not instruction-weighted ones. It exists for the
+// ablation of Section V-B's weighting argument (a 3-instruction block
+// executed 10 times would outscore a 20-instruction block executed 5
+// times without weighting); the selection pipeline never uses it.
+func ExtractRawBB(p *profile.Profile, iv intervals.Interval) Vector {
+	v := make(Vector)
+	for i := iv.Start; i < iv.End; i++ {
+		inv := &p.Invocations[i]
+		ks := &p.Kernels[inv.KernelIdx]
+		for b, count := range inv.BlockCounts {
+			if count == 0 {
+				continue
+			}
+			v[tagExec|uint64(ks.BlockBase+b)] += float64(count)
+		}
+	}
+	return v
+}
+
+// ExtractAll builds one vector per interval.
+func ExtractAll(p *profile.Profile, ivs []intervals.Interval, k Kind) []Vector {
+	out := make([]Vector, len(ivs))
+	for i, iv := range ivs {
+		out[i] = Extract(p, iv, k)
+	}
+	return out
+}
+
+// L1 returns the vector's L1 mass (sum of absolute values; all entries
+// are non-negative by construction).
+func (v Vector) L1() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}

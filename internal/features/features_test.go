@@ -1,0 +1,285 @@
+package features_test
+
+import (
+	"reflect"
+	"testing"
+
+	"gtpin/internal/features"
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+)
+
+// twoKernelProfile builds a profile with two kernels: kA has two blocks
+// (3-instr and 20-instr, the paper's weighting example), kB has one
+// send-heavy block.
+func twoKernelProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	ks := []profile.KernelStatic{
+		{
+			Name: "kA",
+			Blocks: []kernel.BlockStats{
+				{Instrs: 3},
+				{Instrs: 20, BytesRead: 64, BytesWritten: 32},
+			},
+			StaticInstrs: 23,
+		},
+		{
+			Name: "kB",
+			Blocks: []kernel.BlockStats{
+				{Instrs: 5, BytesRead: 128},
+			},
+			StaticInstrs: 5,
+		},
+	}
+	invs := []profile.Invocation{
+		{
+			Seq: 0, KernelIdx: 0, ArgsKey: 111, GWS: 64, SyncEpoch: 0,
+			// Block A executed 10 times, block B 5 times — the Section
+			// V-B example.
+			BlockCounts:  []uint64{10, 5},
+			Instrs:       10*3 + 5*20,
+			BytesRead:    5 * 64,
+			BytesWritten: 5 * 32,
+			TimeSec:      1e-6,
+		},
+		{
+			Seq: 1, KernelIdx: 1, ArgsKey: 222, GWS: 32, SyncEpoch: 0,
+			BlockCounts: []uint64{7},
+			Instrs:      35,
+			BytesRead:   7 * 128,
+			TimeSec:     2e-7,
+		},
+		{
+			Seq: 2, KernelIdx: 0, ArgsKey: 111, GWS: 128, SyncEpoch: 1,
+			// A different block mix than invocation 0 (10:5), so BB
+			// features distinguish the two in normalized form.
+			BlockCounts:  []uint64{2, 3},
+			Instrs:       2*3 + 3*20,
+			BytesRead:    3 * 64,
+			BytesWritten: 3 * 32,
+			TimeSec:      3e-7,
+		},
+	}
+	p, err := profile.New("feat", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func wholeProgram(p *profile.Profile) intervals.Interval {
+	iv := intervals.Interval{Start: 0, End: len(p.Invocations)}
+	for i := range p.Invocations {
+		iv.Instrs += p.Invocations[i].Instrs
+		iv.TimeSec += p.Invocations[i].TimeSec
+	}
+	return iv
+}
+
+// TestBBWeightingMatchesPaperExample: with block A executed 10 times at
+// 3 instructions and block B 5 times at 20 instructions, the weighted
+// scores must be 30 and 100 — B dominates despite fewer executions
+// (Section V-B).
+func TestBBWeightingMatchesPaperExample(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv := intervals.Interval{Start: 0, End: 1, Instrs: p.Invocations[0].Instrs}
+	v := features.Extract(p, iv, features.BB)
+	if len(v) != 2 {
+		t.Fatalf("BB vector has %d entries, want 2", len(v))
+	}
+	var vals []float64
+	for _, x := range v {
+		vals = append(vals, x)
+	}
+	if !(contains(vals, 30) && contains(vals, 100)) {
+		t.Errorf("weighted scores = %v, want {30, 100}", vals)
+	}
+}
+
+func contains(xs []float64, v float64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestKNDegeneratesForSingleKernelIntervals: intervals containing only
+// one kernel produce KN vectors that are identical after normalization —
+// the reason kernel-only features fail for applications with few unique
+// kernels.
+func TestKNDegeneratesForSingleKernelIntervals(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv0 := intervals.Interval{Start: 0, End: 1, Instrs: p.Invocations[0].Instrs}
+	iv2 := intervals.Interval{Start: 2, End: 3, Instrs: p.Invocations[2].Instrs}
+	v0 := features.Extract(p, iv0, features.KN)
+	v2 := features.Extract(p, iv2, features.KN)
+	if len(v0) != 1 || len(v2) != 1 {
+		t.Fatalf("KN vectors: %v %v", v0, v2)
+	}
+	// Same single key: after L1 normalization they are indistinguishable.
+	for k := range v0 {
+		if _, ok := v2[k]; !ok {
+			t.Error("same kernel must map to the same KN key")
+		}
+	}
+	// BB features distinguish them (different block-count mixes).
+	b0 := features.Extract(p, iv0, features.BB)
+	b2 := features.Extract(p, iv2, features.BB)
+	same := true
+	for k, x := range b0 {
+		if b2[k]/b2mass(b2) != x/b2mass(b0) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("BB vectors should differ in normalized form")
+	}
+}
+
+func b2mass(v features.Vector) float64 { return v.L1() }
+
+func TestKNArgsDistinguishesArguments(t *testing.T) {
+	p := twoKernelProfile(t)
+	// Mutate invocation 2's ArgsKey so KN-ARGS sees a new event.
+	p.Invocations[2].ArgsKey = 999
+	iv := wholeProgram(p)
+	kn := features.Extract(p, iv, features.KN)
+	knArgs := features.Extract(p, iv, features.KNArgs)
+	if len(kn) != 2 {
+		t.Errorf("KN keys = %d, want 2 (two kernels)", len(kn))
+	}
+	if len(knArgs) != 3 {
+		t.Errorf("KN-ARGS keys = %d, want 3 (kA twice with different args, kB)", len(knArgs))
+	}
+}
+
+func TestKNGWSDistinguishesWorkSizes(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv := wholeProgram(p)
+	knGWS := features.Extract(p, iv, features.KNGWS)
+	// kA at GWS 64 and 128, kB at 32 → 3 keys.
+	if len(knGWS) != 3 {
+		t.Errorf("KN-GWS keys = %d, want 3", len(knGWS))
+	}
+	knAll := features.Extract(p, iv, features.KNArgsGWS)
+	if len(knAll) != 3 {
+		t.Errorf("KN-ARGS-GWS keys = %d, want 3", len(knAll))
+	}
+}
+
+func TestMemoryAugmentedVectors(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv := intervals.Interval{Start: 0, End: 1, Instrs: p.Invocations[0].Instrs}
+
+	bb := features.Extract(p, iv, features.BB)
+	bbr := features.Extract(p, iv, features.BBR)
+	bbw := features.Extract(p, iv, features.BBW)
+	bbrw := features.Extract(p, iv, features.BBRW)
+	bbrpw := features.Extract(p, iv, features.BBRpW)
+
+	if len(bbr) != len(bb)+1 { // only block 1 reads
+		t.Errorf("BB-R entries = %d, want %d", len(bbr), len(bb)+1)
+	}
+	if len(bbw) != len(bb)+1 {
+		t.Errorf("BB-W entries = %d, want %d", len(bbw), len(bb)+1)
+	}
+	if len(bbrw) != len(bb)+2 {
+		t.Errorf("BB-R-W entries = %d, want %d", len(bbrw), len(bb)+2)
+	}
+	if len(bbrpw) != len(bb)+1 {
+		t.Errorf("BB-(R+W) entries = %d, want %d", len(bbrpw), len(bb)+1)
+	}
+	// Byte values: block 1 read 5×64, written 5×32; combined 5×96.
+	if !contains(values(bbr), 320) {
+		t.Errorf("BB-R values = %v, want read mass 320", values(bbr))
+	}
+	if !contains(values(bbw), 160) {
+		t.Errorf("BB-W values = %v", values(bbw))
+	}
+	if !contains(values(bbrpw), 480) {
+		t.Errorf("BB-(R+W) values = %v", values(bbrpw))
+	}
+
+	knrw := features.Extract(p, iv, features.KNRW)
+	if len(knrw) != 3 { // exec + read + write for one kernel
+		t.Errorf("KN-RW entries = %d, want 3", len(knrw))
+	}
+}
+
+func values(v features.Vector) []float64 {
+	out := make([]float64, 0, len(v))
+	for _, x := range v {
+		out = append(out, x)
+	}
+	return out
+}
+
+func TestVectorsAreDeterministic(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv := wholeProgram(p)
+	for _, k := range features.Kinds {
+		a := features.Extract(p, iv, k)
+		b := features.Extract(p, iv, k)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s extraction not deterministic", k)
+		}
+	}
+}
+
+func TestExtractAllMatchesPerInterval(t *testing.T) {
+	p := twoKernelProfile(t)
+	ivs, err := intervals.Divide(p, intervals.Kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := features.ExtractAll(p, ivs, features.BB)
+	for i, iv := range ivs {
+		if !reflect.DeepEqual(all[i], features.Extract(p, iv, features.BB)) {
+			t.Errorf("interval %d differs", i)
+		}
+	}
+}
+
+func TestKindPredicatesAndNames(t *testing.T) {
+	for _, k := range features.Kinds {
+		if k.String() == "" {
+			t.Error("kind without name")
+		}
+	}
+	if features.KN.IsBlockBased() || !features.BB.IsBlockBased() {
+		t.Error("block-based predicate wrong")
+	}
+	if features.BB.UsesMemory() || !features.BBR.UsesMemory() || !features.KNRW.UsesMemory() {
+		t.Error("memory predicate wrong")
+	}
+	if features.NumKinds != 10 {
+		t.Error("Table III has ten feature vectors")
+	}
+}
+
+func TestL1Mass(t *testing.T) {
+	v := features.Vector{1: 30, 2: 100}
+	if v.L1() != 130 {
+		t.Errorf("L1 = %f", v.L1())
+	}
+	if (features.Vector{}).L1() != 0 {
+		t.Error("empty L1")
+	}
+}
+
+// TestExecMassEqualsInstructions: for every kind, the execution-count
+// dimensions sum to the interval's dynamic instructions (the weighting
+// invariant).
+func TestExecMassEqualsInstructions(t *testing.T) {
+	p := twoKernelProfile(t)
+	iv := wholeProgram(p)
+	for _, k := range []features.Kind{features.KN, features.KNArgs, features.KNGWS, features.KNArgsGWS, features.BB} {
+		v := features.Extract(p, iv, k)
+		if got := v.L1(); got != float64(iv.Instrs) {
+			t.Errorf("%s: exec mass %f != instrs %d", k, got, iv.Instrs)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package gtpin_test
+
+import (
+	"strings"
+	"testing"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+)
+
+// TestDoubleAttachRejected: attaching two GT-Pin instances to one context
+// would double-instrument every binary; the second rewriter must refuse
+// the already-instrumented code at build time.
+func TestDoubleAttachRejected(t *testing.T) {
+	p := buildSaxpyProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	if _, err := gtpin.Attach(ctx, gtpin.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gtpin.Attach(ctx, gtpin.Options{}); err != nil {
+		t.Fatal(err) // attaching is fine; the conflict surfaces at build
+	}
+	prog := ctx.CreateProgram(p)
+	err := prog.Build()
+	if err == nil {
+		t.Fatal("expected build to fail under double instrumentation")
+	}
+	if !strings.Contains(err.Error(), "already instrumented") {
+		t.Errorf("error %q does not mention double instrumentation", err)
+	}
+}

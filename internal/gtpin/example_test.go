@@ -1,0 +1,62 @@
+package gtpin_test
+
+import (
+	"fmt"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Attach GT-Pin to a context, run a kernel, and read the derived profile:
+// instrumentation happens at program build, counters are read from the
+// trace buffer when the synchronization call completes the invocation.
+func Example() {
+	// y[gid] = gid * 3
+	a := asm.NewKernel("scale3", isa.W16)
+	out := a.Surface(0)
+	addr, v := a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.MulI(v, kernel.GIDReg, 3)
+	a.Store(out, addr, v, 4)
+	a.End()
+	prog := asm.MustProgram("example", a.MustBuild())
+
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		panic(err)
+	}
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{}) // before Build: hooks the JIT
+	if err != nil {
+		panic(err)
+	}
+
+	q := ctx.CreateQueue()
+	buf, _ := ctx.CreateBuffer(4 * 64)
+	p := ctx.CreateProgram(prog)
+	if err := p.Build(); err != nil {
+		panic(err)
+	}
+	k, _ := p.CreateKernel("scale3")
+	if err := k.SetBuffer(0, buf); err != nil {
+		panic(err)
+	}
+	if err := q.EnqueueNDRangeKernel(k, 64); err != nil {
+		panic(err)
+	}
+	if err := q.Finish(); err != nil { // sync: the kernel executes here
+		panic(err)
+	}
+
+	rec := g.Records()[0]
+	fmt.Printf("kernel %s: %d dynamic instructions, %dB written\n",
+		rec.Kernel, rec.Instrs, rec.BytesWritten)
+	fmt.Printf("block counts: %v\n", rec.BlockCounts)
+	// Output:
+	// kernel scale3: 16 dynamic instructions, 256B written
+	// block counts: [4]
+}

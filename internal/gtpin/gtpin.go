@@ -1,0 +1,299 @@
+package gtpin
+
+import (
+	"fmt"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Options selects which optional instrumentation the rewriter injects.
+// Dynamic basic-block counting — the basis for instruction counts, opcode
+// mixes, SIMD widths, and memory byte counts — is always on.
+type Options struct {
+	// MemTrace records (send site, lane-0 address) pairs into the trace
+	// ring, enabling cache simulation from memory traces.
+	MemTrace bool
+	// Latency wraps each original send in timestamp reads and accumulates
+	// per-site memory latencies.
+	Latency bool
+	// TraceBufBytes overrides the trace buffer size (0 = default).
+	TraceBufBytes int
+}
+
+// GTPin is an attached instance of the instrumentation engine. It is
+// created per cl.Context via Attach. Not safe for concurrent use; a
+// context's API stream is single-threaded.
+type GTPin struct {
+	opts        Options
+	traceBuf    *device.Buffer
+	ringEntries int
+
+	kernels  map[string]*instrKernel
+	nextSlot int
+
+	// invocation bookkeeping
+	records    []*InvocationRecord
+	epoch      int   // sync calls seen so far
+	epochQueue []int // sync epoch per pending enqueue, FIFO
+	apiCounts  [3]int
+	ringDrops  uint64
+	lastRing   uint64
+	memTrace   []MemAccess
+}
+
+// Attach hooks GT-Pin into a context: it allocates the trace buffer,
+// notifies the driver to bind it on every dispatch, registers the binary
+// re-writer with the JIT, and begins observing the API stream. It must be
+// called before the application builds programs.
+func Attach(ctx *cl.Context, opts Options) (*GTPin, error) {
+	size := opts.TraceBufBytes
+	if size == 0 {
+		size = DefaultTraceBufBytes
+	}
+	if size < counterRegionBytes+8 {
+		return nil, fmt.Errorf("gtpin: trace buffer %d bytes is below the %d-byte minimum", size, counterRegionBytes+8)
+	}
+	buf, err := device.NewBuffer(size)
+	if err != nil {
+		return nil, fmt.Errorf("gtpin: %w", err)
+	}
+	ringEntries := 1
+	for ringEntries*2 <= (size-ringOffset)/8 {
+		ringEntries *= 2
+	}
+	if opts.MemTrace && ringEntries < ringChunkSlots {
+		return nil, fmt.Errorf("gtpin: trace buffer too small for memory tracing (%d bytes)", size)
+	}
+	g := &GTPin{
+		opts:        opts,
+		traceBuf:    buf,
+		ringEntries: ringEntries,
+		kernels:     make(map[string]*instrKernel),
+		nextSlot:    firstFreeSlot,
+	}
+	ctx.SetTraceBuffer(buf)
+	ctx.AddBuildHook(g.rewrite)
+	ctx.AddInterceptor(g)
+	return g, nil
+}
+
+func (g *GTPin) allocSlot() (int, error) {
+	if g.nextSlot >= maxSlots {
+		return 0, fmt.Errorf("out of trace-buffer counter slots (%d used)", g.nextSlot)
+	}
+	s := g.nextSlot
+	g.nextSlot++
+	return s, nil
+}
+
+// MemAccess is one post-processed memory-trace entry: which send site
+// issued the access, which SIMD channel, and the byte address it touched.
+// Gather/scatter/atomic sends contribute one entry per channel;
+// block-addressed sends contribute their channel-0 base address.
+type MemAccess struct {
+	Kernel  string
+	Site    int
+	Lane    int
+	Surface uint8
+	Kind    isa.MsgKind
+	Elem    uint8
+	Addr    uint32
+}
+
+// InvocationRecord is GT-Pin's per-kernel-invocation profile: dynamic
+// basic-block counts read from the trace buffer, and the instruction-level
+// statistics derived from them. This is the unit the simulation subset
+// selection pipeline (Section V) consumes.
+type InvocationRecord struct {
+	Seq       int // invocation order across the application
+	Kernel    string
+	GWS       int
+	Args      []uint32
+	SyncEpoch int // number of sync calls preceding this enqueue
+
+	// BlockCounts[b] is the number of channel-group executions of basic
+	// block b.
+	BlockCounts []uint64
+
+	// Derived statistics.
+	Instrs       uint64
+	ByCategory   [isa.NumCategories]uint64
+	ByWidth      [isa.NumWidths]uint64
+	BytesRead    uint64
+	BytesWritten uint64
+
+	// TimeNs is the invocation's wall-clock time as observed at
+	// completion. Note this is the instrumented run's time; the selection
+	// pipeline takes its SPI timings from an uninstrumented CoFluent run.
+	TimeNs float64
+
+	// Latency profiling results (Options.Latency): average observed
+	// memory latency in cycles per send site.
+	SiteLatency []float64
+}
+
+// OnAPICall implements cl.Interceptor: GT-Pin tracks synchronization
+// boundaries so each invocation records its sync epoch.
+func (g *GTPin) OnAPICall(call *cl.APICall) {
+	g.apiCounts[call.Kind]++
+	switch call.Kind {
+	case cl.KindKernel:
+		g.epochQueue = append(g.epochQueue, g.epoch)
+	case cl.KindSync:
+		g.epoch++
+	}
+}
+
+// OnKernelComplete implements cl.Interceptor: when the device finishes an
+// invocation, GT-Pin post-processes the trace buffer — reading and
+// resetting this kernel's counters — into an InvocationRecord.
+func (g *GTPin) OnKernelComplete(comp *cl.KernelCompletion) {
+	ik, ok := g.kernels[comp.Kernel]
+	if !ok {
+		// Kernel was built before Attach; nothing was instrumented.
+		return
+	}
+	epoch := 0
+	if len(g.epochQueue) > 0 {
+		epoch = g.epochQueue[0]
+		g.epochQueue = g.epochQueue[1:]
+	}
+	rec := &InvocationRecord{
+		Seq:         comp.InvocationSeq,
+		Kernel:      comp.Kernel,
+		GWS:         comp.GWS,
+		Args:        comp.Args,
+		SyncEpoch:   epoch,
+		BlockCounts: make([]uint64, len(ik.BlockSlots)),
+		TimeNs:      comp.Stats.TimeNs,
+	}
+	for b, slot := range ik.BlockSlots {
+		v := g.readSlot(slot)
+		g.resetSlot(slot)
+		rec.BlockCounts[b] = v
+		bs := &ik.Blocks[b]
+		rec.Instrs += v * uint64(bs.Instrs)
+		for c := 0; c < isa.NumCategories; c++ {
+			rec.ByCategory[c] += v * uint64(bs.ByCategory[c])
+		}
+		for w := 0; w < isa.NumWidths; w++ {
+			rec.ByWidth[w] += v * uint64(bs.ByWidth[w])
+		}
+		rec.BytesRead += v * bs.BytesRead
+		rec.BytesWritten += v * bs.BytesWritten
+	}
+	if g.opts.Latency {
+		rec.SiteLatency = make([]float64, len(ik.Sites))
+		for s, site := range ik.Sites {
+			sum := g.readSlot(site.LatSumSlot)
+			cnt := g.readSlot(site.LatCntSlot)
+			g.resetSlot(site.LatSumSlot)
+			g.resetSlot(site.LatCntSlot)
+			if cnt > 0 {
+				// Timer deltas are 32-bit; treat as unsigned cycles.
+				rec.SiteLatency[s] = float64(sum) / float64(cnt)
+			}
+		}
+	}
+	if g.opts.MemTrace {
+		g.drainRing(ik)
+	}
+	g.records = append(g.records, rec)
+}
+
+func (g *GTPin) readSlot(slot int) uint64 {
+	v, err := g.traceBuf.ReadU64(slot * 8)
+	if err != nil {
+		panic(fmt.Sprintf("gtpin: trace buffer slot %d: %v", slot, err))
+	}
+	return v
+}
+
+func (g *GTPin) resetSlot(slot int) {
+	if err := g.traceBuf.WriteU64(slot*8, 0); err != nil {
+		panic(fmt.Sprintf("gtpin: trace buffer slot %d: %v", slot, err))
+	}
+}
+
+// drainRing post-processes new memory-trace chunks since the last drain.
+// Chunks overwritten before draining are counted as drops.
+func (g *GTPin) drainRing(ik *instrKernel) {
+	pos := g.readSlot(ringPosSlot) // in slots; one chunk = ringChunkSlots
+	n := pos - g.lastRing
+	start := g.lastRing
+	if n > uint64(g.ringEntries) {
+		g.ringDrops += (n - uint64(g.ringEntries)) / ringChunkSlots
+		start = pos - uint64(g.ringEntries)
+	}
+	for i := start; i < pos; i += ringChunkSlots {
+		base := ringOffset + int(i%uint64(g.ringEntries))*8
+		words, err := g.traceBuf.ReadU32(base, 2+isa.MaxWidth)
+		if err != nil {
+			panic(fmt.Sprintf("gtpin: trace ring: %v", err))
+		}
+		sid := int(words[0])
+		if sid >= len(ik.Sites) {
+			continue // corrupted or stale header; skip the chunk
+		}
+		s := ik.Sites[sid]
+		lanes := int(s.Width)
+		if s.Kind == isa.MsgLoadBlock || s.Kind == isa.MsgStoreBlock {
+			lanes = 1
+		}
+		for l := 0; l < lanes; l++ {
+			g.memTrace = append(g.memTrace, MemAccess{
+				Kernel:  ik.Name,
+				Site:    sid,
+				Lane:    l,
+				Surface: s.Surface,
+				Kind:    s.Kind,
+				Elem:    s.Elem,
+				Addr:    words[2+l],
+			})
+		}
+	}
+	g.lastRing = pos
+}
+
+// Records returns the per-invocation profiles collected so far, in
+// invocation order.
+func (g *GTPin) Records() []*InvocationRecord { return g.records }
+
+// MemTrace returns the post-processed memory accesses (Options.MemTrace).
+func (g *GTPin) MemTrace() []MemAccess { return g.memTrace }
+
+// RingDrops returns how many memory-trace entries were overwritten before
+// the CPU drained them.
+func (g *GTPin) RingDrops() uint64 { return g.ringDrops }
+
+// KernelInfo describes one instrumented kernel's static structure.
+type KernelInfo struct {
+	Name         string
+	SIMD         isa.Width
+	NumBlocks    int
+	StaticInstrs int
+	Blocks       []kernel.BlockStats
+}
+
+// Kernels returns static information for every instrumented kernel.
+func (g *GTPin) Kernels() map[string]KernelInfo {
+	out := make(map[string]KernelInfo, len(g.kernels))
+	for name, ik := range g.kernels {
+		out[name] = KernelInfo{
+			Name:         name,
+			SIMD:         ik.SIMD,
+			NumBlocks:    len(ik.Blocks),
+			StaticInstrs: ik.StaticInstrs,
+			Blocks:       ik.Blocks,
+		}
+	}
+	return out
+}
+
+// APICallCounts returns how many API calls of each kind GT-Pin observed.
+func (g *GTPin) APICallCounts() (kernelCalls, syncCalls, otherCalls int) {
+	return g.apiCounts[cl.KindKernel], g.apiCounts[cl.KindSync], g.apiCounts[cl.KindOther]
+}

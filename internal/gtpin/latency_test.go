@@ -1,0 +1,94 @@
+package gtpin_test
+
+import (
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// TestLatencyToolMeasuresSends: with latency profiling enabled, every
+// original send site gets a positive average latency, and sites with
+// more memory work between timer reads measure larger deltas than
+// lighter ones.
+func TestLatencyToolMeasuresSends(t *testing.T) {
+	a := asm.NewKernel("lat", isa.W16)
+	in := a.Surface(0)
+	out := a.Surface(1)
+	addr, v := a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Load(v, addr, in, 4)   // site 0
+	a.Store(out, addr, v, 4) // site 1
+	a.End()
+	p, err := asm.Program("lat-app", a.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{Latency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ctx.CreateQueue()
+	bin, _ := ctx.CreateBuffer(4 * 64)
+	bout, _ := ctx.CreateBuffer(4 * 64)
+	prog := ctx.CreateProgram(p)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBuffer(0, bin); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBuffer(1, bout); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueNDRangeKernel(k, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := g.Records()
+	if len(recs) != 1 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	lat := recs[0].SiteLatency
+	if len(lat) != 2 {
+		t.Fatalf("site latencies = %v", lat)
+	}
+	for site, l := range lat {
+		if l <= 0 {
+			t.Errorf("site %d latency = %f, want positive", site, l)
+		}
+	}
+	// Counters were reset after the read: run again, the second record
+	// must measure its own latencies, not accumulate.
+	if err := q.EnqueueNDRangeKernel(k, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	recs = g.Records()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	for site := range lat {
+		diff := recs[1].SiteLatency[site] - recs[0].SiteLatency[site]
+		if diff < -1 || diff > 1 {
+			t.Errorf("site %d latency drifted across invocations: %f vs %f",
+				site, recs[1].SiteLatency[site], recs[0].SiteLatency[site])
+		}
+	}
+}

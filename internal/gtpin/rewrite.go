@@ -1,0 +1,265 @@
+// Package gtpin implements the GT-Pin dynamic binary instrumentation
+// engine: the paper's core tool (Section III).
+//
+// Following Figure 1 of the paper, GT-Pin modifies the OpenCL stack at two
+// points. At runtime initialization, Attach allocates a trace buffer
+// (memory shared by CPU and GPU) and notifies the driver (the cl.Context)
+// that instrumented kernels will bind it as an extra surface. At driver
+// JIT time, the binary re-writer intercepts each freshly compiled kernel
+// binary, decodes it, splices in profiling instructions, and re-encodes it
+// before the driver loads it onto the GPU.
+//
+// The injected instrumentation is real device code: block-entry counter
+// updates are atomic-add send messages into the trace buffer, executed by
+// the GPU alongside the application's own instructions. Profiling results
+// are obtained by post-processing the trace buffer on the CPU after each
+// kernel invocation completes. Instruction-level statistics (opcode mixes,
+// SIMD widths, memory bytes) are derived from the dynamic basic-block
+// counts combined with static block contents — the paper's key
+// overhead-reduction technique ("counter increments only once per basic
+// block rather than per instruction").
+package gtpin
+
+import (
+	"fmt"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// Trace buffer layout constants. The buffer is divided into a counter
+// region (8-byte slots addressed by slot index) and, when memory tracing
+// is enabled, a trace ring of 8-byte entries.
+const (
+	// DefaultTraceBufBytes is the default trace buffer allocation.
+	DefaultTraceBufBytes = 8 << 20
+	// counterRegionBytes bounds the counter slots.
+	counterRegionBytes = 2 << 20
+	// ringPosSlot is the slot holding the memory-trace ring write position.
+	ringPosSlot = 0
+	// firstFreeSlot is the first allocatable counter slot.
+	firstFreeSlot = 1
+	// maxSlots is the number of available counter slots.
+	maxSlots = counterRegionBytes / 8
+	// ringOffset is the byte offset of the memory-trace ring.
+	ringOffset = counterRegionBytes
+)
+
+// Instrumentation scratch registers (the reserved r120..r127 band).
+const (
+	regAddr  = isa.ScratchBase + 0 // counter/ring byte address
+	regData  = isa.ScratchBase + 1 // increment / stored datum
+	regSink  = isa.ScratchBase + 2 // atomic return sink
+	regPos   = isa.ScratchBase + 3 // ring position
+	regTime0 = isa.ScratchBase + 4 // latency: timer before
+	regTime1 = isa.ScratchBase + 5 // latency: timer after
+	regDelta = isa.ScratchBase + 6 // latency: cycle delta
+)
+
+// sendSite identifies one original send instruction in an instrumented
+// kernel, for memory tracing and latency profiling.
+type sendSite struct {
+	Block   int
+	Surface uint8
+	Kind    isa.MsgKind
+	Elem    uint8
+	Width   isa.Width
+	// LatSumSlot/LatCntSlot hold accumulated timer deltas and sample
+	// counts when latency profiling is enabled.
+	LatSumSlot int
+	LatCntSlot int
+}
+
+// Memory-trace ring layout: events are 16-slot (128-byte) chunks so a
+// single reservation never wraps mid-event. Chunk contents:
+//
+//	slot 0, byte 0-3:  send-site ID
+//	slot 0, byte 4-7:  unused
+//	slots 1-8:         up to 16 per-channel addresses, 4 bytes each,
+//	                   written by one SIMD block store of the send's
+//	                   address register (block-addressed sends record
+//	                   just their channel-0 base address)
+const ringChunkSlots = 16
+
+// instrKernel is GT-Pin's per-kernel instrumentation metadata: which
+// trace-buffer slots hold which counters, plus the static block statistics
+// used to derive instruction-level data from block counts.
+type instrKernel struct {
+	Name         string
+	SIMD         isa.Width
+	TraceSurface uint8
+	BlockSlots   []int // counter slot per basic block
+	Blocks       []kernel.BlockStats
+	// BlockOps[b] lists each opcode's static count within block b's
+	// original instructions, for opcode-distribution tools.
+	BlockOps     [][]OpCount
+	StaticInstrs int
+	Sites        []sendSite // original send instructions, in site-ID order
+}
+
+// OpCount is one opcode's static occurrence count within a block.
+type OpCount struct {
+	Op    isa.Opcode
+	Count int
+}
+
+// opCounts summarizes a block's original opcodes.
+func opCounts(b *kernel.Block) []OpCount {
+	var counts [isa.NumOpcodes]int
+	for _, in := range b.Instrs {
+		if !in.Injected {
+			counts[in.Op]++
+		}
+	}
+	out := make([]OpCount, 0, 8)
+	for op, c := range counts {
+		if c > 0 {
+			out = append(out, OpCount{Op: isa.Opcode(op), Count: c})
+		}
+	}
+	return out
+}
+
+// w1 stamps an injected scalar instrumentation instruction.
+func w1(in isa.Instruction) isa.Instruction {
+	in.Width = isa.W1
+	in.Injected = true
+	return in
+}
+
+// counterBump emits the instruction sequence that atomically adds delta to
+// a trace-buffer counter slot: two scalar moves and one atomic-add send.
+func counterBump(slot int, delta uint32, traceSurf uint8) []isa.Instruction {
+	return []isa.Instruction{
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(uint32(slot * 8))}),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(delta)}),
+		w1(isa.Instruction{Op: isa.OpSend, Dst: regSink, Src0: isa.R(regAddr), Src1: isa.R(regData),
+			Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}),
+	}
+}
+
+// rewrite is the GT-Pin binary re-writer: it decodes a JIT-produced
+// binary, injects the instrumentation selected by the tool's options, and
+// re-encodes it. It is registered as a cl build hook.
+func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
+	k, err := jit.Decode(bin)
+	if err != nil {
+		return nil, fmt.Errorf("gtpin: rewriter: %w", err)
+	}
+	if _, dup := g.kernels[k.Name]; dup {
+		return nil, fmt.Errorf("gtpin: kernel %q instrumented twice", k.Name)
+	}
+	// Refuse already-instrumented binaries (e.g. a second GT-Pin instance
+	// attached to the same context): the Injected encoding bit marks them.
+	for _, b := range k.Blocks {
+		for _, in := range b.Instrs {
+			if in.Injected {
+				return nil, fmt.Errorf("gtpin: kernel %q is already instrumented", k.Name)
+			}
+		}
+	}
+
+	traceSurf := uint8(k.NumSurfaces)
+	ik := &instrKernel{
+		Name:         k.Name,
+		SIMD:         k.SIMD,
+		TraceSurface: traceSurf,
+		BlockSlots:   make([]int, len(k.Blocks)),
+		Blocks:       make([]kernel.BlockStats, len(k.Blocks)),
+		StaticInstrs: k.StaticInstrs(),
+	}
+
+	ik.BlockOps = make([][]OpCount, len(k.Blocks))
+	for bi, b := range k.Blocks {
+		ik.Blocks[bi] = kernel.StatsOf(b)
+		ik.BlockOps[bi] = opCounts(b)
+		slot, err := g.allocSlot()
+		if err != nil {
+			return nil, fmt.Errorf("gtpin: kernel %s: %w", k.Name, err)
+		}
+		ik.BlockSlots[bi] = slot
+
+		// Block-entry counter: +1 per channel-group execution.
+		body := counterBump(slot, 1, traceSurf)
+		for _, in := range b.Instrs {
+			if in.Op.IsSend() && in.Msg.Kind != isa.MsgEOT && in.Msg.Kind != isa.MsgTimer && !in.Injected {
+				site := sendSite{
+					Block:   bi,
+					Surface: in.Msg.Surface,
+					Kind:    in.Msg.Kind,
+					Elem:    in.Msg.ElemBytes,
+					Width:   in.Width,
+				}
+				siteID := len(ik.Sites)
+				if g.opts.MemTrace {
+					body = append(body, g.memTraceSeq(uint32(siteID), in, traceSurf)...)
+				}
+				if g.opts.Latency {
+					sum, err1 := g.allocSlot()
+					cnt, err2 := g.allocSlot()
+					if err1 != nil || err2 != nil {
+						return nil, fmt.Errorf("gtpin: kernel %s: out of trace slots for latency", k.Name)
+					}
+					site.LatSumSlot, site.LatCntSlot = sum, cnt
+					body = append(body,
+						w1(isa.Instruction{Op: isa.OpSend, Dst: regTime0, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}))
+					body = append(body, in)
+					body = append(body,
+						w1(isa.Instruction{Op: isa.OpSend, Dst: regTime1, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}),
+						w1(isa.Instruction{Op: isa.OpSub, Dst: regDelta, Src0: isa.R(regTime1), Src1: isa.R(regTime0)}),
+						w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(uint32(sum * 8))}),
+						w1(isa.Instruction{Op: isa.OpSend, Dst: regSink, Src0: isa.R(regAddr), Src1: isa.R(regDelta),
+							Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}))
+					body = append(body, counterBump(cnt, 1, traceSurf)...)
+					ik.Sites = append(ik.Sites, site)
+					continue
+				}
+				ik.Sites = append(ik.Sites, site)
+			}
+			body = append(body, in)
+		}
+		k.Blocks[bi] = &kernel.Block{ID: bi, Instrs: body}
+	}
+
+	// The instrumented kernel binds one extra surface: the trace buffer.
+	k.NumSurfaces++
+
+	g.kernels[k.Name] = ik
+	return jit.Recompile(k)
+}
+
+// memTraceSeq emits the instruction sequence that appends one trace
+// chunk to the memory-trace ring: an atomic fetch-add reserves an aligned
+// 16-slot chunk, a scalar store writes the site header, and one SIMD
+// block store dumps the send's full per-channel address vector.
+func (g *GTPin) memTraceSeq(siteID uint32, send isa.Instruction, traceSurf uint8) []isa.Instruction {
+	slotMask := uint32(g.ringEntries-1) &^ uint32(ringChunkSlots-1)
+	seq := []isa.Instruction{
+		// pos = ringPos; ringPos += chunkSlots (atomic fetch-add, slot 0)
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(ringPosSlot * 8)}),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(ringChunkSlots)}),
+		w1(isa.Instruction{Op: isa.OpSend, Dst: regPos, Src0: isa.R(regAddr), Src1: isa.R(regData),
+			Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}),
+		// chunkAddr = ringOffset + (pos & alignedMask) * 8
+		w1(isa.Instruction{Op: isa.OpAnd, Dst: regPos, Src0: isa.R(regPos), Src1: isa.Imm(slotMask)}),
+		w1(isa.Instruction{Op: isa.OpShl, Dst: regPos, Src0: isa.R(regPos), Src1: isa.Imm(3)}),
+		w1(isa.Instruction{Op: isa.OpAdd, Dst: regAddr, Src0: isa.R(regPos), Src1: isa.Imm(ringOffset)}),
+		// header word: site ID
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(siteID)}),
+		w1(isa.Instruction{Op: isa.OpSend, Src0: isa.R(regAddr), Src1: isa.R(regData),
+			Msg: isa.MsgDesc{Kind: isa.MsgStore, Surface: traceSurf, ElemBytes: 4}}),
+		// address vector at chunk byte offset 8
+		w1(isa.Instruction{Op: isa.OpAdd, Dst: regAddr, Src0: isa.R(regAddr), Src1: isa.Imm(8)}),
+	}
+	dump := isa.Instruction{
+		Op: isa.OpSend, Src0: isa.R(regAddr), Src1: isa.R(send.Src0.Reg),
+		Width: send.Width, Injected: true,
+		Msg: isa.MsgDesc{Kind: isa.MsgStoreBlock, Surface: traceSurf, ElemBytes: 4},
+	}
+	if send.Msg.Kind == isa.MsgLoadBlock || send.Msg.Kind == isa.MsgStoreBlock {
+		// Block-addressed sends have one base address in channel 0.
+		dump.Width = isa.W1
+	}
+	return append(seq, dump)
+}

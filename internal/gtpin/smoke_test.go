@@ -1,0 +1,242 @@
+package gtpin_test
+
+import (
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// buildSaxpyProgram builds a small program with a loop: y[i] = a*x[i] + y[i],
+// iterated `iters` times per work-item (iters is kernel arg 1).
+func buildSaxpyProgram(t *testing.T) *kernel.Program {
+	t.Helper()
+	a := asm.NewKernel("saxpy", isa.W16)
+	scale := a.Arg(0)
+	iters := a.Arg(1)
+	x := a.Surface(0)
+	y := a.Surface(1)
+
+	addr := a.Temp()
+	xv := a.Temp()
+	yv := a.Temp()
+	i := a.Temp()
+
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2)) // byte addr = gid*4
+	a.MovI(i, 0)
+	a.Label("loop")
+	a.Load(xv, addr, x, 4)
+	a.Load(yv, addr, y, 4)
+	a.Mad(yv, asm.R(scale), asm.R(xv), asm.R(yv))
+	a.Store(y, addr, yv, 4)
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondLT, asm.R(i), asm.R(iters))
+	a.Br(isa.BranchAny, "loop")
+	a.End()
+
+	k, err := a.Build()
+	if err != nil {
+		t.Fatalf("build kernel: %v", err)
+	}
+	p, err := asm.Program("saxpy-app", k)
+	if err != nil {
+		t.Fatalf("build program: %v", err)
+	}
+	return p
+}
+
+// runSaxpy drives the app under the given context; returns final y values.
+func runSaxpy(t *testing.T, ctx *cl.Context, p *kernel.Program, n int) []uint32 {
+	t.Helper()
+	ctx.EmitSetupCalls()
+	q := ctx.CreateQueue()
+	xb, err := ctx.CreateBuffer(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := ctx.CreateBuffer(4 * n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]byte, 4*n)
+	ys := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		xs[4*i] = byte(i + 1)
+		ys[4*i] = byte(2 * i)
+	}
+	if err := q.EnqueueWriteBuffer(xb, 0, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueWriteBuffer(yb, 0, ys); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := ctx.CreateProgram(p)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	k, err := prog.CreateKernel("saxpy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArg(1, 4); err != nil { // 4 loop iterations
+		t.Fatal(err)
+	}
+	if err := k.SetBuffer(0, xb); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetBuffer(1, yb); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		if err := q.EnqueueNDRangeKernel(k, n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]byte, 4*n)
+	if err := q.EnqueueReadBuffer(yb, 0, out); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]uint32, n)
+	for i := range got {
+		got[i] = uint32(out[4*i]) | uint32(out[4*i+1])<<8 | uint32(out[4*i+2])<<16 | uint32(out[4*i+3])<<24
+	}
+	return got
+}
+
+func TestEndToEndInstrumentationDoesNotPerturb(t *testing.T) {
+	p := buildSaxpyProgram(t)
+	const n = 64
+
+	// Uninstrumented run.
+	dev1, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1 := cl.NewContext(dev1)
+	plain := runSaxpy(t, ctx1, p, n)
+
+	// Instrumented run.
+	dev2, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := cl.NewContext(dev2)
+	g, err := gtpin.Attach(ctx2, gtpin.Options{MemTrace: true, Latency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cofluent.Attach(ctx2)
+	instrumented := runSaxpy(t, ctx2, p, n)
+
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("instrumentation perturbed results at %d: plain=%d instrumented=%d", i, plain[i], instrumented[i])
+		}
+	}
+
+	// GT-Pin profile checks.
+	recs := g.Records()
+	if len(recs) != 3 {
+		t.Fatalf("expected 3 invocation records, got %d", len(recs))
+	}
+	for _, r := range recs {
+		if r.Kernel != "saxpy" || r.GWS != n {
+			t.Errorf("bad record: %+v", r)
+		}
+		if r.Instrs == 0 {
+			t.Errorf("record %d: no instructions counted", r.Seq)
+		}
+		// 3 reps identical: all records should match the first.
+		if r.Instrs != recs[0].Instrs {
+			t.Errorf("record %d: instrs %d != %d", r.Seq, r.Instrs, recs[0].Instrs)
+		}
+		// Expected: per group, block0 (3 instrs incl. MovI? count blocks):
+		// bytes: loop runs 4 times: loads 2*4B*16, store 4B*16 per iteration.
+		wantRead := uint64(3) * 4 * 2 * 4 * 16 / 3 // per record: 4 iters * 2 loads * 4B * 16 lanes * groups
+		_ = wantRead
+		groups := uint64(n / 16)
+		if want := 4 * 2 * 4 * 16 * groups; r.BytesRead != want {
+			t.Errorf("record %d: bytes read %d, want %d", r.Seq, r.BytesRead, want)
+		}
+		if want := 4 * 1 * 4 * 16 * groups; r.BytesWritten != want {
+			t.Errorf("record %d: bytes written %d, want %d", r.Seq, r.BytesWritten, want)
+		}
+	}
+
+	// API breakdown sanity.
+	kc, sc, oc := tr.Breakdown()
+	if kc != 3 {
+		t.Errorf("kernel calls = %d, want 3", kc)
+	}
+	if sc != 1 { // the single EnqueueReadBuffer
+		t.Errorf("sync calls = %d, want 1", sc)
+	}
+	if oc == 0 {
+		t.Errorf("no other calls observed")
+	}
+
+	// Memory trace: lane-0 addresses from 3 sends/iter * 4 iters * 4 groups * 3 reps.
+	if len(g.MemTrace()) == 0 {
+		t.Error("no memory trace entries")
+	}
+	if g.RingDrops() != 0 {
+		t.Errorf("unexpected ring drops: %d", g.RingDrops())
+	}
+
+	// Latency profiling produced averages.
+	for _, r := range recs {
+		if len(r.SiteLatency) == 0 {
+			t.Fatal("no site latencies")
+		}
+	}
+}
+
+func TestRecordReplayDeterminism(t *testing.T) {
+	p := buildSaxpyProgram(t)
+	const n = 64
+
+	dev1, _ := device.New(device.IvyBridgeHD4000())
+	ctx1 := cl.NewContext(dev1)
+	tr1 := cofluent.Attach(ctx1)
+	want := runSaxpy(t, ctx1, p, n)
+	rec, err := cofluent.Record("saxpy-app", tr1, []*kernel.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay on a Haswell-generation device with GT-Pin attached.
+	dev2, _ := device.New(device.HaswellHD4600())
+	var g *gtpin.GTPin
+	tr2, err := rec.Replay(dev2, func(ctx *cl.Context) error {
+		var err error
+		g, err = gtpin.Attach(ctx, gtpin.Options{})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, wantN := len(tr2.Timings()), len(tr1.Timings()); got != wantN {
+		t.Fatalf("replay timings: got %d, want %d", got, wantN)
+	}
+	recs := g.Records()
+	if len(recs) != 3 {
+		t.Fatalf("replay records: got %d, want 3", len(recs))
+	}
+	// Functional determinism: same dynamic instruction counts.
+	for _, r := range recs {
+		if r.Instrs != recs[0].Instrs {
+			t.Errorf("replayed record %d differs: %d vs %d", r.Seq, r.Instrs, recs[0].Instrs)
+		}
+	}
+	_ = want
+}

@@ -1,0 +1,203 @@
+package gtpin
+
+// Derived profiling tools. Section III-B of the paper lists the data
+// GT-Pin can collect; most of it derives from dynamic basic-block counts
+// combined with static block contents, so these helpers post-process
+// InvocationRecords rather than requiring additional instrumentation.
+
+import (
+	"sort"
+
+	"gtpin/internal/isa"
+)
+
+// OpcodeDistribution maps each opcode to a count.
+type OpcodeDistribution [isa.NumOpcodes]uint64
+
+// Total returns the distribution's mass.
+func (d *OpcodeDistribution) Total() uint64 {
+	var t uint64
+	for _, c := range d {
+		t += c
+	}
+	return t
+}
+
+// TopN returns the n most frequent opcodes, most frequent first.
+func (d *OpcodeDistribution) TopN(n int) []isa.Opcode {
+	ops := make([]isa.Opcode, 0, isa.NumOpcodes)
+	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
+		if d[op] > 0 {
+			ops = append(ops, op)
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if d[ops[i]] != d[ops[j]] {
+			return d[ops[i]] > d[ops[j]]
+		}
+		return ops[i] < ops[j]
+	})
+	if n < len(ops) {
+		ops = ops[:n]
+	}
+	return ops
+}
+
+// StaticOpcodeDistribution counts each opcode's static occurrences across
+// the instrumented kernels (original instructions only).
+func (g *GTPin) StaticOpcodeDistribution() OpcodeDistribution {
+	var d OpcodeDistribution
+	for _, ik := range g.kernels {
+		for _, ops := range ik.BlockOps {
+			for _, oc := range ops {
+				d[oc.Op] += uint64(oc.Count)
+			}
+		}
+	}
+	return d
+}
+
+// DynamicOpcodeDistribution counts each opcode's dynamic executions,
+// derived from per-block execution counts × static per-block opcode
+// counts.
+func (g *GTPin) DynamicOpcodeDistribution() OpcodeDistribution {
+	var d OpcodeDistribution
+	for _, rec := range g.records {
+		ik := g.kernels[rec.Kernel]
+		if ik == nil {
+			continue
+		}
+		for bi, count := range rec.BlockCounts {
+			if count == 0 {
+				continue
+			}
+			for _, oc := range ik.BlockOps[bi] {
+				d[oc.Op] += count * uint64(oc.Count)
+			}
+		}
+	}
+	return d
+}
+
+// KernelSummary aggregates one kernel's dynamic activity across the run.
+type KernelSummary struct {
+	Name         string
+	Invocations  int
+	Instrs       uint64
+	BlockExecs   uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	TimeNs       float64
+	// ChannelUtilization is the mean fraction of SIMD channels enabled
+	// across the kernel's dispatches (partial trailing groups lower it).
+	ChannelUtilization float64
+}
+
+// KernelSummaries aggregates per-kernel statistics across all recorded
+// invocations, sorted by kernel name.
+func (g *GTPin) KernelSummaries() []KernelSummary {
+	agg := map[string]*KernelSummary{}
+	for _, rec := range g.records {
+		s := agg[rec.Kernel]
+		if s == nil {
+			s = &KernelSummary{Name: rec.Kernel}
+			agg[rec.Kernel] = s
+		}
+		s.Invocations++
+		s.Instrs += rec.Instrs
+		s.BytesRead += rec.BytesRead
+		s.BytesWritten += rec.BytesWritten
+		s.TimeNs += rec.TimeNs
+		for _, c := range rec.BlockCounts {
+			s.BlockExecs += c
+		}
+		if ik := g.kernels[rec.Kernel]; ik != nil {
+			width := int(ik.SIMD)
+			groups := (rec.GWS + width - 1) / width
+			s.ChannelUtilization += float64(rec.GWS) / float64(groups*width)
+		}
+	}
+	out := make([]KernelSummary, 0, len(agg))
+	for _, s := range agg {
+		if s.Invocations > 0 {
+			s.ChannelUtilization /= float64(s.Invocations)
+		}
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// HottestBlocks returns the n most executed basic blocks across the run,
+// as (kernel, block ID, executions) triples sorted by executions.
+type HotBlock struct {
+	Kernel string
+	Block  int
+	Execs  uint64
+	Instrs uint64 // dynamic instructions attributed to the block
+}
+
+// HottestBlocks lists the n most executed basic blocks.
+func (g *GTPin) HottestBlocks(n int) []HotBlock {
+	agg := map[string][]uint64{}
+	for _, rec := range g.records {
+		counts := agg[rec.Kernel]
+		if counts == nil {
+			counts = make([]uint64, len(rec.BlockCounts))
+			agg[rec.Kernel] = counts
+		}
+		for b, c := range rec.BlockCounts {
+			counts[b] += c
+		}
+	}
+	var out []HotBlock
+	for name, counts := range agg {
+		ik := g.kernels[name]
+		for b, c := range counts {
+			if c == 0 {
+				continue
+			}
+			hb := HotBlock{Kernel: name, Block: b, Execs: c}
+			if ik != nil {
+				hb.Instrs = c * uint64(ik.Blocks[b].Instrs)
+			}
+			out = append(out, hb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Execs != out[j].Execs {
+			return out[i].Execs > out[j].Execs
+		}
+		if out[i].Kernel != out[j].Kernel {
+			return out[i].Kernel < out[j].Kernel
+		}
+		return out[i].Block < out[j].Block
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// BlockCoverage reports how many of the instrumented static blocks ever
+// executed — the dynamic code-coverage view of the run.
+func (g *GTPin) BlockCoverage() (executed, static int) {
+	hot := map[string]map[int]bool{}
+	for _, rec := range g.records {
+		m := hot[rec.Kernel]
+		if m == nil {
+			m = map[int]bool{}
+			hot[rec.Kernel] = m
+		}
+		for b, c := range rec.BlockCounts {
+			if c > 0 {
+				m[b] = true
+			}
+		}
+	}
+	for name, ik := range g.kernels {
+		static += len(ik.Blocks)
+		executed += len(hot[name])
+	}
+	return executed, static
+}

@@ -1,0 +1,137 @@
+package gtpin_test
+
+import (
+	"testing"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+)
+
+// toolsFixture runs the saxpy program (3 identical invocations over 64
+// work-items, 4 loop iterations) under GT-Pin and returns the instance.
+func toolsFixture(t *testing.T) *gtpin.GTPin {
+	t.Helper()
+	p := buildSaxpyProgram(t)
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSaxpy(t, ctx, p, 64)
+	return g
+}
+
+func TestOpcodeDistributions(t *testing.T) {
+	g := toolsFixture(t)
+	static := g.StaticOpcodeDistribution()
+	dynamic := g.DynamicOpcodeDistribution()
+
+	// Static counts the source instructions once.
+	kinfo := g.Kernels()["saxpy"]
+	if got := static.Total(); got != uint64(kinfo.StaticInstrs) {
+		t.Errorf("static total = %d, want %d", got, kinfo.StaticInstrs)
+	}
+	// Dynamic counts equal the per-record totals.
+	var want uint64
+	for _, rec := range g.Records() {
+		want += rec.Instrs
+	}
+	if got := dynamic.Total(); got != want {
+		t.Errorf("dynamic total = %d, want %d", got, want)
+	}
+	// The saxpy loop has two loads and one store per iteration: sends
+	// dominate its dynamic opcodes along with the mad.
+	top := dynamic.TopN(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] != isa.OpSend {
+		t.Errorf("hottest opcode = %s, want send", top[0])
+	}
+	// TopN larger than the population returns everything used.
+	all := dynamic.TopN(100)
+	for _, op := range all {
+		if dynamic[op] == 0 {
+			t.Errorf("TopN returned unused opcode %s", op)
+		}
+	}
+}
+
+func TestKernelSummaries(t *testing.T) {
+	g := toolsFixture(t)
+	sums := g.KernelSummaries()
+	if len(sums) != 1 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	s := sums[0]
+	if s.Name != "saxpy" || s.Invocations != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Instrs == 0 || s.BlockExecs == 0 || s.BytesRead == 0 || s.BytesWritten == 0 {
+		t.Errorf("degenerate summary: %+v", s)
+	}
+	if s.TimeNs <= 0 {
+		t.Error("no time aggregated")
+	}
+	// 64 work-items over SIMD16: full groups, utilization exactly 1.
+	if s.ChannelUtilization != 1 {
+		t.Errorf("utilization = %f, want 1", s.ChannelUtilization)
+	}
+}
+
+func TestChannelUtilizationPartialGroups(t *testing.T) {
+	p := buildSaxpyProgram(t)
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runSaxpy(t, ctx, p, 40) // 40 items / SIMD16 = 3 groups of 48 slots
+	sums := g.KernelSummaries()
+	want := 40.0 / 48.0
+	if got := sums[0].ChannelUtilization; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("utilization = %f, want %f", got, want)
+	}
+}
+
+func TestHottestBlocks(t *testing.T) {
+	g := toolsFixture(t)
+	hot := g.HottestBlocks(2)
+	if len(hot) != 2 {
+		t.Fatalf("hot blocks = %d", len(hot))
+	}
+	// The loop body block (executed 4x per group) must rank first.
+	if hot[0].Execs <= hot[1].Execs {
+		t.Error("hot blocks not sorted")
+	}
+	if hot[0].Instrs == 0 {
+		t.Error("hot block has no attributed instructions")
+	}
+	// Requesting more than exist returns all without panic.
+	all := g.HottestBlocks(1000)
+	if len(all) == 0 || len(all) > 10 {
+		t.Errorf("all blocks = %d", len(all))
+	}
+}
+
+func TestBlockCoverage(t *testing.T) {
+	g := toolsFixture(t)
+	executed, static := g.BlockCoverage()
+	if static == 0 || executed == 0 {
+		t.Fatalf("coverage %d/%d", executed, static)
+	}
+	if executed > static {
+		t.Errorf("executed %d > static %d", executed, static)
+	}
+	// Saxpy has no unreachable blocks: full coverage.
+	if executed != static {
+		t.Errorf("saxpy coverage %d/%d, want full", executed, static)
+	}
+}

@@ -1,0 +1,201 @@
+// Package intervals divides a profiled GPU execution into simulation
+// intervals, implementing the three division schemes of Table II in the
+// paper.
+//
+// GPU interval rules (Section V-A): an interval is always a whole number
+// of kernel invocations (hardware designers require selections of at
+// least a full kernel call), and an interval never spans an OpenCL
+// synchronization call. The three schemes are, from largest to smallest:
+//
+//   - Sync: split the trace at every synchronization call.
+//   - Approx: subdivide sync-bounded intervals into roughly N-instruction
+//     segments without splitting a kernel invocation ("approximately 100M
+//     instructions" at paper scale; N scales with the workload scale).
+//   - Kernel: every kernel invocation is its own interval.
+package intervals
+
+import (
+	"fmt"
+
+	"gtpin/internal/profile"
+)
+
+// Scheme selects an interval division.
+type Scheme uint8
+
+// The three interval schemes of Table II.
+const (
+	Sync Scheme = iota
+	Approx
+	Kernel
+	NumSchemes = 3
+)
+
+// String returns the scheme name as used in the paper.
+func (s Scheme) String() string {
+	switch s {
+	case Sync:
+		return "Synchronization"
+	case Approx:
+		return "Approx. 100M Instr"
+	case Kernel:
+		return "Single Kernel"
+	}
+	return fmt.Sprintf("Scheme(%d)", uint8(s))
+}
+
+// Schemes lists all interval schemes.
+var Schemes = [NumSchemes]Scheme{Sync, Approx, Kernel}
+
+// Interval is a contiguous run of kernel invocations.
+type Interval struct {
+	// Start and End delimit the invocation range [Start, End) by index
+	// into the profile's invocation list.
+	Start, End int
+	// Instrs is the dynamic instruction count of the interval.
+	Instrs uint64
+	// TimeSec is the summed invocation time of the interval.
+	TimeSec float64
+}
+
+// Invocations returns the number of kernel invocations in the interval.
+func (iv Interval) Invocations() int { return iv.End - iv.Start }
+
+// SPI returns the interval's seconds-per-instruction.
+func (iv Interval) SPI() float64 {
+	if iv.Instrs == 0 {
+		return 0
+	}
+	return iv.TimeSec / float64(iv.Instrs)
+}
+
+// Divide splits the profile into intervals under the given scheme.
+// approxTarget is the target instruction count for the Approx scheme
+// (the paper's 100M, scaled to the workload's instruction scale); it is
+// ignored by the other schemes.
+func Divide(p *profile.Profile, s Scheme, approxTarget uint64) ([]Interval, error) {
+	if len(p.Invocations) == 0 {
+		return nil, fmt.Errorf("intervals: profile %s has no invocations", p.App)
+	}
+	switch s {
+	case Sync:
+		return divideSync(p), nil
+	case Approx:
+		if approxTarget == 0 {
+			return nil, fmt.Errorf("intervals: Approx scheme requires a target instruction count")
+		}
+		return divideApprox(p, approxTarget), nil
+	case Kernel:
+		return divideKernel(p), nil
+	}
+	return nil, fmt.Errorf("intervals: unknown scheme %d", s)
+}
+
+func finish(p *profile.Profile, start, end int) Interval {
+	iv := Interval{Start: start, End: end}
+	for i := start; i < end; i++ {
+		iv.Instrs += p.Invocations[i].Instrs
+		iv.TimeSec += p.Invocations[i].TimeSec
+	}
+	return iv
+}
+
+// divideSync splits at synchronization boundaries: invocations sharing a
+// sync epoch form one interval.
+func divideSync(p *profile.Profile) []Interval {
+	var out []Interval
+	start := 0
+	for i := 1; i <= len(p.Invocations); i++ {
+		if i == len(p.Invocations) || p.Invocations[i].SyncEpoch != p.Invocations[start].SyncEpoch {
+			out = append(out, finish(p, start, i))
+			start = i
+		}
+	}
+	return out
+}
+
+// divideApprox subdivides each sync-bounded interval into segments of
+// roughly target instructions, closing a segment once it reaches the
+// target (so segments may exceed it by up to one kernel invocation, and
+// the last segment in a sync region may fall short — "approximately").
+func divideApprox(p *profile.Profile, target uint64) []Interval {
+	var out []Interval
+	start := 0
+	var acc uint64
+	for i := 0; i < len(p.Invocations); i++ {
+		acc += p.Invocations[i].Instrs
+		syncEnd := i+1 == len(p.Invocations) || p.Invocations[i+1].SyncEpoch != p.Invocations[i].SyncEpoch
+		if acc >= target || syncEnd {
+			out = append(out, finish(p, start, i+1))
+			start = i + 1
+			acc = 0
+		}
+	}
+	return out
+}
+
+// divideKernel makes each kernel invocation its own interval.
+func divideKernel(p *profile.Profile) []Interval {
+	out := make([]Interval, len(p.Invocations))
+	for i := range p.Invocations {
+		out[i] = finish(p, i, i+1)
+	}
+	return out
+}
+
+// Validate checks that intervals exactly partition the profile: they are
+// contiguous, non-empty, cover every invocation, and conserve total
+// instructions and time.
+func Validate(p *profile.Profile, ivs []Interval) error {
+	if len(ivs) == 0 {
+		return fmt.Errorf("intervals: empty division")
+	}
+	pos := 0
+	var instrs uint64
+	for i, iv := range ivs {
+		if iv.Start != pos {
+			return fmt.Errorf("intervals: interval %d starts at %d, want %d", i, iv.Start, pos)
+		}
+		if iv.End <= iv.Start {
+			return fmt.Errorf("intervals: interval %d is empty", i)
+		}
+		pos = iv.End
+		instrs += iv.Instrs
+	}
+	if pos != len(p.Invocations) {
+		return fmt.Errorf("intervals: cover %d of %d invocations", pos, len(p.Invocations))
+	}
+	if total := p.TotalInstrs(); instrs != total {
+		return fmt.Errorf("intervals: instruction conservation violated: %d != %d", instrs, total)
+	}
+	return nil
+}
+
+// Stats summarizes a division for Table II.
+type Stats struct {
+	Count      int
+	MinInstrs  uint64
+	MaxInstrs  uint64
+	MeanInstrs float64
+}
+
+// StatsOf computes division statistics.
+func StatsOf(ivs []Interval) Stats {
+	s := Stats{Count: len(ivs)}
+	if len(ivs) == 0 {
+		return s
+	}
+	s.MinInstrs = ivs[0].Instrs
+	var sum uint64
+	for _, iv := range ivs {
+		if iv.Instrs < s.MinInstrs {
+			s.MinInstrs = iv.Instrs
+		}
+		if iv.Instrs > s.MaxInstrs {
+			s.MaxInstrs = iv.Instrs
+		}
+		sum += iv.Instrs
+	}
+	s.MeanInstrs = float64(sum) / float64(len(ivs))
+	return s
+}

@@ -1,0 +1,194 @@
+package intervals_test
+
+import (
+	"testing"
+
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+)
+
+// synth builds a profile with the given per-invocation (instrs, epoch)
+// pairs over a single one-block kernel.
+func synth(t *testing.T, spec []struct {
+	Instrs uint64
+	Epoch  int
+}) *profile.Profile {
+	t.Helper()
+	ks := []profile.KernelStatic{{
+		Name:         "k",
+		Blocks:       []kernel.BlockStats{{Instrs: 10}},
+		StaticInstrs: 10,
+	}}
+	invs := make([]profile.Invocation, len(spec))
+	for i, s := range spec {
+		invs[i] = profile.Invocation{
+			Seq:         i,
+			KernelIdx:   0,
+			GWS:         16,
+			SyncEpoch:   s.Epoch,
+			Instrs:      s.Instrs,
+			BlockCounts: []uint64{s.Instrs / 10},
+			TimeSec:     float64(s.Instrs) * 1e-9,
+		}
+	}
+	p, err := profile.New("synth", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+type iv = struct {
+	Instrs uint64
+	Epoch  int
+}
+
+func TestSyncDivision(t *testing.T) {
+	p := synth(t, []iv{{100, 0}, {200, 0}, {50, 1}, {70, 2}, {30, 2}})
+	ivs, err := intervals.Divide(p, intervals.Sync, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 3 {
+		t.Fatalf("sync intervals = %d, want 3", len(ivs))
+	}
+	if ivs[0].Instrs != 300 || ivs[1].Instrs != 50 || ivs[2].Instrs != 100 {
+		t.Errorf("interval instrs: %+v", ivs)
+	}
+	if err := intervals.Validate(p, ivs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelDivision(t *testing.T) {
+	p := synth(t, []iv{{100, 0}, {200, 0}, {50, 1}})
+	ivs, err := intervals.Divide(p, intervals.Kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ivs) != 3 {
+		t.Fatalf("kernel intervals = %d, want 3", len(ivs))
+	}
+	for i, v := range ivs {
+		if v.Invocations() != 1 {
+			t.Errorf("interval %d has %d invocations", i, v.Invocations())
+		}
+	}
+	if err := intervals.Validate(p, ivs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxDivision(t *testing.T) {
+	// Target 250: should close after reaching ≥250 without splitting an
+	// invocation, and never span a sync boundary.
+	p := synth(t, []iv{{100, 0}, {100, 0}, {100, 0}, {100, 0}, {40, 1}, {300, 1}})
+	ivs, err := intervals.Divide(p, intervals.Approx, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := intervals.Validate(p, ivs); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: [0,3) = 300 (≥250), [3,4) = 100 (sync end), [4,6)?
+	// invocation 4 is 40, invocation 5 is 300: 40+300 = 340 ≥ 250 at
+	// invocation 5, both in epoch 1 → [4,6).
+	if len(ivs) != 3 {
+		t.Fatalf("approx intervals = %v", ivs)
+	}
+	if ivs[0].End != 3 || ivs[1].End != 4 || ivs[2].End != 6 {
+		t.Errorf("boundaries: %+v", ivs)
+	}
+	// No interval may span a sync boundary.
+	for _, v := range ivs {
+		first := p.Invocations[v.Start].SyncEpoch
+		for i := v.Start; i < v.End; i++ {
+			if p.Invocations[i].SyncEpoch != first {
+				t.Errorf("interval [%d,%d) spans sync epochs", v.Start, v.End)
+			}
+		}
+	}
+}
+
+func TestApproxRequiresTarget(t *testing.T) {
+	p := synth(t, []iv{{100, 0}})
+	if _, err := intervals.Divide(p, intervals.Approx, 0); err == nil {
+		t.Error("expected error for zero target")
+	}
+}
+
+// TestSchemeGranularityOrdering: sync intervals are never more numerous
+// than approx intervals, which are never more numerous than kernel
+// intervals (Table II's large/medium/small).
+func TestSchemeGranularityOrdering(t *testing.T) {
+	spec := make([]iv, 60)
+	for i := range spec {
+		spec[i] = iv{Instrs: uint64(50 + i*13%200), Epoch: i / 7}
+	}
+	p := synth(t, spec)
+	counts := map[intervals.Scheme]int{}
+	for _, s := range intervals.Schemes {
+		ivs, err := intervals.Divide(p, s, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := intervals.Validate(p, ivs); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		counts[s] = len(ivs)
+	}
+	if counts[intervals.Sync] > counts[intervals.Approx] {
+		t.Errorf("sync %d > approx %d", counts[intervals.Sync], counts[intervals.Approx])
+	}
+	if counts[intervals.Approx] > counts[intervals.Kernel] {
+		t.Errorf("approx %d > kernel %d", counts[intervals.Approx], counts[intervals.Kernel])
+	}
+}
+
+func TestIntervalSPI(t *testing.T) {
+	v := intervals.Interval{Start: 0, End: 1, Instrs: 1000, TimeSec: 2e-6}
+	if got := v.SPI(); got < 2e-9*(1-1e-12) || got > 2e-9*(1+1e-12) {
+		t.Errorf("SPI = %g", got)
+	}
+	zero := intervals.Interval{}
+	if zero.SPI() != 0 {
+		t.Error("zero-instruction interval SPI must be 0")
+	}
+}
+
+func TestValidateCatchesBadPartitions(t *testing.T) {
+	p := synth(t, []iv{{100, 0}, {100, 0}})
+	good, _ := intervals.Divide(p, intervals.Kernel, 0)
+	cases := map[string][]intervals.Interval{
+		"empty":       {},
+		"gap":         {good[0], {Start: 2, End: 2, Instrs: 0}},
+		"short cover": {good[0]},
+		"bad instrs":  {{Start: 0, End: 2, Instrs: 1}},
+	}
+	for name, ivs := range cases {
+		if err := intervals.Validate(p, ivs); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestStatsOf(t *testing.T) {
+	s := intervals.StatsOf([]intervals.Interval{
+		{Instrs: 100}, {Instrs: 300}, {Instrs: 200},
+	})
+	if s.Count != 3 || s.MinInstrs != 100 || s.MaxInstrs != 300 || s.MeanInstrs != 200 {
+		t.Errorf("stats = %+v", s)
+	}
+	if intervals.StatsOf(nil).Count != 0 {
+		t.Error("empty stats")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	for _, s := range intervals.Schemes {
+		if s.String() == "" {
+			t.Error("scheme without a name")
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package intervals_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+)
+
+// randomProfile builds a profile from fuzz inputs: up to 200 invocations
+// with arbitrary instruction counts and non-decreasing sync epochs.
+func randomProfile(t *testing.T, seed int64, n int) *profile.Profile {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	if n <= 0 {
+		n = 1
+	}
+	n = n%200 + 1
+	ks := []profile.KernelStatic{{
+		Name:         "k",
+		Blocks:       []kernel.BlockStats{{Instrs: 5}},
+		StaticInstrs: 5,
+	}}
+	invs := make([]profile.Invocation, n)
+	epoch := 0
+	for i := range invs {
+		if rng.Intn(3) == 0 {
+			epoch++
+		}
+		instrs := uint64(rng.Intn(5000) + 5)
+		invs[i] = profile.Invocation{
+			Seq: i, KernelIdx: 0, GWS: 16, SyncEpoch: epoch,
+			Instrs:      instrs,
+			BlockCounts: []uint64{instrs / 5},
+			TimeSec:     float64(instrs) * 2e-9,
+		}
+	}
+	p, err := profile.New("rand", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestDivisionPartitionProperty: every scheme partitions every random
+// profile exactly (contiguous, covering, conserving instructions), and
+// no interval spans a sync boundary.
+func TestDivisionPartitionProperty(t *testing.T) {
+	f := func(seed int64, n int, target uint16) bool {
+		p := randomProfile(t, seed, n)
+		tgt := uint64(target) + 1
+		for _, s := range intervals.Schemes {
+			ivs, err := intervals.Divide(p, s, tgt)
+			if err != nil {
+				return false
+			}
+			if err := intervals.Validate(p, ivs); err != nil {
+				t.Logf("scheme %v: %v", s, err)
+				return false
+			}
+			for _, iv := range ivs {
+				first := p.Invocations[iv.Start].SyncEpoch
+				for i := iv.Start; i < iv.End; i++ {
+					if p.Invocations[i].SyncEpoch != first {
+						t.Logf("scheme %v: interval [%d,%d) spans sync epochs", s, iv.Start, iv.End)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGranularityOrderingProperty: |sync| ≤ |approx| ≤ |kernel| on random
+// profiles.
+func TestGranularityOrderingProperty(t *testing.T) {
+	f := func(seed int64, n int, target uint16) bool {
+		p := randomProfile(t, seed, n)
+		tgt := uint64(target) + 1
+		var counts []int
+		for _, s := range intervals.Schemes {
+			ivs, err := intervals.Divide(p, s, tgt)
+			if err != nil {
+				return false
+			}
+			counts = append(counts, len(ivs))
+		}
+		return counts[0] <= counts[1] && counts[1] <= counts[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApproxTargetMonotonicityProperty: a smaller target never yields
+// fewer approx intervals.
+func TestApproxTargetMonotonicityProperty(t *testing.T) {
+	f := func(seed int64, n int, a, b uint16) bool {
+		p := randomProfile(t, seed, n)
+		lo, hi := uint64(a)+1, uint64(b)+1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		ivLo, err := intervals.Divide(p, intervals.Approx, lo)
+		if err != nil {
+			return false
+		}
+		ivHi, err := intervals.Divide(p, intervals.Approx, hi)
+		if err != nil {
+			return false
+		}
+		return len(ivLo) >= len(ivHi)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+package isa
+
+import "fmt"
+
+// InstrBytes is the fixed size of one encoded instruction word, matching
+// the 16-byte native GEN instruction format.
+const InstrBytes = 16
+
+// Encoding layout (little-endian where multi-byte):
+//
+//	byte 0      opcode
+//	byte 1      width index (bits 0-2) | pred (bits 3-4) | brmode (bits 5-6) | injected (bit 7)
+//	byte 2      dst register
+//	byte 3      cond (bits 0-3) | math fn (bits 4-7)
+//	byte 4      src0 kind (bits 0-1) | src1 kind (bits 2-3) | src2 kind (bits 4-5)
+//	byte 5-7    src0, src1, src2 register numbers
+//	byte 8-11   immediate (at most one source may be immediate)
+//	byte 12-13  branch target block index
+//	byte 14     msg kind (bits 0-3) | log2 elem bytes (bits 4-5)
+//	byte 15     msg surface
+
+// Encode writes the instruction into buf, which must be at least
+// InstrBytes long. It returns an error if the instruction cannot be
+// represented (more than one immediate source, or invalid fields).
+func Encode(in Instruction, buf []byte) error {
+	if len(buf) < InstrBytes {
+		return fmt.Errorf("encode: buffer too small (%d bytes)", len(buf))
+	}
+	wi := WidthIndex(in.Width)
+	if wi < 0 {
+		return fmt.Errorf("encode %s: invalid width %d", in.Op, in.Width)
+	}
+	var imm uint32
+	immSeen := false
+	srcs := [3]Operand{in.Src0, in.Src1, in.Src2}
+	kinds := byte(0)
+	for i, s := range srcs {
+		kinds |= byte(s.Kind) << (2 * i)
+		if s.Kind == OperandImm {
+			if immSeen {
+				return fmt.Errorf("encode %s: more than one immediate source", in.Op)
+			}
+			immSeen = true
+			imm = s.Imm
+		}
+	}
+	buf[0] = byte(in.Op)
+	b1 := byte(wi) | byte(in.Pred)<<3 | byte(in.BrMode)<<5
+	if in.Injected {
+		b1 |= 1 << 7
+	}
+	buf[1] = b1
+	buf[2] = byte(in.Dst)
+	buf[3] = byte(in.Cond) | byte(in.Fn)<<4
+	buf[4] = kinds
+	buf[5] = byte(srcs[0].Reg)
+	buf[6] = byte(srcs[1].Reg)
+	buf[7] = byte(srcs[2].Reg)
+	buf[8] = byte(imm)
+	buf[9] = byte(imm >> 8)
+	buf[10] = byte(imm >> 16)
+	buf[11] = byte(imm >> 24)
+	buf[12] = byte(in.Target)
+	buf[13] = byte(in.Target >> 8)
+	eb := byte(0)
+	switch in.Msg.ElemBytes {
+	case 0, 1:
+		eb = 0
+	case 2:
+		eb = 1
+	case 4:
+		eb = 2
+	case 8:
+		eb = 3
+	default:
+		return fmt.Errorf("encode %s: unsupported element size %d", in.Op, in.Msg.ElemBytes)
+	}
+	buf[14] = byte(in.Msg.Kind) | eb<<4
+	buf[15] = in.Msg.Surface
+	return nil
+}
+
+// Decode parses one instruction word from buf.
+func Decode(buf []byte) (Instruction, error) {
+	if len(buf) < InstrBytes {
+		return Instruction{}, fmt.Errorf("decode: buffer too small (%d bytes)", len(buf))
+	}
+	var in Instruction
+	in.Op = Opcode(buf[0])
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("decode: invalid opcode %d", buf[0])
+	}
+	wi := int(buf[1] & 0x7)
+	if wi >= len(Widths) {
+		return Instruction{}, fmt.Errorf("decode: invalid width index %d", wi)
+	}
+	in.Width = Widths[wi]
+	in.Pred = PredMode((buf[1] >> 3) & 0x3)
+	in.BrMode = BranchMode((buf[1] >> 5) & 0x3)
+	in.Injected = buf[1]&(1<<7) != 0
+	in.Dst = Reg(buf[2])
+	in.Cond = CondMod(buf[3] & 0xF)
+	in.Fn = MathFn(buf[3] >> 4)
+	imm := uint32(buf[8]) | uint32(buf[9])<<8 | uint32(buf[10])<<16 | uint32(buf[11])<<24
+	srcs := [3]*Operand{&in.Src0, &in.Src1, &in.Src2}
+	for i, s := range srcs {
+		kind := OperandKind((buf[4] >> (2 * i)) & 0x3)
+		s.Kind = kind
+		switch kind {
+		case OperandReg:
+			s.Reg = Reg(buf[5+i])
+		case OperandImm:
+			s.Imm = imm
+		}
+	}
+	in.Target = uint16(buf[12]) | uint16(buf[13])<<8
+	in.Msg.Kind = MsgKind(buf[14] & 0xF)
+	in.Msg.ElemBytes = 1 << ((buf[14] >> 4) & 0x3)
+	switch in.Msg.Kind {
+	case MsgNone, MsgTimer, MsgEOT:
+		in.Msg.ElemBytes = 0 // these messages move no data elements
+	}
+	in.Msg.Surface = buf[15]
+	return in, nil
+}
+
+// EncodeSlice encodes a sequence of instructions into a fresh byte slice.
+func EncodeSlice(instrs []Instruction) ([]byte, error) {
+	out := make([]byte, len(instrs)*InstrBytes)
+	for i, in := range instrs {
+		if err := Encode(in, out[i*InstrBytes:]); err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// DecodeSlice decodes a sequence of instruction words. The input length
+// must be a multiple of InstrBytes.
+func DecodeSlice(data []byte) ([]Instruction, error) {
+	if len(data)%InstrBytes != 0 {
+		return nil, fmt.Errorf("decode: %d bytes is not a whole number of instructions", len(data))
+	}
+	out := make([]Instruction, len(data)/InstrBytes)
+	for i := range out {
+		in, err := Decode(data[i*InstrBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package isa
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInstr generates a random, encodable instruction.
+func randInstr(rng *rand.Rand) Instruction {
+	ops := []Opcode{
+		OpMov, OpMovi, OpSel, OpAnd, OpOr, OpXor, OpNot, OpShl, OpShr, OpAsr,
+		OpCmp, OpJmp, OpBr, OpCall, OpRet, OpEnd, OpAdd, OpSub, OpMul, OpMach,
+		OpMad, OpMin, OpMax, OpAbs, OpAvg, OpMath, OpSend, OpSendc,
+	}
+	in := Instruction{
+		Op:       ops[rng.Intn(len(ops))],
+		Width:    Widths[rng.Intn(len(Widths))],
+		Pred:     PredMode(rng.Intn(3)),
+		Dst:      Reg(rng.Intn(NumRegs)),
+		BrMode:   BranchMode(rng.Intn(3)),
+		Fn:       MathFn(rng.Intn(8)),
+		Target:   uint16(rng.Intn(1 << 16)),
+		Injected: rng.Intn(2) == 0,
+	}
+	// At most one immediate source.
+	immAt := rng.Intn(4) // 3 = no immediate
+	srcs := []*Operand{&in.Src0, &in.Src1, &in.Src2}
+	for i, s := range srcs {
+		switch {
+		case i == immAt:
+			*s = Imm(rng.Uint32())
+		case rng.Intn(3) == 0:
+			*s = Operand{} // none
+		default:
+			*s = R(Reg(rng.Intn(NumRegs)))
+		}
+	}
+	if in.Op == OpCmp {
+		in.Cond = CondMod(1 + rng.Intn(8))
+	}
+	if in.Op.IsSend() {
+		kinds := []MsgKind{MsgLoad, MsgStore, MsgLoadBlock, MsgStoreBlock, MsgAtomicAdd, MsgTimer, MsgEOT}
+		elems := []uint8{1, 2, 4, 8}
+		in.Msg = MsgDesc{
+			Kind:      kinds[rng.Intn(len(kinds))],
+			Surface:   uint8(rng.Intn(8)),
+			ElemBytes: elems[rng.Intn(len(elems))],
+		}
+		if in.Msg.Kind == MsgTimer || in.Msg.Kind == MsgEOT {
+			in.Msg.ElemBytes = 0
+			in.Msg.Surface = 0
+		}
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip is the core property: Decode(Encode(x)) == x
+// for every encodable instruction.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := randInstr(rng)
+		var buf [InstrBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		// Normalize fields the encoding legitimately does not carry for
+		// this opcode class before comparing.
+		if !reflect.DeepEqual(normalize(in), normalize(got)) {
+			t.Fatalf("round-trip mismatch:\n in: %#v\nout: %#v", normalize(in), normalize(got))
+		}
+	}
+}
+
+// normalize zeroes encoding-insignificant sub-fields: an operand slot
+// that is None carries no register number.
+func normalize(in Instruction) Instruction {
+	for _, s := range []*Operand{&in.Src0, &in.Src1, &in.Src2} {
+		switch s.Kind {
+		case OperandNone:
+			*s = Operand{}
+		case OperandReg:
+			s.Imm = 0
+		case OperandImm:
+			s.Reg = 0
+		}
+	}
+	if in.Msg.Kind == MsgNone {
+		in.Msg = MsgDesc{}
+	}
+	return in
+}
+
+func TestEncodeRejectsTwoImmediates(t *testing.T) {
+	in := Instruction{Op: OpAdd, Width: W16, Dst: 1, Src0: Imm(1), Src1: Imm(2)}
+	var buf [InstrBytes]byte
+	if err := Encode(in, buf[:]); err == nil {
+		t.Error("expected error for two immediates")
+	}
+}
+
+func TestEncodeRejectsShortBuffer(t *testing.T) {
+	in := Instruction{Op: OpAdd, Width: W16, Dst: 1}
+	if err := Encode(in, make([]byte, 8)); err == nil {
+		t.Error("expected error for short buffer")
+	}
+	if _, err := Decode(make([]byte, 8)); err == nil {
+		t.Error("expected error decoding short buffer")
+	}
+}
+
+func TestDecodeRejectsInvalidOpcode(t *testing.T) {
+	var buf [InstrBytes]byte
+	buf[0] = 0 // OpInvalid
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("expected error for invalid opcode")
+	}
+	buf[0] = 255
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("expected error for out-of-range opcode")
+	}
+}
+
+func TestEncodeSliceDecodeSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ins := make([]Instruction, 64)
+	for i := range ins {
+		ins[i] = randInstr(rng)
+	}
+	data, err := EncodeSlice(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 64*InstrBytes {
+		t.Fatalf("encoded %d bytes, want %d", len(data), 64*InstrBytes)
+	}
+	got, err := DecodeSlice(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if !reflect.DeepEqual(normalize(ins[i]), normalize(got[i])) {
+			t.Fatalf("instruction %d mismatch", i)
+		}
+	}
+	if _, err := DecodeSlice(data[:InstrBytes+1]); err == nil {
+		t.Error("expected error for ragged input")
+	}
+}
+
+// TestDecodeNeverPanics fuzzes Decode with arbitrary bytes.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b [InstrBytes]byte) bool {
+		_, _ = Decode(b[:]) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

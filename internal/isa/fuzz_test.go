@@ -1,0 +1,49 @@
+package isa
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: arbitrary instruction words must either fail to decode or
+// decode to an instruction that re-encodes to the same semantic word
+// (decode∘encode∘decode is the identity on the decoded form).
+func FuzzDecode(f *testing.F) {
+	// Seed with a few valid encodings.
+	seed := []Instruction{
+		{Op: OpAdd, Width: W16, Dst: 20, Src0: R(1), Src1: R(2)},
+		{Op: OpBr, Width: W8, BrMode: BranchAll, Target: 7},
+		{Op: OpSend, Width: W16, Dst: 3, Src0: R(4),
+			Msg: MsgDesc{Kind: MsgLoad, Surface: 2, ElemBytes: 4}},
+		{Op: OpMath, Width: W1, Fn: MathSqrt, Dst: 5, Src0: Imm(81)},
+		{Op: OpEnd, Width: W16},
+	}
+	for _, in := range seed {
+		var buf [InstrBytes]byte
+		if err := Encode(in, buf[:]); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf[:])
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := Decode(data)
+		if err != nil {
+			return // invalid words must error, not panic
+		}
+		var rt [InstrBytes]byte
+		if err := Encode(in, rt[:]); err != nil {
+			t.Fatalf("decoded instruction failed to re-encode: %v (%v)", err, in)
+		}
+		in2, err := Decode(rt[:])
+		if err != nil {
+			t.Fatalf("re-encoded word failed to decode: %v", err)
+		}
+		var rt2 [InstrBytes]byte
+		if err := Encode(in2, rt2[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt[:], rt2[:]) {
+			t.Fatalf("encode not stable: % x vs % x", rt, rt2)
+		}
+	})
+}

@@ -1,0 +1,483 @@
+// Package isa defines a GEN-flavoured GPU instruction set architecture.
+//
+// The ISA models the axes of Intel's GEN ISA that GT-Pin's analyses are
+// defined over: five opcode categories (move, logic, control, computation,
+// send), SIMD execution widths of 1/2/4/8/16 channels, a general register
+// file of 128 vector registers, per-channel flag predication, and "send"
+// instructions that carry all memory traffic between hardware threads and
+// the memory surfaces bound to a kernel.
+//
+// Instructions have a fixed 16-byte binary encoding (as GEN native
+// instructions do); see Encode and Decode. The encoding is what the GT-Pin
+// binary rewriter operates on.
+package isa
+
+import "fmt"
+
+// Opcode identifies an instruction operation.
+type Opcode uint8
+
+// Opcodes, grouped by category. The groups mirror the five categories used
+// in the paper's instruction-mix characterization (Figure 4a).
+const (
+	// OpInvalid is the zero Opcode; it never appears in a valid program.
+	OpInvalid Opcode = iota
+
+	// Move instructions.
+	OpMov  // dst = src0
+	OpMovi // dst = broadcast immediate
+	OpSel  // dst = flag ? src0 : src1
+
+	// Logic instructions.
+	OpAnd // dst = src0 & src1
+	OpOr  // dst = src0 | src1
+	OpXor // dst = src0 ^ src1
+	OpNot // dst = ^src0
+	OpShl // dst = src0 << (src1 & 31)
+	OpShr // dst = src0 >> (src1 & 31) (logical)
+	OpAsr // dst = src0 >> (src1 & 31) (arithmetic)
+	OpCmp // flag = src0 <cmod> src1 (per channel)
+
+	// Control instructions.
+	OpJmp  // unconditional branch to Target block
+	OpBr   // conditional branch to Target block (flag reduced by BranchMode)
+	OpCall // call subroutine block (single level, returns via OpRet)
+	OpRet  // return from subroutine
+	OpEnd  // end of thread (EOT)
+
+	// Computation instructions.
+	OpAdd  // dst = src0 + src1
+	OpSub  // dst = src0 - src1
+	OpMul  // dst = src0 * src1 (low 32 bits)
+	OpMach // dst = high 32 bits of src0 * src1
+	OpMad  // dst = src0 * src1 + src2
+	OpMin  // dst = min(src0, src1) (unsigned)
+	OpMax  // dst = max(src0, src1) (unsigned)
+	OpAbs  // dst = |src0| (two's complement)
+	OpAvg  // dst = (src0 + src1 + 1) >> 1
+	OpMath // dst = MathFn(src0, src1); extended math (inv, sqrt, ...)
+
+	// Send instructions (all memory traffic).
+	OpSend  // memory message; see MsgKind
+	OpSendc // send with thread-serialized commit (modelled identically)
+
+	opcodeCount // number of opcodes, for table sizing
+)
+
+// NumOpcodes is the number of defined opcodes (excluding OpInvalid).
+const NumOpcodes = int(opcodeCount)
+
+// Category classifies an opcode into one of the paper's five
+// instruction-mix groups.
+type Category uint8
+
+// Instruction categories, matching Figure 4a of the paper.
+const (
+	CatMove Category = iota
+	CatLogic
+	CatControl
+	CatComputation
+	CatSend
+	NumCategories int = 5
+)
+
+// String returns the category name as used in the paper's figures.
+func (c Category) String() string {
+	switch c {
+	case CatMove:
+		return "Moves"
+	case CatLogic:
+		return "Logic"
+	case CatControl:
+		return "Control"
+	case CatComputation:
+		return "Computation"
+	case CatSend:
+		return "Sends"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+var opcodeCategory = [opcodeCount]Category{
+	OpMov: CatMove, OpMovi: CatMove, OpSel: CatMove,
+	OpAnd: CatLogic, OpOr: CatLogic, OpXor: CatLogic, OpNot: CatLogic,
+	OpShl: CatLogic, OpShr: CatLogic, OpAsr: CatLogic, OpCmp: CatLogic,
+	OpJmp: CatControl, OpBr: CatControl, OpCall: CatControl,
+	OpRet: CatControl, OpEnd: CatControl,
+	OpAdd: CatComputation, OpSub: CatComputation, OpMul: CatComputation,
+	OpMach: CatComputation, OpMad: CatComputation, OpMin: CatComputation,
+	OpMax: CatComputation, OpAbs: CatComputation, OpAvg: CatComputation,
+	OpMath: CatComputation,
+	OpSend: CatSend, OpSendc: CatSend,
+}
+
+// CategoryOf reports the instruction-mix category of op.
+func CategoryOf(op Opcode) Category { return opcodeCategory[op] }
+
+var opcodeName = [opcodeCount]string{
+	OpInvalid: "invalid",
+	OpMov:     "mov", OpMovi: "movi", OpSel: "sel",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpNot: "not",
+	OpShl: "shl", OpShr: "shr", OpAsr: "asr", OpCmp: "cmp",
+	OpJmp: "jmp", OpBr: "br", OpCall: "call", OpRet: "ret", OpEnd: "end",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpMach: "mach", OpMad: "mad",
+	OpMin: "min", OpMax: "max", OpAbs: "abs", OpAvg: "avg", OpMath: "math",
+	OpSend: "send", OpSendc: "sendc",
+}
+
+// String returns the mnemonic for op.
+func (op Opcode) String() string {
+	if int(op) < len(opcodeName) && opcodeName[op] != "" {
+		return opcodeName[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op > OpInvalid && op < opcodeCount }
+
+// IsControl reports whether op terminates a basic block.
+func (op Opcode) IsControl() bool { return CategoryOf(op) == CatControl }
+
+// IsSend reports whether op is a memory send.
+func (op Opcode) IsSend() bool { return op == OpSend || op == OpSendc }
+
+// Width is a SIMD execution width: the number of channels an instruction
+// operates on simultaneously.
+type Width uint8
+
+// Supported SIMD widths. MaxWidth channels fit in one vector register.
+const (
+	W1  Width = 1
+	W2  Width = 2
+	W4  Width = 4
+	W8  Width = 8
+	W16 Width = 16
+
+	MaxWidth = 16
+)
+
+// Valid reports whether w is one of the five supported widths.
+func (w Width) Valid() bool {
+	switch w {
+	case W1, W2, W4, W8, W16:
+		return true
+	}
+	return false
+}
+
+// NumWidths is the number of supported SIMD widths.
+const NumWidths = 5
+
+// Widths lists the supported SIMD widths from narrowest to widest.
+var Widths = [NumWidths]Width{W1, W2, W4, W8, W16}
+
+// WidthIndex maps a valid width to its index in Widths (W1→0 ... W16→4).
+func WidthIndex(w Width) int {
+	switch w {
+	case W1:
+		return 0
+	case W2:
+		return 1
+	case W4:
+		return 2
+	case W8:
+		return 3
+	case W16:
+		return 4
+	}
+	return -1
+}
+
+// NumRegs is the size of the general register file (GRF) visible to a
+// hardware thread. Registers above ScratchBase are reserved by convention
+// for dynamic instrumentation (the GT-Pin rewriter's scratch space); the
+// assembler refuses to allocate them to kernels.
+const (
+	NumRegs     = 128
+	ScratchBase = 120
+)
+
+// Reg names a general register r0..r127.
+type Reg uint8
+
+// Valid reports whether r addresses the register file.
+func (r Reg) Valid() bool { return int(r) < NumRegs }
+
+// String returns the assembly name of r.
+func (r Reg) String() string { return fmt.Sprintf("r%d", uint8(r)) }
+
+// OperandKind distinguishes register sources from immediates.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	OperandNone OperandKind = iota // operand unused
+	OperandReg                     // vector register source
+	OperandImm                     // 32-bit immediate, broadcast to all channels
+)
+
+// Operand is an instruction source: a register, an immediate, or absent.
+type Operand struct {
+	Kind OperandKind
+	Reg  Reg    // valid when Kind == OperandReg
+	Imm  uint32 // valid when Kind == OperandImm
+}
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Kind: OperandReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v uint32) Operand { return Operand{Kind: OperandImm, Imm: v} }
+
+// String returns the assembly form of the operand.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OperandReg:
+		return o.Reg.String()
+	case OperandImm:
+		return fmt.Sprintf("#%d", o.Imm)
+	}
+	return "_"
+}
+
+// CondMod is the comparison condition for OpCmp.
+type CondMod uint8
+
+// Comparison conditions. Ordered comparisons are unsigned unless the
+// Signed suffix is present.
+const (
+	CondNone CondMod = iota
+	CondEQ
+	CondNE
+	CondLT
+	CondLE
+	CondGT
+	CondGE
+	CondLTS // signed <
+	CondGTS // signed >
+)
+
+// String returns the condition mnemonic.
+func (c CondMod) String() string {
+	switch c {
+	case CondNone:
+		return ""
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondLE:
+		return "le"
+	case CondGT:
+		return "gt"
+	case CondGE:
+		return "ge"
+	case CondLTS:
+		return "lts"
+	case CondGTS:
+		return "gts"
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// BranchMode selects how OpBr reduces the per-channel flag vector to a
+// single taken/not-taken decision.
+type BranchMode uint8
+
+// Branch flag reductions.
+const (
+	BranchAny  BranchMode = iota // taken if any active channel's flag is set
+	BranchAll                    // taken if all active channels' flags are set
+	BranchNone                   // taken if no active channel's flag is set
+)
+
+// PredMode gates per-channel execution of non-control instructions on the
+// flag register.
+type PredMode uint8
+
+// Predication modes.
+const (
+	PredNoneMode PredMode = iota // execute all channels
+	PredOn                       // execute channels whose flag is set
+	PredOff                      // execute channels whose flag is clear
+)
+
+// MathFn selects the extended-math function computed by OpMath.
+type MathFn uint8
+
+// Extended math functions (integer approximations of the GEN math unit).
+const (
+	MathInv  MathFn = iota // dst = 0xFFFFFFFF / max(src0,1): reciprocal scaled to fixed point
+	MathSqrt               // dst = isqrt(src0)
+	MathIDiv               // dst = src0 / max(src1,1)
+	MathIRem               // dst = src0 % max(src1,1)
+	MathLog2               // dst = floor(log2(src0)), 0 for src0==0
+	MathExp2               // dst = 1 << (src0 & 31)
+	MathSin                // dst = fixed-point sin over a 256-entry period
+	MathCos                // dst = fixed-point cos over a 256-entry period
+)
+
+// MsgKind identifies the memory message carried by a send instruction.
+type MsgKind uint8
+
+// Send message kinds. Every kind moves ElemBytes bytes per enabled channel
+// except MsgLoadBlock/MsgStoreBlock, which move ElemBytes*Width contiguous
+// bytes addressed by channel 0, and MsgEOT, which moves none.
+const (
+	MsgNone       MsgKind = iota
+	MsgLoad               // gather: per-channel address -> per-channel element
+	MsgStore              // scatter: per-channel element -> per-channel address
+	MsgLoadBlock          // contiguous block read at channel-0 address
+	MsgStoreBlock         // contiguous block write at channel-0 address
+	MsgAtomicAdd          // per-channel atomic add; returns previous value
+	MsgTimer              // read the EU timestamp register into dst channel 0
+	MsgEOT                // end-of-thread handshake (no data)
+)
+
+// String returns the message-kind mnemonic.
+func (m MsgKind) String() string {
+	switch m {
+	case MsgNone:
+		return "none"
+	case MsgLoad:
+		return "load"
+	case MsgStore:
+		return "store"
+	case MsgLoadBlock:
+		return "loadblk"
+	case MsgStoreBlock:
+		return "storeblk"
+	case MsgAtomicAdd:
+		return "atomadd"
+	case MsgTimer:
+		return "timer"
+	case MsgEOT:
+		return "eot"
+	}
+	return fmt.Sprintf("msg(%d)", uint8(m))
+}
+
+// Reads reports whether the message reads from memory.
+func (m MsgKind) Reads() bool {
+	return m == MsgLoad || m == MsgLoadBlock || m == MsgAtomicAdd
+}
+
+// Writes reports whether the message writes to memory.
+func (m MsgKind) Writes() bool {
+	return m == MsgStore || m == MsgStoreBlock || m == MsgAtomicAdd
+}
+
+// MsgDesc is the message descriptor of a send instruction: which surface
+// (binding-table index) it targets, the message kind, and the element size
+// per channel in bytes.
+type MsgDesc struct {
+	Kind      MsgKind
+	Surface   uint8 // binding table index of the target surface
+	ElemBytes uint8 // bytes per channel (1, 2, 4, or 8)
+}
+
+// BytesMoved returns the number of bytes the message transfers for an
+// execution at width w with all channels enabled.
+func (m MsgDesc) BytesMoved(w Width) uint64 {
+	switch m.Kind {
+	case MsgLoad, MsgStore, MsgAtomicAdd, MsgLoadBlock, MsgStoreBlock:
+		return uint64(m.ElemBytes) * uint64(w)
+	}
+	return 0
+}
+
+// Instruction is one decoded GEN-flavoured instruction.
+//
+// Control instructions (OpJmp, OpBr, OpCall) carry a Target basic-block
+// index; all other fields follow the usual three-source form. Sends use
+// Src0 as the address register (per-channel byte offsets into the surface)
+// and Dst as the destination (loads) or Src1 as the data source (stores).
+type Instruction struct {
+	Op     Opcode
+	Width  Width
+	Pred   PredMode
+	Dst    Reg
+	Src0   Operand
+	Src1   Operand
+	Src2   Operand
+	Cond   CondMod    // OpCmp only
+	BrMode BranchMode // OpBr only
+	Fn     MathFn     // OpMath only
+	Msg    MsgDesc    // sends only
+	Target uint16     // OpJmp/OpBr/OpCall: destination basic-block index
+
+	// Injected marks instructions spliced in by the GT-Pin binary
+	// rewriter. The bit exists in the encoding so that a rewritten binary
+	// can be re-rewritten idempotently; profiling tools exclude injected
+	// instructions from all program statistics.
+	Injected bool
+}
+
+// String returns a one-line assembly rendering of the instruction.
+func (in Instruction) String() string {
+	switch {
+	case in.Op == OpJmp || in.Op == OpCall:
+		return fmt.Sprintf("%s b%d", in.Op, in.Target)
+	case in.Op == OpBr:
+		return fmt.Sprintf("br.%d b%d", in.BrMode, in.Target)
+	case in.Op == OpRet || in.Op == OpEnd:
+		return in.Op.String()
+	case in.Op.IsSend():
+		return fmt.Sprintf("%s.%s surf%d.%dB %s, %s, %s (w%d)",
+			in.Op, in.Msg.Kind, in.Msg.Surface, in.Msg.ElemBytes,
+			in.Dst, in.Src0, in.Src1, in.Width)
+	case in.Op == OpCmp:
+		return fmt.Sprintf("cmp.%s %s, %s (w%d)", in.Cond, in.Src0, in.Src1, in.Width)
+	case in.Op == OpMath:
+		return fmt.Sprintf("math.%d %s, %s, %s (w%d)", in.Fn, in.Dst, in.Src0, in.Src1, in.Width)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s, %s (w%d)", in.Op, in.Dst, in.Src0, in.Src1, in.Src2, in.Width)
+	}
+}
+
+// Validate checks structural well-formedness of the instruction in a
+// program with numBlocks basic blocks. It does not check register liveness.
+func (in Instruction) Validate(numBlocks int) error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("invalid opcode %d", uint8(in.Op))
+	}
+	if !in.Width.Valid() {
+		return fmt.Errorf("%s: invalid SIMD width %d", in.Op, in.Width)
+	}
+	if !in.Dst.Valid() {
+		return fmt.Errorf("%s: invalid dst %s", in.Op, in.Dst)
+	}
+	for i, src := range []Operand{in.Src0, in.Src1, in.Src2} {
+		if src.Kind == OperandReg && !src.Reg.Valid() {
+			return fmt.Errorf("%s: invalid src%d register %s", in.Op, i, src.Reg)
+		}
+	}
+	switch in.Op {
+	case OpJmp, OpBr, OpCall:
+		if int(in.Target) >= numBlocks {
+			return fmt.Errorf("%s: branch target b%d out of range (%d blocks)", in.Op, in.Target, numBlocks)
+		}
+	case OpCmp:
+		if in.Cond == CondNone {
+			return fmt.Errorf("cmp requires a condition modifier")
+		}
+	case OpSend, OpSendc:
+		if in.Msg.Kind == MsgNone {
+			return fmt.Errorf("send requires a message kind")
+		}
+		switch in.Msg.Kind {
+		case MsgEOT, MsgTimer:
+			// no surface required
+		default:
+			switch in.Msg.ElemBytes {
+			case 1, 2, 4, 8:
+			default:
+				return fmt.Errorf("send %s: unsupported element size %dB", in.Msg.Kind, in.Msg.ElemBytes)
+			}
+		}
+	}
+	return nil
+}

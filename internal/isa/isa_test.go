@@ -1,0 +1,185 @@
+package isa
+
+import (
+	"testing"
+)
+
+func TestEveryOpcodeHasCategoryAndName(t *testing.T) {
+	for op := OpInvalid + 1; op < opcodeCount; op++ {
+		if !op.Valid() {
+			t.Errorf("opcode %d should be valid", op)
+		}
+		c := CategoryOf(op)
+		if int(c) >= NumCategories {
+			t.Errorf("%s: category %d out of range", op, c)
+		}
+		if op.String() == "" || op.String() == "invalid" {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if OpInvalid.Valid() {
+		t.Error("OpInvalid must not be valid")
+	}
+	if Opcode(200).Valid() {
+		t.Error("out-of-range opcode must not be valid")
+	}
+}
+
+func TestCategoryAssignments(t *testing.T) {
+	cases := map[Opcode]Category{
+		OpMov: CatMove, OpMovi: CatMove, OpSel: CatMove,
+		OpAnd: CatLogic, OpCmp: CatLogic, OpShl: CatLogic,
+		OpJmp: CatControl, OpBr: CatControl, OpEnd: CatControl, OpRet: CatControl,
+		OpAdd: CatComputation, OpMad: CatComputation, OpMath: CatComputation,
+		OpSend: CatSend, OpSendc: CatSend,
+	}
+	for op, want := range cases {
+		if got := CategoryOf(op); got != want {
+			t.Errorf("CategoryOf(%s) = %s, want %s", op, got, want)
+		}
+	}
+}
+
+func TestControlAndSendPredicates(t *testing.T) {
+	for _, op := range []Opcode{OpJmp, OpBr, OpCall, OpRet, OpEnd} {
+		if !op.IsControl() {
+			t.Errorf("%s should be control", op)
+		}
+	}
+	for _, op := range []Opcode{OpSend, OpSendc} {
+		if !op.IsSend() {
+			t.Errorf("%s should be a send", op)
+		}
+		if op.IsControl() {
+			t.Errorf("%s should not be control", op)
+		}
+	}
+	if OpAdd.IsControl() || OpAdd.IsSend() {
+		t.Error("add is neither control nor send")
+	}
+}
+
+func TestWidths(t *testing.T) {
+	if len(Widths) != NumWidths {
+		t.Fatalf("Widths has %d entries, want %d", len(Widths), NumWidths)
+	}
+	for i, w := range Widths {
+		if !w.Valid() {
+			t.Errorf("width %d invalid", w)
+		}
+		if WidthIndex(w) != i {
+			t.Errorf("WidthIndex(%d) = %d, want %d", w, WidthIndex(w), i)
+		}
+	}
+	for _, w := range []Width{0, 3, 5, 17, 32} {
+		if w.Valid() {
+			t.Errorf("width %d should be invalid", w)
+		}
+		if WidthIndex(w) != -1 {
+			t.Errorf("WidthIndex(%d) should be -1", w)
+		}
+	}
+}
+
+func TestOperandConstructors(t *testing.T) {
+	r := R(7)
+	if r.Kind != OperandReg || r.Reg != 7 {
+		t.Errorf("R(7) = %+v", r)
+	}
+	im := Imm(42)
+	if im.Kind != OperandImm || im.Imm != 42 {
+		t.Errorf("Imm(42) = %+v", im)
+	}
+	var none Operand
+	if none.Kind != OperandNone {
+		t.Errorf("zero operand should be none")
+	}
+}
+
+func TestMsgBytesMoved(t *testing.T) {
+	cases := []struct {
+		msg  MsgDesc
+		w    Width
+		want uint64
+	}{
+		{MsgDesc{Kind: MsgLoad, ElemBytes: 4}, W16, 64},
+		{MsgDesc{Kind: MsgStore, ElemBytes: 1}, W8, 8},
+		{MsgDesc{Kind: MsgLoadBlock, ElemBytes: 4}, W16, 64},
+		{MsgDesc{Kind: MsgAtomicAdd, ElemBytes: 8}, W1, 8},
+		{MsgDesc{Kind: MsgEOT}, W16, 0},
+		{MsgDesc{Kind: MsgTimer}, W16, 0},
+	}
+	for _, c := range cases {
+		if got := c.msg.BytesMoved(c.w); got != c.want {
+			t.Errorf("BytesMoved(%v, %d) = %d, want %d", c.msg, c.w, got, c.want)
+		}
+	}
+}
+
+func TestMsgReadWritePredicates(t *testing.T) {
+	if !MsgLoad.Reads() || MsgLoad.Writes() {
+		t.Error("load reads only")
+	}
+	if MsgStore.Reads() || !MsgStore.Writes() {
+		t.Error("store writes only")
+	}
+	if !MsgAtomicAdd.Reads() || !MsgAtomicAdd.Writes() {
+		t.Error("atomic reads and writes")
+	}
+	if MsgEOT.Reads() || MsgEOT.Writes() || MsgTimer.Reads() || MsgTimer.Writes() {
+		t.Error("EOT/timer move no memory")
+	}
+}
+
+func TestInstructionValidate(t *testing.T) {
+	valid := Instruction{Op: OpAdd, Width: W16, Dst: 20, Src0: R(1), Src1: R(2)}
+	if err := valid.Validate(4); err != nil {
+		t.Errorf("valid instruction rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		in   Instruction
+	}{
+		{"invalid opcode", Instruction{Op: OpInvalid, Width: W16}},
+		{"invalid width", Instruction{Op: OpAdd, Width: 3, Dst: 1}},
+		{"branch target out of range", Instruction{Op: OpBr, Width: W16, Target: 4}},
+		{"cmp without condition", Instruction{Op: OpCmp, Width: W16, Src0: R(1), Src1: R(2)}},
+		{"send without message", Instruction{Op: OpSend, Width: W16, Dst: 1}},
+		{"send with bad element size", Instruction{Op: OpSend, Width: W16,
+			Msg: MsgDesc{Kind: MsgLoad, ElemBytes: 3}}},
+	}
+	for _, c := range cases {
+		if err := c.in.Validate(4); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	ins := []Instruction{
+		{Op: OpJmp, Width: W16, Target: 3},
+		{Op: OpBr, Width: W16, Target: 1, BrMode: BranchAll},
+		{Op: OpEnd, Width: W16},
+		{Op: OpSend, Width: W16, Dst: 2, Src0: R(3), Msg: MsgDesc{Kind: MsgLoad, Surface: 1, ElemBytes: 4}},
+		{Op: OpCmp, Width: W8, Cond: CondLT, Src0: R(1), Src1: Imm(5)},
+		{Op: OpMath, Width: W16, Fn: MathSqrt, Dst: 4, Src0: R(5)},
+		{Op: OpMad, Width: W16, Dst: 1, Src0: R(2), Src1: R(3), Src2: R(4)},
+	}
+	for _, in := range ins {
+		if in.String() == "" {
+			t.Errorf("empty String() for %v", in.Op)
+		}
+	}
+}
+
+func TestCondModString(t *testing.T) {
+	for c := CondNone; c <= CondGTS; c++ {
+		_ = c.String() // must not panic
+	}
+	for _, m := range []MsgKind{MsgNone, MsgLoad, MsgStore, MsgLoadBlock, MsgStoreBlock, MsgAtomicAdd, MsgTimer, MsgEOT} {
+		if m.String() == "" {
+			t.Errorf("empty message kind name for %d", m)
+		}
+	}
+}

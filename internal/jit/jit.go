@@ -1,0 +1,169 @@
+// Package jit models the GPU driver's just-in-time kernel compiler: it
+// lowers kernel IR to flat, machine-specific device binaries and decodes
+// such binaries back to IR.
+//
+// In the real system the driver JIT-compiles OpenCL C when
+// clBuildProgram is issued; here the "source" is already IR, so
+// compilation is serialization into the 16-byte/instruction GEN-flavoured
+// encoding plus a small header. The significance of the binary form is
+// that it is the interception point for the GT-Pin binary rewriter
+// (gtpin/internal/gtpin), which decodes, instruments, and re-encodes the
+// binary before the driver hands it to the device — exactly the flow in
+// Figure 1 of the paper.
+package jit
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Magic identifies a device kernel binary.
+const Magic = 0x424E4547 // "GENB"
+
+// Version is the binary format version.
+const Version = 1
+
+// Binary is a compiled, machine-specific kernel binary as produced by the
+// driver JIT and consumed by the device.
+type Binary struct {
+	Code []byte
+}
+
+// Compile lowers a validated kernel to a device binary.
+//
+// Layout (little-endian):
+//
+//	u32 magic, u8 version, u8 simd, u8 numArgs, u8 numSurfaces
+//	u16 nameLen, name bytes
+//	u32 numBlocks
+//	per block: u32 numInstrs, instructions (16 bytes each)
+func Compile(k *kernel.Kernel) (*Binary, error) {
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("jit: %w", err)
+	}
+	if len(k.Name) > 0xFFFF {
+		return nil, fmt.Errorf("jit: kernel name too long (%d bytes)", len(k.Name))
+	}
+	return compileUnchecked(k)
+}
+
+// Decode reconstructs the kernel IR from a device binary. The result is
+// validated only structurally at the instruction level; callers that
+// require full IR invariants should run Kernel.Validate. (Instrumented
+// binaries intentionally relax some source-level invariants, e.g. they use
+// the reserved scratch registers.)
+func Decode(bin *Binary) (*kernel.Kernel, error) {
+	code := bin.Code
+	if len(code) < 14 {
+		return nil, fmt.Errorf("jit: binary too short (%d bytes)", len(code))
+	}
+	if got := binary.LittleEndian.Uint32(code); got != Magic {
+		return nil, fmt.Errorf("jit: bad magic %#x", got)
+	}
+	if code[4] != Version {
+		return nil, fmt.Errorf("jit: unsupported binary version %d", code[4])
+	}
+	k := &kernel.Kernel{
+		SIMD:        isa.Width(code[5]),
+		NumArgs:     int(code[6]),
+		NumSurfaces: int(code[7]),
+	}
+	if !k.SIMD.Valid() {
+		return nil, fmt.Errorf("jit: invalid dispatch width %d", code[5])
+	}
+	nameLen := int(binary.LittleEndian.Uint16(code[8:]))
+	pos := 10
+	if pos+nameLen+4 > len(code) {
+		return nil, fmt.Errorf("jit: truncated header")
+	}
+	k.Name = string(code[pos : pos+nameLen])
+	pos += nameLen
+	numBlocks := int(binary.LittleEndian.Uint32(code[pos:]))
+	pos += 4
+	for id := 0; id < numBlocks; id++ {
+		if pos+4 > len(code) {
+			return nil, fmt.Errorf("jit: truncated block header (block %d)", id)
+		}
+		n := int(binary.LittleEndian.Uint32(code[pos:]))
+		pos += 4
+		if pos+n*isa.InstrBytes > len(code) {
+			return nil, fmt.Errorf("jit: truncated block body (block %d)", id)
+		}
+		instrs, err := isa.DecodeSlice(code[pos : pos+n*isa.InstrBytes])
+		if err != nil {
+			return nil, fmt.Errorf("jit: block %d: %w", id, err)
+		}
+		pos += n * isa.InstrBytes
+		k.Blocks = append(k.Blocks, &kernel.Block{ID: id, Instrs: instrs})
+	}
+	if pos != len(code) {
+		return nil, fmt.Errorf("jit: %d trailing bytes", len(code)-pos)
+	}
+	return k, nil
+}
+
+// Recompile re-encodes (possibly rewritten) kernel IR into a binary
+// without enforcing source-level validation, for use by the binary
+// rewriter whose injected code legitimately uses scratch registers.
+func Recompile(k *kernel.Kernel) (*Binary, error) {
+	// Structural sanity only: block IDs sequential, control-terminated.
+	for i, b := range k.Blocks {
+		if b.ID != i {
+			return nil, fmt.Errorf("jit: block %d has ID %d", i, b.ID)
+		}
+		if len(b.Instrs) == 0 || !b.Terminator().Op.IsControl() {
+			return nil, fmt.Errorf("jit: block %d not control-terminated", i)
+		}
+	}
+	return compileUnchecked(k)
+}
+
+func compileUnchecked(k *kernel.Kernel) (*Binary, error) {
+	size := 4 + 4 + 2 + len(k.Name) + 4
+	for _, b := range k.Blocks {
+		size += 4 + len(b.Instrs)*isa.InstrBytes
+	}
+	code := make([]byte, 0, size)
+	var scratch [4]byte
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(scratch[:], v)
+		code = append(code, scratch[:4]...)
+	}
+	putU32(Magic)
+	code = append(code, Version, byte(k.SIMD), byte(k.NumArgs), byte(k.NumSurfaces))
+	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(k.Name)))
+	code = append(code, scratch[:2]...)
+	code = append(code, k.Name...)
+	putU32(uint32(len(k.Blocks)))
+	var word [isa.InstrBytes]byte
+	for _, b := range k.Blocks {
+		putU32(uint32(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			if err := isa.Encode(in, word[:]); err != nil {
+				return nil, fmt.Errorf("jit: kernel %s block %d: %w", k.Name, b.ID, err)
+			}
+			code = append(code, word[:]...)
+		}
+	}
+	return &Binary{Code: code}, nil
+}
+
+// CompileProgram compiles every kernel in the program, returning binaries
+// keyed by kernel name.
+func CompileProgram(p *kernel.Program) (map[string]*Binary, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("jit: %w", err)
+	}
+	out := make(map[string]*Binary, len(p.Kernels))
+	for _, k := range p.Kernels {
+		bin, err := Compile(k)
+		if err != nil {
+			return nil, err
+		}
+		out[k.Name] = bin
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"gtpin/internal/isa"
+)
+
+// tiny helpers for building test kernels by hand.
+func end() isa.Instruction { return isa.Instruction{Op: isa.OpEnd, Width: isa.W16} }
+func add(dst isa.Reg) isa.Instruction {
+	return isa.Instruction{Op: isa.OpAdd, Width: isa.W16, Dst: dst, Src0: isa.R(1), Src1: isa.R(2)}
+}
+
+func validKernel() *Kernel {
+	return &Kernel{
+		Name: "k",
+		SIMD: isa.W16,
+		Blocks: []*Block{
+			{ID: 0, Instrs: []isa.Instruction{
+				add(FirstFreeReg),
+				{Op: isa.OpBr, Width: isa.W16, Target: 0},
+				// wait: br in block 0 needs fall-through; block 1 follows.
+			}},
+			{ID: 1, Instrs: []isa.Instruction{end()}},
+		},
+	}
+}
+
+func TestValidKernelPasses(t *testing.T) {
+	if err := validKernel().Validate(); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Kernel)
+		want   string
+	}{
+		{"no name", func(k *Kernel) { k.Name = "" }, "no name"},
+		{"bad simd", func(k *Kernel) { k.SIMD = 3 }, "SIMD"},
+		{"no blocks", func(k *Kernel) { k.Blocks = nil }, "no blocks"},
+		{"too many args", func(k *Kernel) { k.NumArgs = MaxArgs + 1 }, "args"},
+		{"misnumbered block", func(k *Kernel) { k.Blocks[1].ID = 7 }, "has ID"},
+		{"empty block", func(k *Kernel) { k.Blocks[1].Instrs = nil }, "empty"},
+		{"no terminator", func(k *Kernel) {
+			k.Blocks[1].Instrs = []isa.Instruction{add(FirstFreeReg)}
+		}, "control"},
+		{"control mid-block", func(k *Kernel) {
+			k.Blocks[1].Instrs = []isa.Instruction{end(), end()}
+		}, "in block body"},
+		{"branch out of range", func(k *Kernel) {
+			k.Blocks[0].Instrs[1].Target = 9
+		}, "out of range"},
+		{"surface out of range", func(k *Kernel) {
+			k.Blocks[0].Instrs[0] = isa.Instruction{Op: isa.OpSend, Width: isa.W16,
+				Dst: FirstFreeReg, Src0: isa.R(FirstFreeReg),
+				Msg: isa.MsgDesc{Kind: isa.MsgLoad, Surface: 3, ElemBytes: 4}}
+		}, "surface"},
+		{"scratch register", func(k *Kernel) {
+			k.Blocks[0].Instrs[0] = add(isa.ScratchBase)
+		}, "reserved"},
+		{"br with no fall-through", func(k *Kernel) {
+			k.Blocks = k.Blocks[:1]
+		}, ""},
+	}
+	for _, c := range cases {
+		k := validKernel()
+		c.mutate(k)
+		err := k.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestInjectedInstructionsMayUseScratch(t *testing.T) {
+	k := validKernel()
+	in := add(isa.ScratchBase)
+	in.Injected = true
+	k.Blocks[0].Instrs[0] = in
+	if err := k.Validate(); err != nil {
+		t.Fatalf("injected scratch use rejected: %v", err)
+	}
+}
+
+func TestSuccs(t *testing.T) {
+	b := &Block{ID: 2, Instrs: []isa.Instruction{{Op: isa.OpJmp, Width: isa.W16, Target: 5}}}
+	if got := b.Succs(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("jmp succs = %v", got)
+	}
+	b = &Block{ID: 2, Instrs: []isa.Instruction{{Op: isa.OpBr, Width: isa.W16, Target: 0}}}
+	if got := b.Succs(); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("br succs = %v", got)
+	}
+	b = &Block{ID: 2, Instrs: []isa.Instruction{end()}}
+	if got := b.Succs(); got != nil {
+		t.Errorf("end succs = %v", got)
+	}
+	b = &Block{ID: 2, Instrs: []isa.Instruction{{Op: isa.OpCall, Width: isa.W16, Target: 7}}}
+	if got := b.Succs(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("call succs = %v (calls fall through)", got)
+	}
+}
+
+func TestProgramValidate(t *testing.T) {
+	p := &Program{Name: "p", Kernels: []*Kernel{validKernel()}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Kernels = append(p.Kernels, validKernel()) // duplicate name "k"
+	if err := p.Validate(); err == nil {
+		t.Error("expected duplicate-kernel error")
+	}
+	empty := &Program{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("expected no-kernels error")
+	}
+}
+
+func TestKernelLookup(t *testing.T) {
+	p := &Program{Name: "p", Kernels: []*Kernel{validKernel()}}
+	if p.Kernel("k") == nil {
+		t.Error("kernel k not found")
+	}
+	if p.Kernel("missing") != nil {
+		t.Error("found a kernel that does not exist")
+	}
+}
+
+func TestStatsCountsAndExcludesInjected(t *testing.T) {
+	k := validKernel()
+	// Add an injected instruction; it must not count.
+	inj := add(isa.ScratchBase)
+	inj.Injected = true
+	k.Blocks[0].Instrs = append([]isa.Instruction{inj}, k.Blocks[0].Instrs...)
+	p := &Program{Name: "p", Kernels: []*Kernel{k}}
+	s := p.Stats()
+	if s.UniqueKernels != 1 || s.UniqueBlocks != 2 {
+		t.Errorf("structure: %+v", s)
+	}
+	if s.StaticInstrs != 3 { // add, br, end
+		t.Errorf("static instrs = %d, want 3", s.StaticInstrs)
+	}
+	if s.InstrsByCategory[isa.CatComputation] != 1 {
+		t.Errorf("computation count = %d", s.InstrsByCategory[isa.CatComputation])
+	}
+	if s.InstrsByCategory[isa.CatControl] != 2 {
+		t.Errorf("control count = %d", s.InstrsByCategory[isa.CatControl])
+	}
+}
+
+func TestStatsOfBlockBytes(t *testing.T) {
+	b := &Block{ID: 0, Instrs: []isa.Instruction{
+		{Op: isa.OpSend, Width: isa.W16, Dst: FirstFreeReg, Src0: isa.R(FirstFreeReg),
+			Msg: isa.MsgDesc{Kind: isa.MsgLoad, Surface: 0, ElemBytes: 4}},
+		{Op: isa.OpSend, Width: isa.W8, Src0: isa.R(FirstFreeReg), Src1: isa.R(FirstFreeReg + 1),
+			Msg: isa.MsgDesc{Kind: isa.MsgStore, Surface: 0, ElemBytes: 2}},
+		{Op: isa.OpSend, Width: isa.W1, Dst: FirstFreeReg, Src0: isa.R(FirstFreeReg), Src1: isa.R(FirstFreeReg + 1),
+			Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: 0, ElemBytes: 8}},
+		end(),
+	}}
+	s := StatsOf(b)
+	if s.Instrs != 4 {
+		t.Errorf("instrs = %d", s.Instrs)
+	}
+	if want := uint64(16*4 + 8); s.BytesRead != want { // load 64 + atomic 8
+		t.Errorf("bytes read = %d, want %d", s.BytesRead, want)
+	}
+	if want := uint64(8*2 + 8); s.BytesWritten != want { // store 16 + atomic 8
+		t.Errorf("bytes written = %d, want %d", s.BytesWritten, want)
+	}
+}
+
+func TestArgRegConvention(t *testing.T) {
+	if ArgReg(0) != FirstArgReg {
+		t.Error("arg 0 register")
+	}
+	if ArgReg(3) != FirstArgReg+3 {
+		t.Error("arg 3 register")
+	}
+	if int(FirstFreeReg) != int(FirstArgReg)+MaxArgs {
+		t.Error("free register space must follow the args")
+	}
+}
+
+func TestStaticInstrs(t *testing.T) {
+	k := validKernel()
+	if got := k.StaticInstrs(); got != 3 {
+		t.Errorf("StaticInstrs = %d, want 3", got)
+	}
+}

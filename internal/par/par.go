@@ -1,0 +1,45 @@
+// Package par provides the tiny fan-out helper the cmd harnesses use to
+// profile the 25 applications concurrently. Each application owns its own
+// device, context, and profile, so the work items are fully independent.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs f(0..n-1) across min(n, GOMAXPROCS) goroutines and returns
+// the first error (by index order) if any call fails. All calls run to
+// completion regardless of failures, so partial results stay consistent.
+func ForEach(n int, f func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

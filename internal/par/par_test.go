@@ -1,0 +1,68 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int32, 100)
+	err := ForEach(100, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&seen[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d times", count)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Errorf("index %d ran %d times", i, s)
+		}
+	}
+}
+
+func TestForEachReturnsFirstErrorByIndex(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(10, func(i int) error {
+		switch i {
+		case 3:
+			return errB
+		case 2:
+			return errA
+		}
+		return nil
+	})
+	if err != errA {
+		t.Errorf("err = %v, want the lowest-index error", err)
+	}
+}
+
+func TestForEachCompletesDespiteError(t *testing.T) {
+	var count int64
+	_ = ForEach(50, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		if i == 0 {
+			return errors.New("early")
+		}
+		return nil
+	})
+	if count != 50 {
+		t.Errorf("only %d items ran; all must complete", count)
+	}
+}
+
+func TestForEachZeroAndNegative(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("n=0 must be a no-op")
+	}
+	if err := ForEach(-5, func(int) error { return errors.New("never") }); err != nil {
+		t.Error("negative n must be a no-op")
+	}
+}

@@ -1,0 +1,239 @@
+// Package profile defines the application profile consumed by the
+// simulation subset selection pipeline: the per-kernel-invocation dynamic
+// data GT-Pin collects, paired with the per-invocation wall-clock timings
+// CoFluent measures on an uninstrumented run.
+//
+// A Profile is the bridge between Sections III/IV of the paper (profiling
+// and characterization) and Section V (interval division, feature
+// extraction, clustering, and selection validation).
+package profile
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// KernelStatic is one kernel's static structure within a profile.
+type KernelStatic struct {
+	Name string
+	// BlockBase is the kernel's offset in the profile's global basic-block
+	// ID space: global block ID = BlockBase + local block ID.
+	BlockBase    int
+	Blocks       []kernel.BlockStats
+	StaticInstrs int
+}
+
+// Invocation is the per-kernel-invocation profile record.
+type Invocation struct {
+	Seq       int // invocation order
+	KernelIdx int // index into Profile.Kernels
+	ArgsKey   uint64
+	GWS       int
+	SyncEpoch int
+
+	Instrs       uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	ByCategory   [isa.NumCategories]uint64
+	ByWidth      [isa.NumWidths]uint64
+	BlockCounts  []uint64 // indexed by local block ID
+
+	// TimeSec is the invocation's wall-clock duration from an
+	// uninstrumented timed run.
+	TimeSec float64
+}
+
+// Profile is a complete application profile.
+type Profile struct {
+	App         string
+	Kernels     []KernelStatic
+	Invocations []Invocation
+
+	kernelIdx map[string]int
+	numBlocks int
+}
+
+// hashArgs produces the argument-identity key used by KN-ARGS features
+// ("calls to kernel foo with argument 256" as a distinct event).
+func hashArgs(args []uint32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, a := range args {
+		b[0], b[1], b[2], b[3] = byte(a), byte(a>>8), byte(a>>16), byte(a>>24)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// Build assembles a profile from GT-Pin's invocation records and, when
+// provided, per-invocation times (nanoseconds, indexed by invocation
+// sequence) from an uninstrumented CoFluent run. If timesNs is nil the
+// instrumented run's own times are used — acceptable for characterization
+// but not for SPI validation, since instrumentation inflates them.
+func Build(app string, g *gtpin.GTPin, timesNs []float64) (*Profile, error) {
+	recs := g.Records()
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("profile: no invocation records for %s", app)
+	}
+	if timesNs != nil && len(timesNs) < len(recs) {
+		return nil, fmt.Errorf("profile: %s: %d timings for %d invocations", app, len(timesNs), len(recs))
+	}
+	infos := g.Kernels()
+	p := &Profile{App: app, kernelIdx: make(map[string]int)}
+	for _, rec := range recs {
+		ki, ok := p.kernelIdx[rec.Kernel]
+		if !ok {
+			info, exists := infos[rec.Kernel]
+			if !exists {
+				return nil, fmt.Errorf("profile: %s: no static info for kernel %s", app, rec.Kernel)
+			}
+			ki = len(p.Kernels)
+			p.kernelIdx[rec.Kernel] = ki
+			p.Kernels = append(p.Kernels, KernelStatic{
+				Name:         rec.Kernel,
+				BlockBase:    p.numBlocks,
+				Blocks:       info.Blocks,
+				StaticInstrs: info.StaticInstrs,
+			})
+			p.numBlocks += len(info.Blocks)
+		}
+		t := rec.TimeNs
+		if timesNs != nil {
+			t = timesNs[rec.Seq]
+		}
+		p.Invocations = append(p.Invocations, Invocation{
+			Seq:          rec.Seq,
+			KernelIdx:    ki,
+			ArgsKey:      hashArgs(rec.Args),
+			GWS:          rec.GWS,
+			SyncEpoch:    rec.SyncEpoch,
+			Instrs:       rec.Instrs,
+			BytesRead:    rec.BytesRead,
+			BytesWritten: rec.BytesWritten,
+			ByCategory:   rec.ByCategory,
+			ByWidth:      rec.ByWidth,
+			BlockCounts:  rec.BlockCounts,
+			TimeSec:      t * 1e-9,
+		})
+	}
+	return p, nil
+}
+
+// New assembles a profile directly from its parts, recomputing kernel
+// indices and the global block-ID space. Intended for synthetic profiles
+// in tests and for tools that import profiles from external sources;
+// KernelStatic.BlockBase values are overwritten.
+func New(app string, kernels []KernelStatic, invs []Invocation) (*Profile, error) {
+	p := &Profile{App: app, Kernels: kernels, Invocations: invs, kernelIdx: make(map[string]int)}
+	for i := range p.Kernels {
+		k := &p.Kernels[i]
+		if _, dup := p.kernelIdx[k.Name]; dup {
+			return nil, fmt.Errorf("profile: duplicate kernel %q", k.Name)
+		}
+		p.kernelIdx[k.Name] = i
+		k.BlockBase = p.numBlocks
+		p.numBlocks += len(k.Blocks)
+	}
+	for i := range invs {
+		if ki := invs[i].KernelIdx; ki < 0 || ki >= len(kernels) {
+			return nil, fmt.Errorf("profile: invocation %d references kernel %d of %d", i, ki, len(kernels))
+		}
+	}
+	return p, nil
+}
+
+// NumBlocks returns the size of the global basic-block ID space.
+func (p *Profile) NumBlocks() int { return p.numBlocks }
+
+// KernelIndex returns the index of the named kernel, or -1.
+func (p *Profile) KernelIndex(name string) int {
+	if i, ok := p.kernelIdx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// TotalInstrs returns the program's total dynamic instruction count.
+func (p *Profile) TotalInstrs() uint64 {
+	var n uint64
+	for i := range p.Invocations {
+		n += p.Invocations[i].Instrs
+	}
+	return n
+}
+
+// TotalTimeSec returns the summed kernel time of the program.
+func (p *Profile) TotalTimeSec() float64 {
+	t := 0.0
+	for i := range p.Invocations {
+		t += p.Invocations[i].TimeSec
+	}
+	return t
+}
+
+// MeasuredSPI returns the whole-program seconds-per-instruction: combined
+// kernel time divided by total dynamic instructions (the denominator of
+// the paper's Equation 1).
+func (p *Profile) MeasuredSPI() float64 {
+	instrs := p.TotalInstrs()
+	if instrs == 0 {
+		return 0
+	}
+	return p.TotalTimeSec() / float64(instrs)
+}
+
+// WithTimes returns a copy of the profile with per-invocation times
+// replaced by timesNs (nanoseconds, indexed by invocation sequence) —
+// used to evaluate one trial's selections against another trial's
+// measured timings (Section V-E).
+func (p *Profile) WithTimes(timesNs []float64) (*Profile, error) {
+	if len(timesNs) < len(p.Invocations) {
+		return nil, fmt.Errorf("profile: %s: %d timings for %d invocations", p.App, len(timesNs), len(p.Invocations))
+	}
+	cp := *p
+	cp.Invocations = make([]Invocation, len(p.Invocations))
+	copy(cp.Invocations, p.Invocations)
+	for i := range cp.Invocations {
+		cp.Invocations[i].TimeSec = timesNs[cp.Invocations[i].Seq] * 1e-9
+	}
+	return &cp, nil
+}
+
+// Totals aggregates whole-program dynamic statistics (Figures 3c and 4).
+type Totals struct {
+	KernelInvocations int
+	BlockExecs        uint64
+	Instrs            uint64
+	ByCategory        [isa.NumCategories]uint64
+	ByWidth           [isa.NumWidths]uint64
+	BytesRead         uint64
+	BytesWritten      uint64
+	TimeSec           float64
+}
+
+// Aggregate computes whole-program totals.
+func (p *Profile) Aggregate() Totals {
+	var t Totals
+	t.KernelInvocations = len(p.Invocations)
+	for i := range p.Invocations {
+		inv := &p.Invocations[i]
+		t.Instrs += inv.Instrs
+		t.BytesRead += inv.BytesRead
+		t.BytesWritten += inv.BytesWritten
+		t.TimeSec += inv.TimeSec
+		for c := 0; c < isa.NumCategories; c++ {
+			t.ByCategory[c] += inv.ByCategory[c]
+		}
+		for w := 0; w < isa.NumWidths; w++ {
+			t.ByWidth[w] += inv.ByWidth[w]
+		}
+		for _, c := range inv.BlockCounts {
+			t.BlockExecs += c
+		}
+	}
+	return t
+}

@@ -1,0 +1,205 @@
+package profile_test
+
+import (
+	"math"
+	"testing"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+	"gtpin/internal/testgen"
+
+	"math/rand"
+)
+
+func syntheticProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	ks := []profile.KernelStatic{
+		{Name: "a", Blocks: []kernel.BlockStats{{Instrs: 5}, {Instrs: 7}}, StaticInstrs: 12},
+		{Name: "b", Blocks: []kernel.BlockStats{{Instrs: 9}}, StaticInstrs: 9},
+	}
+	invs := []profile.Invocation{
+		{Seq: 0, KernelIdx: 0, Instrs: 100, BlockCounts: []uint64{4, 10}, TimeSec: 1e-6,
+			BytesRead: 64, BytesWritten: 32},
+		{Seq: 1, KernelIdx: 1, Instrs: 90, BlockCounts: []uint64{10}, TimeSec: 2e-6},
+	}
+	p, err := profile.New("syn", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewComputesBlockBases(t *testing.T) {
+	p := syntheticProfile(t)
+	if p.Kernels[0].BlockBase != 0 || p.Kernels[1].BlockBase != 2 {
+		t.Errorf("block bases: %d, %d", p.Kernels[0].BlockBase, p.Kernels[1].BlockBase)
+	}
+	if p.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d", p.NumBlocks())
+	}
+	if p.KernelIndex("b") != 1 || p.KernelIndex("missing") != -1 {
+		t.Error("kernel index lookup")
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	ks := []profile.KernelStatic{{Name: "a"}, {Name: "a"}}
+	if _, err := profile.New("dup", ks, nil); err == nil {
+		t.Error("expected duplicate-kernel error")
+	}
+	ks2 := []profile.KernelStatic{{Name: "a"}}
+	invs := []profile.Invocation{{KernelIdx: 3}}
+	if _, err := profile.New("bad", ks2, invs); err == nil {
+		t.Error("expected kernel-index error")
+	}
+}
+
+func TestTotalsAndSPI(t *testing.T) {
+	p := syntheticProfile(t)
+	if p.TotalInstrs() != 190 {
+		t.Errorf("instrs = %d", p.TotalInstrs())
+	}
+	if math.Abs(p.TotalTimeSec()-3e-6) > 1e-15 {
+		t.Errorf("time = %g", p.TotalTimeSec())
+	}
+	want := 3e-6 / 190
+	if math.Abs(p.MeasuredSPI()-want) > 1e-18 {
+		t.Errorf("SPI = %g, want %g", p.MeasuredSPI(), want)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	p := syntheticProfile(t)
+	agg := p.Aggregate()
+	if agg.KernelInvocations != 2 || agg.Instrs != 190 || agg.BlockExecs != 24 {
+		t.Errorf("aggregate = %+v", agg)
+	}
+	if agg.BytesRead != 64 || agg.BytesWritten != 32 {
+		t.Errorf("bytes = %d/%d", agg.BytesRead, agg.BytesWritten)
+	}
+}
+
+func TestWithTimes(t *testing.T) {
+	p := syntheticProfile(t)
+	np, err := p.WithTimes([]float64{500, 1500}) // ns
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(np.TotalTimeSec()-2e-6) > 1e-15 {
+		t.Errorf("retimed total = %g", np.TotalTimeSec())
+	}
+	// Original untouched.
+	if math.Abs(p.TotalTimeSec()-3e-6) > 1e-15 {
+		t.Error("WithTimes mutated the original profile")
+	}
+	if _, err := p.WithTimes([]float64{1}); err == nil {
+		t.Error("expected error for short slice")
+	}
+}
+
+// TestBuildFromGTPinConservation: a profile built from a real GT-Pin run
+// must conserve instructions between per-invocation records and
+// aggregates, and agree with the CoFluent timings it was joined with.
+func TestBuildFromGTPinConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	cfg := testgen.DefaultConfig()
+	prog := testgen.Program(rng, "pb", cfg)
+	steps := testgen.Driver(rng, prog, 6, cfg)
+
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := cofluent.Attach(ctx)
+	q := ctx.CreateQueue()
+	in, _ := ctx.CreateBuffer(1 << 12)
+	out, _ := ctx.CreateBuffer(1 << 12)
+	pp := ctx.CreateProgram(prog)
+	if err := pp.Build(); err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]*cl.Kernel{}
+	for _, k := range prog.Kernels {
+		ko, err := pp.CreateKernel(k.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ko.SetBuffer(0, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := ko.SetBuffer(1, out); err != nil {
+			t.Fatal(err)
+		}
+		kernels[k.Name] = ko
+	}
+	for _, s := range steps {
+		ko := kernels[s.Kernel]
+		if err := ko.SetArg(0, s.Iters); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.EnqueueNDRangeKernel(ko, s.GWS); err != nil {
+			t.Fatal(err)
+		}
+		if s.Sync {
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := profile.Build("pb", g, tr.TimesNs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Invocations) != len(steps) {
+		t.Fatalf("invocations = %d, want %d", len(p.Invocations), len(steps))
+	}
+	var sum uint64
+	for i := range p.Invocations {
+		sum += p.Invocations[i].Instrs
+	}
+	if sum != p.TotalInstrs() {
+		t.Error("instruction conservation")
+	}
+	// Category and width breakdowns sum to the instruction total.
+	agg := p.Aggregate()
+	var cat, wid uint64
+	for _, c := range agg.ByCategory {
+		cat += c
+	}
+	for _, w := range agg.ByWidth {
+		wid += w
+	}
+	if cat != agg.Instrs || wid != agg.Instrs {
+		t.Errorf("category sum %d / width sum %d != instrs %d", cat, wid, agg.Instrs)
+	}
+	// Sync epochs must be non-decreasing in invocation order.
+	for i := 1; i < len(p.Invocations); i++ {
+		if p.Invocations[i].SyncEpoch < p.Invocations[i-1].SyncEpoch {
+			t.Error("sync epochs must be non-decreasing")
+		}
+	}
+	_ = isa.NumCategories
+}
+
+func TestBuildRequiresRecords(t *testing.T) {
+	dev, _ := device.New(device.IvyBridgeHD4000())
+	ctx := cl.NewContext(dev)
+	g, err := gtpin.Attach(ctx, gtpin.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := profile.Build("empty", g, nil); err == nil {
+		t.Error("expected error for empty record set")
+	}
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("Title", "Name", "Value")
+	tb.Row("short", 1)
+	tb.Row("a-much-longer-name", 123456789)
+	var sb strings.Builder
+	tb.Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Title") || !strings.Contains(out, "=====") {
+		t.Error("missing title block")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + separator + 2 rows + title lines
+	if len(lines) < 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All data lines should align the second column consistently.
+	if !strings.Contains(out, "a-much-longer-name") {
+		t.Error("row content missing")
+	}
+}
+
+func TestTableWithoutTitle(t *testing.T) {
+	tb := NewTable("", "A")
+	tb.Row("x")
+	var sb strings.Builder
+	tb.Write(&sb)
+	if strings.Contains(sb.String(), "=") {
+		t.Error("untitled table should not render a title underline")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.23e+06",
+		256:     "256",
+		3.14159: "3.14",
+		0.5:     "0.5000",
+		1e-9:    "1e-09",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12",
+		1500:    "1.50K",
+		2.5e6:   "2.50M",
+		3.08e11: "308.00B",
+		2.9e12:  "2.90T",
+	}
+	for in, want := range cases {
+		if got := HumanCount(in); got != want {
+			t.Errorf("HumanCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHumanBytes(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12B",
+		2048:    "2.05KB",
+		1.11e12: "1.11TB",
+		6.24e11: "624.00GB",
+	}
+	for in, want := range cases {
+		if got := HumanBytes(in); got != want {
+			t.Errorf("HumanBytes(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSection(t *testing.T) {
+	var sb strings.Builder
+	Section(&sb, "Figure %d", 5)
+	if !strings.Contains(sb.String(), "### Figure 5") {
+		t.Errorf("section = %q", sb.String())
+	}
+}

@@ -1,0 +1,53 @@
+package selection_test
+
+import (
+	"fmt"
+
+	"gtpin/internal/features"
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+	"gtpin/internal/selection"
+)
+
+// Run the selection pipeline over a synthetic two-phase profile: ten
+// invocations of a fast kernel alternate with ten of a slow one; the
+// pipeline picks one representative per phase and projects whole-program
+// SPI within a fraction of a percent.
+func Example() {
+	ks := []profile.KernelStatic{
+		{Name: "fast", Blocks: []kernel.BlockStats{{Instrs: 10}}, StaticInstrs: 10},
+		{Name: "slow", Blocks: []kernel.BlockStats{{Instrs: 10, BytesRead: 64}}, StaticInstrs: 10},
+	}
+	var invs []profile.Invocation
+	for i := 0; i < 20; i++ {
+		phase := (i / 5) % 2 // runs of five: fast, slow, fast, slow
+		spi := 1e-9
+		if phase == 1 {
+			spi = 3e-9
+		}
+		invs = append(invs, profile.Invocation{
+			Seq: i, KernelIdx: phase, GWS: 64, SyncEpoch: i,
+			Instrs:      10000,
+			BlockCounts: []uint64{1000},
+			TimeSec:     spi * 10000,
+		})
+	}
+	p, err := profile.New("two-phase", ks, invs)
+	if err != nil {
+		panic(err)
+	}
+
+	ev, err := selection.Evaluate(p,
+		selection.Config{Scheme: intervals.Kernel, Feature: features.BB},
+		selection.Options{ApproxTarget: 50000, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("intervals: %d, selected: %d\n", ev.NumIntervals, len(ev.Selections))
+	fmt.Printf("error: %.2f%%, selection: %.0f%% of instructions, speedup: %.0fx\n",
+		ev.ErrorPct, 100*ev.SelectedFrac, ev.Speedup)
+	// Output:
+	// intervals: 20, selected: 2
+	// error: 0.00%, selection: 10% of instructions, speedup: 10x
+}

@@ -1,0 +1,285 @@
+package selection_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtpin/internal/features"
+	"gtpin/internal/intervals"
+	"gtpin/internal/kernel"
+	"gtpin/internal/profile"
+	"gtpin/internal/selection"
+	"gtpin/internal/simpoint"
+)
+
+// phasedProfile builds a synthetic two-phase application: phase A
+// invocations run kernel kA (fast SPI), phase B invocations run kB (slow
+// SPI), alternating in runs of `runLen`, with n invocations total and a
+// sync boundary after every invocation.
+func phasedProfile(t *testing.T, n, runLen int, noise float64, seed int64) *profile.Profile {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ks := []profile.KernelStatic{
+		{Name: "kA", Blocks: []kernel.BlockStats{{Instrs: 10}}, StaticInstrs: 10},
+		{Name: "kB", Blocks: []kernel.BlockStats{{Instrs: 10, BytesRead: 64}}, StaticInstrs: 10},
+	}
+	invs := make([]profile.Invocation, n)
+	for i := range invs {
+		phase := (i / runLen) % 2
+		spi := 1e-9
+		if phase == 1 {
+			spi = 3e-9
+		}
+		spi *= 1 + noise*(2*rng.Float64()-1)
+		instrs := uint64(10000)
+		invs[i] = profile.Invocation{
+			Seq: i, KernelIdx: phase, ArgsKey: uint64(phase), GWS: 64,
+			SyncEpoch:   i,
+			Instrs:      instrs,
+			BlockCounts: []uint64{instrs / 10},
+			BytesRead:   uint64(phase) * 64 * (instrs / 10),
+			TimeSec:     spi * float64(instrs),
+		}
+	}
+	p, err := profile.New("phased", ks, invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func opts() selection.Options {
+	return selection.Options{ApproxTarget: 50000, Seed: 42}
+}
+
+func TestEvaluatePhasedAppAccurately(t *testing.T) {
+	p := phasedProfile(t, 200, 10, 0.01, 1)
+	for _, cfg := range []selection.Config{
+		{Scheme: intervals.Kernel, Feature: features.BB},
+		{Scheme: intervals.Kernel, Feature: features.KN},
+		{Scheme: intervals.Approx, Feature: features.BBR},
+	} {
+		ev, err := selection.Evaluate(p, cfg, opts())
+		if err != nil {
+			t.Fatalf("%s: %v", cfg, err)
+		}
+		// Two clean phases: any reasonable config should be accurate and
+		// select a small subset.
+		if ev.ErrorPct > 5 {
+			t.Errorf("%s: error %.2f%% too large for a clean two-phase app", cfg, ev.ErrorPct)
+		}
+		if ev.SelectedFrac >= 0.5 {
+			t.Errorf("%s: selection %.2f%% of instructions", cfg, 100*ev.SelectedFrac)
+		}
+		if ev.Speedup <= 1 {
+			t.Errorf("%s: speedup %.1f", cfg, ev.Speedup)
+		}
+	}
+}
+
+// TestFullCoverageHasZeroError: if the selection covers every interval
+// (k = number of intervals), projected SPI is the exact weighted mean.
+func TestFullCoverageHasZeroError(t *testing.T) {
+	p := phasedProfile(t, 8, 2, 0.2, 2)
+	o := opts()
+	o.SimPoint = simpoint.DefaultConfig(42)
+	o.SimPoint.MaxK = 8
+	o.SimPoint.BICFrac = 0 // accept the first candidate: k=1... instead force full k
+	// Force k = n by making BIC pick the max: use MaxK = n and BICFrac 1.
+	o.SimPoint.BICFrac = 1
+	ev, err := selection.Evaluate(p, selection.Config{Scheme: intervals.Kernel, Feature: features.BB}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Selections) == ev.NumIntervals {
+		if ev.ErrorPct > 1e-9 {
+			t.Errorf("full coverage must have zero error, got %g%%", ev.ErrorPct)
+		}
+		if math.Abs(ev.SelectedFrac-1) > 1e-9 {
+			t.Errorf("full coverage fraction = %f", ev.SelectedFrac)
+		}
+	}
+}
+
+func TestProjectSPIWeightedMean(t *testing.T) {
+	ivs := []intervals.Interval{
+		{Start: 0, End: 1, Instrs: 100, TimeSec: 100e-9}, // SPI 1e-9
+		{Start: 1, End: 2, Instrs: 100, TimeSec: 300e-9}, // SPI 3e-9
+	}
+	sels := []simpoint.Selection{
+		{Interval: 0, Ratio: 0.75},
+		{Interval: 1, Ratio: 0.25},
+	}
+	got := selection.ProjectSPI(ivs, sels)
+	want := 0.75*1e-9 + 0.25*3e-9
+	if math.Abs(got-want) > 1e-20 {
+		t.Errorf("projected SPI = %g, want %g", got, want)
+	}
+}
+
+func TestEvaluateAllCovers30Configs(t *testing.T) {
+	p := phasedProfile(t, 60, 6, 0.02, 3)
+	evs, err := selection.EvaluateAll(p, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 30 {
+		t.Fatalf("evaluations = %d, want 30", len(evs))
+	}
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		if seen[ev.Config.String()] {
+			t.Errorf("duplicate config %s", ev.Config)
+		}
+		seen[ev.Config.String()] = true
+	}
+}
+
+func TestMinErrorAndThresholdPolicies(t *testing.T) {
+	mk := func(err, frac float64) *selection.Evaluation {
+		return &selection.Evaluation{ErrorPct: err, SelectedFrac: frac, Speedup: 1 / frac}
+	}
+	evs := []*selection.Evaluation{
+		mk(2.0, 0.01),
+		mk(0.5, 0.20),
+		mk(0.9, 0.02),
+		mk(9.0, 0.001),
+	}
+	if got := selection.MinError(evs); got.ErrorPct != 0.5 {
+		t.Errorf("MinError picked %.2f", got.ErrorPct)
+	}
+	// Threshold 1%: eligible are 0.5 (frac .20) and 0.9 (frac .02) →
+	// smallest selection wins.
+	if got := selection.SmallestUnderThreshold(evs, 1); got.ErrorPct != 0.9 {
+		t.Errorf("threshold 1%% picked error %.2f", got.ErrorPct)
+	}
+	// Threshold 10%: the 9%-error config with the tiniest selection wins.
+	if got := selection.SmallestUnderThreshold(evs, 10); got.ErrorPct != 9.0 {
+		t.Errorf("threshold 10%% picked error %.2f", got.ErrorPct)
+	}
+	// Threshold below every error: falls back to min error.
+	if got := selection.SmallestUnderThreshold(evs, 0.1); got.ErrorPct != 0.5 {
+		t.Errorf("fallback picked error %.2f", got.ErrorPct)
+	}
+	// Ties on error break toward the smaller selection.
+	tie := []*selection.Evaluation{mk(1, 0.5), mk(1, 0.1)}
+	if got := selection.MinError(tie); got.SelectedFrac != 0.1 {
+		t.Error("tie must break toward the smaller selection")
+	}
+}
+
+// TestThresholdMonotonicity: relaxing the threshold never shrinks the
+// speedup (Figure 7's monotone trade-off).
+func TestThresholdMonotonicity(t *testing.T) {
+	p := phasedProfile(t, 120, 7, 0.05, 4)
+	evs, err := selection.EvaluateAll(p, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, thr := range []float64{0.5, 1, 2, 3, 5, 8, 10} {
+		ev := selection.SmallestUnderThreshold(evs, thr)
+		if ev.Speedup < prev {
+			t.Errorf("threshold %.1f: speedup %.1f below previous %.1f", thr, ev.Speedup, prev)
+		}
+		prev = ev.Speedup
+	}
+}
+
+func TestCrossErrorIdentityAndShift(t *testing.T) {
+	p := phasedProfile(t, 100, 10, 0, 5)
+	ev, err := selection.Evaluate(p, selection.Config{Scheme: intervals.Kernel, Feature: features.BB}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same times: cross error equals the original error.
+	times := make([]float64, len(p.Invocations))
+	for i := range p.Invocations {
+		times[p.Invocations[i].Seq] = p.Invocations[i].TimeSec * 1e9
+	}
+	e, err := selection.CrossError(ev, p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-ev.ErrorPct) > 1e-9 {
+		t.Errorf("identity cross error %g vs %g", e, ev.ErrorPct)
+	}
+	// Uniformly scaled times: SPI scales identically in both measured and
+	// projected values, so the error is unchanged.
+	for i := range times {
+		times[i] *= 2
+	}
+	e2, err := selection.CrossError(ev, p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e2-ev.ErrorPct) > 1e-9 {
+		t.Errorf("uniform scaling changed the error: %g vs %g", e2, ev.ErrorPct)
+	}
+	// Phase-selective slowdown (only kB slows): a representative-based
+	// projection should track it closely since selections cover both
+	// phases.
+	for i := range p.Invocations {
+		if p.Invocations[i].KernelIdx == 1 {
+			times[p.Invocations[i].Seq] *= 1.5
+		}
+	}
+	e3, err := selection.CrossError(ev, p, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3 > 5 {
+		t.Errorf("phase-selective shift error %.2f%% too large", e3)
+	}
+}
+
+func TestCrossErrorValidatesLength(t *testing.T) {
+	p := phasedProfile(t, 10, 2, 0, 6)
+	ev, err := selection.Evaluate(p, selection.Config{Scheme: intervals.Kernel, Feature: features.BB}, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := selection.CrossError(ev, p, make([]float64, 3)); err == nil {
+		t.Error("expected error for short timing slice")
+	}
+}
+
+func TestRetimePreservesStructure(t *testing.T) {
+	p := phasedProfile(t, 20, 5, 0, 7)
+	ivs, err := intervals.Divide(p, intervals.Sync, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := make([]float64, len(p.Invocations))
+	for i := range times {
+		times[i] = 42 // ns
+	}
+	np, err := p.WithTimes(times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := selection.Retime(ivs, np)
+	for i, iv := range re {
+		if iv.Start != ivs[i].Start || iv.End != ivs[i].End || iv.Instrs != ivs[i].Instrs {
+			t.Errorf("interval %d structure changed", i)
+		}
+		want := 42e-9 * float64(iv.Invocations())
+		if math.Abs(iv.TimeSec-want) > 1e-15 {
+			t.Errorf("interval %d time = %g, want %g", i, iv.TimeSec, want)
+		}
+	}
+}
+
+func TestAllConfigsEnumeration(t *testing.T) {
+	cfgs := selection.AllConfigs()
+	if len(cfgs) != 30 {
+		t.Fatalf("configs = %d", len(cfgs))
+	}
+	if cfgs[0].String() != "Sync/KN" {
+		t.Errorf("first config = %s", cfgs[0])
+	}
+	if cfgs[29].String() != "Single/BB-(R+W)" {
+		t.Errorf("last config = %s", cfgs[29])
+	}
+}

@@ -1,0 +1,147 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gtpin/internal/features"
+)
+
+// TestSingleInterval: one interval clusters to itself with ratio 1.
+func TestSingleInterval(t *testing.T) {
+	res, err := Run([]features.Vector{{1: 5}}, []float64{100}, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 || len(res.Selections) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Selections[0].Interval != 0 || res.Selections[0].Ratio != 1 {
+		t.Errorf("selection = %+v", res.Selections[0])
+	}
+}
+
+// TestMaxKAboveN: MaxK larger than the interval count is clamped.
+func TestMaxKAboveN(t *testing.T) {
+	vecs := []features.Vector{{1: 1}, {2: 1}, {3: 1}}
+	res, err := Run(vecs, []float64{1, 1, 1}, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 {
+		t.Errorf("K = %d with 3 intervals", res.K)
+	}
+}
+
+// TestZeroWeightIntervalsTolerated: intervals with zero weight (empty
+// sync regions would have zero instructions) do not break clustering and
+// get zero representation.
+func TestZeroWeightIntervalsTolerated(t *testing.T) {
+	vecs := []features.Vector{{1: 10}, {2: 10}, {1: 10}}
+	weights := []float64{100, 0, 100}
+	res, err := Run(vecs, weights, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range res.Selections {
+		sum += s.Ratio
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ratios sum to %f", sum)
+	}
+}
+
+// TestEmptyClusterReseed: ask for more clusters than distinct points and
+// ensure selections stay well-formed (empty clusters are dropped or
+// reseeded, never returned with NaN ratios).
+func TestEmptyClusterReseed(t *testing.T) {
+	vecs := make([]features.Vector, 12)
+	weights := make([]float64, 12)
+	for i := range vecs {
+		// Only two distinct points.
+		if i%2 == 0 {
+			vecs[i] = features.Vector{1: 1}
+		} else {
+			vecs[i] = features.Vector{2: 1}
+		}
+		weights[i] = 1
+	}
+	cfg := DefaultConfig(4)
+	cfg.MaxK = 8
+	cfg.BICFrac = 1 // force the largest-BIC candidate
+	res, err := Run(vecs, weights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range res.Selections {
+		if math.IsNaN(s.Ratio) || s.Ratio < 0 {
+			t.Fatalf("bad ratio %f", s.Ratio)
+		}
+		sum += s.Ratio
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ratios sum to %f", sum)
+	}
+}
+
+// TestBICReported: every candidate k gets a BIC score.
+func TestBICReported(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vecs, _ := clusteredVectors(rng, 30, 3)
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	res, err := Run(vecs, weights, DefaultConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BIC) != 10 {
+		t.Fatalf("BIC scores = %d, want 10", len(res.BIC))
+	}
+	for i, b := range res.BIC {
+		if math.IsNaN(b) {
+			t.Errorf("BIC[%d] is NaN", i)
+		}
+	}
+}
+
+// TestSampleIndicesProperties: systematic weighted sampling returns
+// sorted, distinct, in-range indices and favours heavy intervals.
+func TestSampleIndicesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	weights := make([]float64, 1000)
+	for i := range weights {
+		weights[i] = 1
+	}
+	weights[500] = 500 // one very heavy interval
+	idx := sampleIndices(weights, 100, rng)
+	if len(idx) == 0 || len(idx) > 100 {
+		t.Fatalf("sampled %d", len(idx))
+	}
+	seen := map[int]bool{}
+	prev := -1
+	found500 := false
+	for _, i := range idx {
+		if i <= prev {
+			t.Fatal("indices not strictly increasing")
+		}
+		prev = i
+		if i < 0 || i >= len(weights) {
+			t.Fatalf("index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+		if i == 500 {
+			found500 = true
+		}
+	}
+	if !found500 {
+		t.Error("heavy interval not sampled")
+	}
+}

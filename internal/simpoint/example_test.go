@@ -1,0 +1,36 @@
+package simpoint_test
+
+import (
+	"fmt"
+
+	"gtpin/internal/features"
+	"gtpin/internal/simpoint"
+)
+
+// Cluster a two-phase interval sequence: six intervals of phase A and
+// two heavy intervals of phase B collapse to two representatives whose
+// ratios reflect the instruction mass.
+func Example() {
+	var vecs []features.Vector
+	var weights []float64
+	for i := 0; i < 6; i++ {
+		vecs = append(vecs, features.Vector{1: 100}) // phase A
+		weights = append(weights, 100)
+	}
+	for i := 0; i < 2; i++ {
+		vecs = append(vecs, features.Vector{2: 100}) // phase B
+		weights = append(weights, 200)
+	}
+	res, err := simpoint.Run(vecs, weights, simpoint.DefaultConfig(42))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("clusters: %d\n", res.K)
+	for _, s := range res.Selections {
+		fmt.Printf("representative interval %d carries ratio %.1f\n", s.Interval, s.Ratio)
+	}
+	// Output:
+	// clusters: 2
+	// representative interval 0 carries ratio 0.6
+	// representative interval 6 carries ratio 0.4
+}

@@ -1,0 +1,269 @@
+package simpoint
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gtpin/internal/features"
+)
+
+// clusteredVectors builds n vectors drawn from k well-separated sparse
+// prototypes; returns the vectors and their true cluster labels.
+func clusteredVectors(rng *rand.Rand, n, k int) ([]features.Vector, []int) {
+	vecs := make([]features.Vector, n)
+	labels := make([]int, n)
+	for i := range vecs {
+		c := i % k
+		labels[i] = c
+		v := make(features.Vector)
+		// Prototype: two dominant keys per cluster, far apart in key
+		// space, plus small noise on a shared key.
+		v[uint64(1000*c+1)] = 100 + rng.Float64()
+		v[uint64(1000*c+2)] = 50 + rng.Float64()
+		v[9999] = rng.Float64() * 2
+		vecs[i] = v
+	}
+	return vecs, labels
+}
+
+func TestClusterRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs, labels := clusteredVectors(rng, 60, 3)
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = 100
+	}
+	res, err := Run(vecs, weights, DefaultConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purity: a k-means cluster must never mix two true clusters (it may
+	// legitimately subdivide one along the noise dimension).
+	clusterLabel := map[int]int{} // k-means cluster -> true label
+	for i, a := range res.Assign {
+		if prev, ok := clusterLabel[a]; ok {
+			if prev != labels[i] {
+				t.Fatalf("k-means cluster %d mixes true clusters %d and %d", a, prev, labels[i])
+			}
+		} else {
+			clusterLabel[a] = labels[i]
+		}
+	}
+	// Every true cluster carries 1/3 of the weight; the representation
+	// ratios of its selections must sum to 1/3.
+	mass := map[int]float64{}
+	for _, s := range res.Selections {
+		mass[labels[s.Interval]] += s.Ratio
+	}
+	for label := 0; label < 3; label++ {
+		if math.Abs(mass[label]-1.0/3) > 1e-9 {
+			t.Errorf("true cluster %d ratio mass = %f, want 1/3", label, mass[label])
+		}
+	}
+}
+
+func TestRatiosSumToOneAndReflectWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	vecs, labels := clusteredVectors(rng, 30, 2)
+	weights := make([]float64, len(vecs))
+	// Cluster 0 carries 90% of the weight.
+	var total float64
+	for i := range weights {
+		if labels[i] == 0 {
+			weights[i] = 900
+		} else {
+			weights[i] = 100
+		}
+		total += weights[i]
+	}
+	res, err := Run(vecs, weights, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	heavy := 0.0
+	for _, s := range res.Selections {
+		sum += s.Ratio
+		if labels[s.Interval] == 0 {
+			heavy += s.Ratio
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ratios sum to %f", sum)
+	}
+	// Representatives drawn from the heavy true cluster must carry its
+	// weight share (clustering may legitimately subdivide it).
+	if math.Abs(heavy-0.9) > 1e-9 {
+		t.Errorf("heavy-cluster ratio mass = %f, want 0.9", heavy)
+	}
+}
+
+func TestIdenticalVectorsCollapse(t *testing.T) {
+	vecs := make([]features.Vector, 20)
+	weights := make([]float64, 20)
+	for i := range vecs {
+		vecs[i] = features.Vector{1: 10, 2: 20}
+		weights[i] = 50
+	}
+	res, err := Run(vecs, weights, DefaultConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 1 {
+		t.Errorf("identical vectors should collapse to 1 cluster under BIC, got %d", res.K)
+	}
+	if len(res.Selections) != 1 || math.Abs(res.Selections[0].Ratio-1) > 1e-9 {
+		t.Errorf("selections = %+v", res.Selections)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vecs, _ := clusteredVectors(rng, 40, 4)
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = float64(10 + i)
+	}
+	r1, err := Run(vecs, weights, DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(vecs, weights, DefaultConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Selections, r2.Selections) || !reflect.DeepEqual(r1.Assign, r2.Assign) {
+		t.Error("same seed must give identical clustering")
+	}
+}
+
+func TestMaxKRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	vecs, _ := clusteredVectors(rng, 50, 10)
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	cfg := DefaultConfig(4)
+	cfg.MaxK = 3
+	res, err := Run(vecs, weights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 3 || len(res.Selections) > 3 {
+		t.Errorf("K = %d, selections = %d, max 3", res.K, len(res.Selections))
+	}
+}
+
+func TestSampledPathMatchesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	vecs, _ := clusteredVectors(rng, 500, 4)
+	weights := make([]float64, len(vecs))
+	for i := range weights {
+		weights[i] = float64(1 + i%7)
+	}
+	cfg := DefaultConfig(5)
+	cfg.MaxSample = 100 // force the sampled path
+	res, err := Run(vecs, weights, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assign) != len(vecs) {
+		t.Fatalf("assign covers %d of %d", len(res.Assign), len(vecs))
+	}
+	sum := 0.0
+	for _, s := range res.Selections {
+		sum += s.Ratio
+		if s.Interval < 0 || s.Interval >= len(vecs) {
+			t.Errorf("selection index %d out of range", s.Interval)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ratios sum to %f", sum)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	if _, err := Run(nil, nil, DefaultConfig(1)); err == nil {
+		t.Error("expected error for no intervals")
+	}
+	v := []features.Vector{{1: 1}}
+	if _, err := Run(v, []float64{1, 2}, DefaultConfig(1)); err == nil {
+		t.Error("expected error for weight mismatch")
+	}
+	if _, err := Run(v, []float64{-1}, DefaultConfig(1)); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	if _, err := Run(v, []float64{0}, DefaultConfig(1)); err == nil {
+		t.Error("expected error for zero total weight")
+	}
+	bad := DefaultConfig(1)
+	bad.MaxK = 0
+	if _, err := Run(v, []float64{1}, bad); err == nil {
+		t.Error("expected error for MaxK=0")
+	}
+}
+
+func TestProjectionProperties(t *testing.T) {
+	// Identical vectors project identically; proportional vectors too
+	// (L1 normalization removes scale).
+	a := features.Vector{5: 10, 9: 30}
+	b := features.Vector{5: 20, 9: 60}
+	pts := Project([]features.Vector{a, b}, 15)
+	for j := range pts[0] {
+		if math.Abs(pts[0][j]-pts[1][j]) > 1e-12 {
+			t.Fatalf("proportional vectors project differently at dim %d", j)
+		}
+	}
+	// Disjoint vectors should (almost surely) differ.
+	c := features.Vector{77: 10}
+	pts2 := Project([]features.Vector{a, c}, 15)
+	same := true
+	for j := range pts2[0] {
+		if pts2[0][j] != pts2[1][j] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct vectors projected identically")
+	}
+	// Empty vector projects to the origin.
+	pts3 := Project([]features.Vector{{}}, 15)
+	for _, x := range pts3[0] {
+		if x != 0 {
+			t.Error("empty vector must project to origin")
+		}
+	}
+}
+
+func TestDirectionIsBounded(t *testing.T) {
+	for key := uint64(0); key < 500; key++ {
+		for j := 0; j < 15; j++ {
+			d := direction(key, j)
+			if d < -1 || d >= 1 {
+				t.Fatalf("direction(%d, %d) = %f out of [-1, 1)", key, j, d)
+			}
+		}
+	}
+}
+
+func TestBICPrefersFewClustersForNoise(t *testing.T) {
+	// One tight cluster: more clusters must not win by a large margin —
+	// the chosen K should be small.
+	vecs := make([]features.Vector, 30)
+	weights := make([]float64, 30)
+	rng := rand.New(rand.NewSource(16))
+	for i := range vecs {
+		vecs[i] = features.Vector{1: 100 + rng.Float64()*0.01, 2: 50}
+		weights[i] = 1
+	}
+	res, err := Run(vecs, weights, DefaultConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K > 2 {
+		t.Errorf("near-identical vectors produced K=%d", res.K)
+	}
+}

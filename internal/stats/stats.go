@@ -1,0 +1,99 @@
+// Package stats provides the small statistical helpers the
+// characterization and selection harnesses share.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, or 0 if the
+// slice is empty or contains a non-positive value.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min returns the minimum, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// WeightedMean returns Σ w·x / Σ w, or 0 when weights sum to 0.
+func WeightedMean(xs, ws []float64) float64 {
+	var sx, sw float64
+	for i, x := range xs {
+		sx += ws[i] * x
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// Pct returns 100·part/whole, or 0 when whole is 0.
+func Pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

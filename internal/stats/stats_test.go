@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if !approx(Mean([]float64{1, 2, 3}), 2) {
+		t.Error("mean")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if !approx(GeoMean([]float64{2, 8}), 4) {
+		t.Errorf("geomean = %f", GeoMean([]float64{2, 8}))
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive input must yield 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if Min(xs) != 1 || Max(xs) != 5 {
+		t.Error("min/max")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty min/max")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if !approx(Median([]float64{5, 1, 3}), 3) {
+		t.Error("odd median")
+	}
+	if !approx(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("median mutated input")
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	if !approx(WeightedMean([]float64{1, 3}, []float64{1, 3}), 2.5) {
+		t.Error("weighted mean")
+	}
+	if WeightedMean([]float64{1}, []float64{0}) != 0 {
+		t.Error("zero weights")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if !approx(Pct(1, 4), 25) {
+		t.Error("pct")
+	}
+	if Pct(1, 0) != 0 {
+		t.Error("pct of zero whole")
+	}
+}
+
+// Property: mean is bounded by min and max.
+func TestMeanBounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,433 @@
+package workloads
+
+// The six CompuBench CL 1.2 Desktop applications (Table I).
+
+import (
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// dim scales a global work size, keeping it a positive multiple of 16 so
+// full SIMD16 channel-groups dispatch without partial masking.
+func dim(sc Scale, base int) int {
+	n := int(float64(base) * sc.Data)
+	n -= n % 16
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// loops scales an inner-loop trip count with a floor of min.
+func loops(sc Scale, base int, min int) uint32 {
+	n := int(float64(base) * sc.Iters)
+	if n < min {
+		n = min
+	}
+	return uint32(n)
+}
+
+func init() {
+	register(&Spec{
+		Name:  "cb-graphics-t-rex",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 48, Instrs: 150e9},
+		Build: buildTRex,
+	})
+	register(&Spec{
+		Name:  "cb-physics-ocean-surf",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 11, Instrs: 95e9},
+		Build: buildOceanSurf,
+	})
+	register(&Spec{
+		Name:  "cb-throughput-bitcoin",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 4.5, UniqueKernels: 3, Instrs: 200e9},
+		Build: buildBitcoin,
+	})
+	register(&Spec{
+		Name:  "cb-vision-facedetect",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 10, UniqueBlocks: 11500, Instrs: 190e9},
+		Build: buildFaceDetect,
+	})
+	register(&Spec{
+		Name:  "cb-vision-tv-l1-of",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 8, Invocations: 18157, Instrs: 210e9},
+		Build: buildTVL1,
+	})
+	register(&Spec{
+		Name:  "cb-physics-part-sim-64k",
+		Suite: SuiteCompuBenchDesktop,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 6, Instrs: 250e9},
+		Build: buildPartSim64K,
+	})
+}
+
+// buildTRex models the T-Rex render: many specialized vertex and
+// fragment pipelines (48 unique kernels, the suite's largest roster)
+// feeding a post-process blur and a composite blend. Scene segments
+// alternate light and heavy shading every 25 frames.
+func buildTRex(sc Scale) (*App, error) {
+	const nVert, nFrag = 16, 28
+	var ks []*kernel.Kernel
+	for i := 0; i < nVert; i++ {
+		w := isa.W8
+		if i%4 == 0 {
+			w = isa.W16
+		}
+		ks = append(ks, newVertexTransformOpt("trex_vertex_"+itoa(i), w, i%4 == 1))
+	}
+	for i := 0; i < nFrag; i++ {
+		w := isa.W16
+		if i%2 == 1 {
+			w = isa.W8
+		}
+		ks = append(ks, newFragShade("trex_frag_"+itoa(i), w))
+	}
+	ks = append(ks, newBlur("trex_post_blur", isa.W16, 4))
+	ks = append(ks, newBlur("trex_shadow_blur", isa.W8, 4))
+	ks = append(ks, newBlend("trex_composite", isa.W8))
+	ks = append(ks, newBlend("trex_overlay", isa.W16))
+	prog, err := asm.Program("cb-graphics-t-rex", ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(280, sc.Invs, 4)
+	vertGWS := dim(sc, 512)
+	fragGWS := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		geom := h.buffer(vertGWS*12 + 4096)
+		tex := h.buffer(1 << 20)
+		fb := h.buffer(fragGWS*4 + 4096)
+		fb2 := h.buffer(fragGWS*4 + 4096)
+		h.upload(geom, 101)
+		h.upload(tex, 102)
+		p := h.build(prog)
+		verts := make([]*cl.Kernel, nVert)
+		frags := make([]*cl.Kernel, nFrag)
+		for i := range verts {
+			verts[i] = h.kernel(p, "trex_vertex_"+itoa(i))
+		}
+		for i := range frags {
+			frags[i] = h.kernel(p, "trex_frag_"+itoa(i))
+		}
+		blur := h.kernel(p, "trex_post_blur")
+		shadow := h.kernel(p, "trex_shadow_blur")
+		comp := h.kernel(p, "trex_composite")
+		over := h.kernel(p, "trex_overlay")
+
+		for f := 0; f < frames; f++ {
+			taps := loops(sc, 3, 1)
+			if (f/25)%2 == 1 {
+				taps = loops(sc, 7, 2) // heavy scene segment
+			}
+			// Each frame touches a rotating quarter of the pipelines.
+			for i := f % 4; i < nVert; i += 4 {
+				h.dispatch(verts[i], vertGWS,
+					[]uint32{uint32(200 + f%7), uint32(100 + i), uint32(50 + i)}, geom, geom)
+			}
+			for i := f % 4; i < nFrag; i += 4 {
+				h.dispatch(frags[i], fragGWS,
+					[]uint32{taps, uint32(180 + f%40)}, tex, fb)
+			}
+			h.dispatch(blur, fragGWS, []uint32{loops(sc, 3, 1)}, fb, fb2)
+			if f%2 == 0 {
+				h.dispatch(shadow, fragGWS, []uint32{loops(sc, 2, 1)}, fb2, fb)
+			}
+			h.dispatch(comp, fragGWS, []uint32{loops(sc, 2, 1), uint32(f % 256), 64}, fb, fb2, fb)
+			if f%3 == 2 {
+				h.dispatch(over, fragGWS, []uint32{loops(sc, 1, 1), 128, 64}, fb2, fb, fb2)
+			}
+			h.finish()
+			h.query(2)
+		}
+		h.read(fb, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-graphics-t-rex", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildOceanSurf models the ocean-surface simulation: eight FFT butterfly
+// passes per frame, two smoothing passes for normals, and a height scale.
+// Sea state alternates calm and storm phases every 75 frames (more
+// butterfly repetitions per pass in a storm).
+func buildOceanSurf(sc Scale) (*App, error) {
+	var ks []*kernel.Kernel
+	for s := 0; s < 8; s++ {
+		w := isa.W16
+		if s%2 == 1 {
+			w = isa.W8
+		}
+		ks = append(ks, newFFTPass("ocean_fft_s"+itoa(s), w))
+	}
+	ks = append(ks,
+		newJacobi("ocean_normals_x", isa.W8),
+		newJacobi("ocean_normals_y", isa.W8),
+		newStreamScale("ocean_height", isa.W16))
+	prog, err := asm.Program("cb-physics-ocean-surf", ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(520, sc.Invs, 4)
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		field := h.buffer(gws*8 + 8192)
+		normals := h.buffer(gws*4 + 8192)
+		h.upload(field, 201)
+		p := h.build(prog)
+		ffts := make([]*cl.Kernel, 8)
+		for s := range ffts {
+			ffts[s] = h.kernel(p, "ocean_fft_s"+itoa(s))
+		}
+		nx := h.kernel(p, "ocean_normals_x")
+		ny := h.kernel(p, "ocean_normals_y")
+		hs := h.kernel(p, "ocean_height")
+
+		for f := 0; f < frames; f++ {
+			reps := loops(sc, 2, 1)
+			if (f/75)%2 == 1 {
+				reps = loops(sc, 4, 2) // storm phase
+			}
+			for s, k := range ffts {
+				h.dispatch(k, gws, []uint32{reps, uint32(s)}, field)
+			}
+			h.dispatch(nx, gws, []uint32{loops(sc, 2, 1), 64}, field, normals)
+			h.dispatch(ny, gws, []uint32{loops(sc, 2, 1), 1}, field, normals)
+			h.dispatch(hs, gws, []uint32{loops(sc, 1, 1), uint32(3 + f%5), 17}, field, field)
+			h.finish()
+		}
+		h.read(normals, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-physics-ocean-surf", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildBitcoin models the throughput bitcoin miner: few kernels, long
+// hashing loops, and an API stream dominated by "other" calls (nonce
+// updates and status polling) — the application with the paper's lowest
+// kernel-call share, 4.5%.
+func buildBitcoin(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-throughput-bitcoin",
+		newHashRounds("btc_search", isa.W16),
+		newHashRounds("btc_verify", isa.W8),
+		newReduce("btc_collect", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	batches := sc.N(340, sc.Invs, 3)
+	gws := dim(sc, 2048)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		digests := h.buffer(gws*4 + 4096)
+		partials := h.buffer(1 << 16)
+		p := h.build(prog)
+		search := h.kernel(p, "btc_search")
+		verify := h.kernel(p, "btc_verify")
+		collect := h.kernel(p, "btc_collect")
+
+		for b := 0; b < batches; b++ {
+			// Nonce churn: the host updates many parameters and polls
+			// status between dispatches (the "other"-call deluge).
+			h.query(9)
+			h.dispatch(search, gws, []uint32{loops(sc, 16, 4), uint32(0x5bd1e995 + b)}, digests)
+			h.query(7)
+			h.dispatch(verify, gws, []uint32{loops(sc, 6, 2), uint32(0x9e3779b9 + b)}, digests)
+			h.query(5)
+			if b%8 == 7 {
+				h.dispatch(collect, dim(sc, 256), []uint32{loops(sc, 4, 1)}, digests, partials)
+				h.finish()
+				h.query(4)
+			}
+		}
+		h.finish()
+		h.read(partials, 2048)
+		return h.done()
+	}
+	return &App{Name: "cb-throughput-bitcoin", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildFaceDetect models the Viola-Jones-style detector: an integral
+// pass, a pyramid downscale, and eight branchy classifier cascades (one
+// per pyramid scale, 1400 stages each) whose early-exit depth depends on
+// the data — the application with the paper's largest unique-basic-block
+// count (~11,500).
+func buildFaceDetect(sc Scale) (*App, error) {
+	stages := 1400
+	if sc.Iters < 1 {
+		stages = int(1400 * sc.Iters)
+		if stages < 32 {
+			stages = 32
+		}
+	}
+	const scales = 8
+	var ks []*kernel.Kernel
+	for s := 0; s < scales; s++ {
+		w := isa.W16
+		if s%2 == 1 {
+			w = isa.W8
+		}
+		ks = append(ks, newCascade("face_cascade_s"+itoa(s), w, stages))
+	}
+	ks = append(ks,
+		newReduce("face_integral", isa.W16),
+		newStreamScale("face_pyramid", isa.W8))
+	prog, err := asm.Program("cb-vision-facedetect", ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(330, sc.Invs, 4)
+	gws := dim(sc, 512)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		img := h.buffer(1 << 18)
+		out := h.buffer(gws*4 + 4096)
+		h.upload(img, 301)
+		p := h.build(prog)
+		cascades := make([]*cl.Kernel, scales)
+		for s := range cascades {
+			cascades[s] = h.kernel(p, "face_cascade_s"+itoa(s))
+		}
+		integral := h.kernel(p, "face_integral")
+		pyramid := h.kernel(p, "face_pyramid")
+
+		for f := 0; f < frames; f++ {
+			h.dispatch(integral, dim(sc, 256), []uint32{loops(sc, 3, 1)}, img, out)
+			h.dispatch(pyramid, gws, []uint32{loops(sc, 2, 1), 3, uint32(f)}, img, img)
+			for s, k := range cascades {
+				// Rejection threshold ≈ 0.82 of the u32 range: a stage
+				// rejects when all 16 lanes fall below it, with
+				// probability (t/2³²)¹⁶ ≈ 4%, so the data-dependent
+				// survival depth averages ~25 stages and drifts with the
+				// scale (s) and the scene (f).
+				thresh := uint32(0xD1000000) + uint32(s)*0x00400000 + uint32(f%16)*0x00080000
+				h.dispatch(k, gws, []uint32{thresh}, img, out)
+			}
+			h.finish()
+			if f%10 == 9 {
+				h.read(out, 2048)
+			}
+		}
+		return h.done()
+	}
+	return &App{Name: "cb-vision-facedetect", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildTVL1 models the TV-L1 optical flow solver: per frame, one motion
+// warp then a fixed-point loop of small smoothing dispatches — the
+// invocation-heaviest application, matching the paper's 18K+ maximum.
+func buildTVL1(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-vision-tv-l1-of",
+		newMotionEstimate("tvl1_warp", isa.W16),
+		newJacobi("tvl1_smooth_u", isa.W16),
+		newJacobi("tvl1_smooth_v", isa.W8),
+		newStreamScale("tvl1_update", isa.W8),
+		newBlur("tvl1_pyr_down", isa.W16, 4))
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(1430, sc.Invs, 4)
+	gws := dim(sc, 512)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		ref := h.buffer(1 << 18)
+		cur := h.buffer(1 << 18)
+		flow := h.buffer(gws*4 + 8192)
+		h.upload(ref, 401)
+		h.upload(cur, 402)
+		p := h.build(prog)
+		warp := h.kernel(p, "tvl1_warp")
+		su := h.kernel(p, "tvl1_smooth_u")
+		sv := h.kernel(p, "tvl1_smooth_v")
+		up := h.kernel(p, "tvl1_update")
+		down := h.kernel(p, "tvl1_pyr_down")
+
+		for f := 0; f < frames; f++ {
+			if f%16 == 0 {
+				h.dispatch(down, gws, []uint32{loops(sc, 2, 1)}, cur, ref)
+			}
+			h.dispatch(warp, gws, []uint32{loops(sc, 4, 2)}, ref, cur, flow)
+			iters := 4
+			if (f/100)%3 == 2 {
+				iters = 7 // hard-motion segment needs more solver steps
+			}
+			for it := 0; it < iters; it++ {
+				h.dispatch(su, gws, []uint32{loops(sc, 1, 1), 64}, flow, flow)
+				h.dispatch(sv, gws, []uint32{loops(sc, 1, 1), 1}, flow, flow)
+			}
+			h.dispatch(up, gws, []uint32{loops(sc, 1, 1), 2, 1}, flow, flow)
+			h.wait()
+		}
+		h.read(flow, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-vision-tv-l1-of", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildPartSim64K models the 64K-particle simulation: near- and
+// far-field force kernels, collision clamping, and integration, with the
+// interaction count rising in a "clustering" phase.
+func buildPartSim64K(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-physics-part-sim-64k",
+		newNBody("psim64_force_near", isa.W16),
+		newNBody("psim64_force_far", isa.W8),
+		newStreamScale("psim64_integrate", isa.W16),
+		newJacobi("psim64_collide", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	steps := sc.N(520, sc.Invs, 4)
+	gws := dim(sc, 4096)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		pos := h.buffer(gws*4 + 8192)
+		force := h.buffer(gws*4 + 8192)
+		h.upload(pos, 501)
+		p := h.build(prog)
+		near := h.kernel(p, "psim64_force_near")
+		far := h.kernel(p, "psim64_force_far")
+		integ := h.kernel(p, "psim64_integrate")
+		collide := h.kernel(p, "psim64_collide")
+
+		for s := 0; s < steps; s++ {
+			count := loops(sc, 8, 2)
+			if (s/120)%2 == 1 {
+				count = loops(sc, 14, 3) // clustered phase: more neighbours
+			}
+			h.dispatch(near, gws, []uint32{count}, pos, force)
+			h.dispatch(far, gws, []uint32{loops(sc, 4, 1)}, pos, force)
+			h.dispatch(integ, gws, []uint32{loops(sc, 1, 1), 1, uint32(s % 17)}, force, pos)
+			if s%4 == 3 {
+				h.dispatch(collide, gws, []uint32{loops(sc, 1, 1), 8}, pos, pos)
+			}
+			h.finish()
+		}
+		h.read(pos, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-physics-part-sim-64k", Suite: SuiteCompuBenchDesktop,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}

@@ -1,0 +1,475 @@
+package workloads
+
+// The nine CompuBench CL 1.2 Mobile applications (Table I).
+
+import (
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "cb-graphics-provence",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 20, Instrs: 60e9},
+		Build: buildProvence,
+	})
+	register(&Spec{
+		Name:  "cb-gaussian-buffer",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 2, Instrs: 60e9},
+		Build: buildGaussianBuffer,
+	})
+	register(&Spec{
+		Name:  "cb-gaussian-image",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{UniqueKernels: 2, Invocations: 56, Instrs: 3.7e9},
+		Build: buildGaussianImage,
+	})
+	register(&Spec{
+		Name:  "cb-histogram-buffer",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 3, Instrs: 45e9},
+		Build: buildHistogramBuffer,
+	})
+	register(&Spec{
+		Name:  "cb-histogram-image",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 3, Instrs: 30e9},
+		Build: buildHistogramImage,
+	})
+	register(&Spec{
+		Name:  "cb-physics-part-sim-32k",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 76.5, UniqueKernels: 3, Instrs: 250e9},
+		Build: buildPartSim32K,
+	})
+	register(&Spec{
+		Name:  "cb-throughput-ao",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 5, Instrs: 150e9},
+		Build: buildThroughputAO,
+	})
+	register(&Spec{
+		Name:  "cb-throughput-juliaset",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{APICalls: 703, SyncPct: 25.7, UniqueKernels: 2, Instrs: 160e9},
+		Build: buildJuliaset,
+	})
+	register(&Spec{
+		Name:  "cb-vision-facedetect-m",
+		Suite: SuiteCompuBenchMobile,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 8, Instrs: 80e9},
+		Build: buildFaceDetectMobile,
+	})
+}
+
+// buildProvence models the Provence scene render: a lighter sibling of
+// T-Rex with 20 unique pipelines and smaller framebuffers.
+func buildProvence(sc Scale) (*App, error) {
+	const nVert, nFrag = 7, 10
+	var ks []*kernel.Kernel
+	for i := 0; i < nVert; i++ {
+		ks = append(ks, newVertexTransformOpt("prov_vertex_"+itoa(i), isa.W8, i%3 == 1))
+	}
+	for i := 0; i < nFrag; i++ {
+		w := isa.W16
+		if i%3 == 2 {
+			w = isa.W8
+		}
+		ks = append(ks, newFragShade("prov_frag_"+itoa(i), w))
+	}
+	ks = append(ks, newBlend("prov_composite", isa.W8),
+		newBlur("prov_bloom", isa.W16, 4),
+		newStreamScale("prov_tonemap", isa.W8))
+	prog, err := asm.Program("cb-graphics-provence", ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(310, sc.Invs, 4)
+	vertGWS := dim(sc, 512)
+	fragGWS := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		geom := h.buffer(vertGWS*12 + 4096)
+		tex := h.buffer(1 << 19)
+		fb := h.buffer(fragGWS*4 + 4096)
+		fb2 := h.buffer(fragGWS*4 + 4096)
+		h.upload(geom, 111)
+		h.upload(tex, 112)
+		p := h.build(prog)
+		verts := make([]*cl.Kernel, nVert)
+		frags := make([]*cl.Kernel, nFrag)
+		for i := range verts {
+			verts[i] = h.kernel(p, "prov_vertex_"+itoa(i))
+		}
+		for i := range frags {
+			frags[i] = h.kernel(p, "prov_frag_"+itoa(i))
+		}
+		comp := h.kernel(p, "prov_composite")
+		bloom := h.kernel(p, "prov_bloom")
+		tone := h.kernel(p, "prov_tonemap")
+
+		for f := 0; f < frames; f++ {
+			taps := loops(sc, 2, 1)
+			if (f/35)%2 == 1 {
+				taps = loops(sc, 5, 2)
+			}
+			for i := f % 3; i < nVert; i += 3 {
+				h.dispatch(verts[i], vertGWS,
+					[]uint32{uint32(90 + f%11), uint32(60 + i), uint32(30 + i)}, geom, geom)
+			}
+			for i := f % 3; i < nFrag; i += 3 {
+				h.dispatch(frags[i], fragGWS, []uint32{taps, uint32(160 + f%30)}, tex, fb)
+			}
+			h.dispatch(bloom, fragGWS, []uint32{loops(sc, 2, 1)}, fb, fb2)
+			h.dispatch(comp, fragGWS, []uint32{loops(sc, 2, 1), uint32(96 + f%64), 64}, fb, fb2, fb)
+			if f%2 == 1 {
+				h.dispatch(tone, fragGWS, []uint32{loops(sc, 1, 1), 3, 9}, fb, fb)
+			}
+			h.finish()
+			h.query(2)
+		}
+		h.read(fb, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-graphics-provence", Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// gaussianApp is shared by the buffer and image Gaussian-blur variants;
+// the image variant synchronizes with image reads/copies (two of the
+// seven sync calls) and runs far fewer, larger invocations — it is the
+// paper's shortest benchmark by kernel invocations and its worst
+// cross-architecture case.
+func gaussianApp(name string, image bool, sc Scale) (*App, error) {
+	prog, err := asm.Program(name,
+		newBlur(name+"_h", isa.W16, 4),
+		newBlur(name+"_v", isa.W8, 4))
+	if err != nil {
+		return nil, err
+	}
+
+	var frames, gws int
+	if image {
+		frames = sc.N(28, sc.Invs, 2) // 2 invocations per frame ⇒ ~56
+		gws = dim(sc, 4096)
+	} else {
+		frames = sc.N(800, sc.Invs, 4)
+		gws = dim(sc, 1024)
+	}
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		src := h.buffer(gws*4 + 16384)
+		tmp := h.buffer(gws*4 + 16384)
+		dst := h.buffer(gws*4 + 16384)
+		h.upload(src, 121)
+		p := h.build(prog)
+		kh := h.kernel(p, name+"_h")
+		kv := h.kernel(p, name+"_v")
+
+		for f := 0; f < frames; f++ {
+			radius := loops(sc, 4, 2)
+			if image {
+				radius = loops(sc, 40, 6) // fewer but much longer invocations
+			} else if (f/70)%2 == 1 {
+				radius = loops(sc, 9, 3)
+			}
+			h.dispatch(kh, gws, []uint32{radius}, src, tmp)
+			h.dispatch(kv, gws, []uint32{radius}, tmp, dst)
+			if image {
+				h.readImage(dst, 4096)
+				h.copyImg(dst, src, 8192)
+			} else {
+				h.copyBuf(dst, src, 8192)
+			}
+		}
+		h.read(dst, 4096)
+		return h.done()
+	}
+	return &App{Name: name, Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+func buildGaussianBuffer(sc Scale) (*App, error) { return gaussianApp("cb-gaussian-buffer", false, sc) }
+func buildGaussianImage(sc Scale) (*App, error)  { return gaussianApp("cb-gaussian-image", true, sc) }
+
+// histogramApp is shared by the buffer and image histogram variants.
+func histogramApp(name string, image bool, sc Scale) (*App, error) {
+	countW := isa.W16
+	if image {
+		countW = isa.W8
+	}
+	prog, err := asm.Program(name,
+		newHistogram(name+"_count", countW, 4),
+		newReduce(name+"_merge", isa.W8),
+		newStreamScale(name+"_normalize", isa.W16))
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(600, sc.Invs, 4)
+	if image {
+		frames = sc.N(380, sc.Invs, 4)
+	}
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		data := h.buffer(1 << 19)
+		hist := h.buffer(1 << 14)
+		h.upload(data, 131)
+		p := h.build(prog)
+		count := h.kernel(p, name+"_count")
+		merge := h.kernel(p, name+"_merge")
+		norm := h.kernel(p, name+"_normalize")
+
+		for f := 0; f < frames; f++ {
+			per := loops(sc, 6, 2)
+			if (f/60)%2 == 1 {
+				per = loops(sc, 11, 3) // high-entropy segment
+			}
+			h.dispatch(count, gws, []uint32{per}, data, hist)
+			if f%4 == 3 {
+				h.dispatch(merge, dim(sc, 128), []uint32{loops(sc, 2, 1)}, hist, hist)
+				h.dispatch(norm, dim(sc, 256), []uint32{loops(sc, 1, 1), 3, 1}, hist, hist)
+			}
+			if image {
+				h.readImage(hist, 1024)
+			} else {
+				h.finish()
+			}
+		}
+		h.read(hist, 1024)
+		return h.done()
+	}
+	return &App{Name: name, Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+func buildHistogramBuffer(sc Scale) (*App, error) {
+	return histogramApp("cb-histogram-buffer", false, sc)
+}
+func buildHistogramImage(sc Scale) (*App, error) { return histogramApp("cb-histogram-image", true, sc) }
+
+// buildPartSim32K models the 32K-particle simulation. Its host sets
+// arguments once and then streams bare enqueues — the paper's highest
+// kernel-call share at 76.5% of API calls.
+func buildPartSim32K(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-physics-part-sim-32k",
+		newNBody("psim32_force", isa.W8),
+		newStreamScale("psim32_integrate", isa.W16),
+		newJacobi("psim32_collide", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	steps := sc.N(2500, sc.Invs, 4)
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		pos := h.buffer(gws*4 + 8192)
+		force := h.buffer(gws*4 + 8192)
+		h.upload(pos, 141)
+		p := h.build(prog)
+		fk := h.kernel(p, "psim32_force")
+		h.bind(fk, 0, pos)
+		h.bind(fk, 1, force)
+		integ := h.kernel(p, "psim32_integrate")
+		h.bind(integ, 0, force)
+		h.bind(integ, 1, pos)
+		collide := h.kernel(p, "psim32_collide")
+		h.bind(collide, 0, pos)
+		h.bind(collide, 1, pos)
+
+		// Arguments are set once; the stepping loop is almost pure
+		// enqueue traffic.
+		h.set(fk, 0, loops(sc, 6, 2))
+		h.set(integ, 0, loops(sc, 1, 1))
+		h.set(integ, 1, 1)
+		h.set(integ, 2, 9)
+		h.set(collide, 0, loops(sc, 1, 1))
+		h.set(collide, 1, 8)
+		for s := 0; s < steps; s++ {
+			if s == steps/3 {
+				h.set(fk, 0, loops(sc, 10, 3)) // mid-run clustering phase
+			}
+			if s == 2*steps/3 {
+				h.set(fk, 0, loops(sc, 5, 2))
+			}
+			h.enqueue(fk, gws)
+			h.enqueue(integ, gws)
+			if s%3 == 2 {
+				h.enqueue(collide, gws)
+			}
+			if s%2 == 1 {
+				h.query(1) // light status polling
+			}
+			if s%16 == 15 {
+				h.flush()
+			}
+		}
+		h.finish()
+		h.read(pos, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-physics-part-sim-32k", Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildThroughputAO models the ambient-occlusion raycaster.
+func buildThroughputAO(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-throughput-ao",
+		newRaycastAO("ao_primary", isa.W16),
+		newRaycastAO("ao_bounce", isa.W8),
+		newRaycastAO("ao_sky", isa.W8),
+		newStreamScale("ao_resolve", isa.W16),
+		newBlur("ao_denoise", isa.W8, 4))
+	if err != nil {
+		return nil, err
+	}
+
+	tiles := sc.N(520, sc.Invs, 4)
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		scene := h.buffer(1 << 19)
+		out := h.buffer(gws*4 + 4096)
+		h.upload(scene, 151)
+		p := h.build(prog)
+		prim := h.kernel(p, "ao_primary")
+		bounce := h.kernel(p, "ao_bounce")
+		sky := h.kernel(p, "ao_sky")
+		resolve := h.kernel(p, "ao_resolve")
+		denoise := h.kernel(p, "ao_denoise")
+
+		for t := 0; t < tiles; t++ {
+			samples := loops(sc, 8, 2)
+			if (t/100)%2 == 1 {
+				samples = loops(sc, 14, 3) // interior tiles need more rays
+			}
+			h.dispatch(prim, gws, []uint32{samples}, scene, out)
+			h.dispatch(bounce, gws, []uint32{loops(sc, 3, 1)}, scene, out)
+			if t%3 == 2 {
+				h.dispatch(sky, gws, []uint32{loops(sc, 2, 1)}, scene, out)
+			}
+			if t%2 == 1 {
+				h.dispatch(resolve, gws, []uint32{loops(sc, 1, 1), 2, 1}, out, out)
+			}
+			if t%8 == 7 {
+				h.dispatch(denoise, gws, []uint32{loops(sc, 2, 1)}, out, out)
+			}
+			h.finish()
+		}
+		h.read(out, 4096)
+		return h.done()
+	}
+	return &App{Name: "cb-throughput-ao", Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildJuliaset models the Julia-set fractal: the paper's smallest API
+// stream (703 calls) with its highest synchronization share (25.7%) —
+// the host reads the image back after almost every dispatch.
+func buildJuliaset(sc Scale) (*App, error) {
+	prog, err := asm.Program("cb-throughput-juliaset",
+		newJulia("julia_iterate", isa.W16),
+		newStreamScale("julia_colorize", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	zooms := sc.N(88, sc.Invs, 3)
+	gws := dim(sc, 4096)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		img := h.buffer(gws*4 + 4096)
+		p := h.build(prog)
+		jk := h.kernel(p, "julia_iterate")
+		ck := h.kernel(p, "julia_colorize")
+
+		for z := 0; z < zooms; z++ {
+			maxIter := loops(sc, 50, 8)
+			if (z/22)%2 == 1 {
+				maxIter = loops(sc, 120, 16) // deep-zoom phase iterates longer
+			}
+			h.dispatch(jk, gws, []uint32{maxIter, uint32(0x3000 + z*13)}, img)
+			h.read(img, 2048) // sync after nearly every dispatch
+			if z%4 == 3 {
+				h.dispatch(ck, gws, []uint32{loops(sc, 1, 1), 5, 1}, img, img)
+				h.wait()
+				h.read(img, 1024)
+			}
+		}
+		return h.done()
+	}
+	return &App{Name: "cb-throughput-juliaset", Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildFaceDetectMobile is the mobile face detector: a shallower cascade
+// over smaller frames than the desktop variant.
+func buildFaceDetectMobile(sc Scale) (*App, error) {
+	stages := 300
+	if sc.Iters < 1 {
+		stages = int(300 * sc.Iters)
+		if stages < 16 {
+			stages = 16
+		}
+	}
+	const scales = 6
+	var ks []*kernel.Kernel
+	for s := 0; s < scales; s++ {
+		w := isa.W16
+		if s%3 == 2 {
+			w = isa.W8
+		}
+		ks = append(ks, newCascade("facem_cascade_s"+itoa(s), w, stages))
+	}
+	ks = append(ks,
+		newReduce("facem_integral", isa.W8),
+		newStreamScale("facem_pyramid", isa.W8))
+	prog, err := asm.Program("cb-vision-facedetect-m", ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(420, sc.Invs, 4)
+	gws := dim(sc, 512)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		img := h.buffer(1 << 17)
+		out := h.buffer(gws*4 + 4096)
+		h.upload(img, 161)
+		p := h.build(prog)
+		cascades := make([]*cl.Kernel, scales)
+		for s := range cascades {
+			cascades[s] = h.kernel(p, "facem_cascade_s"+itoa(s))
+		}
+		integral := h.kernel(p, "facem_integral")
+		pyramid := h.kernel(p, "facem_pyramid")
+
+		for f := 0; f < frames; f++ {
+			h.dispatch(integral, dim(sc, 256), []uint32{loops(sc, 2, 1)}, img, out)
+			h.dispatch(pyramid, gws, []uint32{loops(sc, 2, 1), 3, uint32(f)}, img, img)
+			for s, k := range cascades {
+				thresh := uint32(0xD1800000) + uint32(s)*0x00400000 + uint32(f%8)*0x00100000
+				h.dispatch(k, gws, []uint32{thresh}, img, out)
+			}
+			h.finish()
+		}
+		h.read(out, 2048)
+		return h.done()
+	}
+	return &App{Name: "cb-vision-facedetect-m", Suite: SuiteCompuBenchMobile,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}

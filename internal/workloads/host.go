@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/kernel"
+)
+
+// host wraps a cl.Context for terse driver code: operations record the
+// first error and subsequent calls become no-ops, so drivers read as
+// straight-line OpenCL host code.
+type host struct {
+	ctx *cl.Context
+	q   *cl.Queue
+	err error
+}
+
+func newHost(ctx *cl.Context) *host {
+	ctx.EmitSetupCalls()
+	ctx.QueryDeviceInfo()
+	h := &host{ctx: ctx}
+	h.q = ctx.CreateQueue()
+	return h
+}
+
+func (h *host) fail(err error) {
+	if h.err == nil && err != nil {
+		h.err = err
+	}
+}
+
+// buffer allocates a device buffer.
+func (h *host) buffer(size int) *cl.Buffer {
+	if h.err != nil {
+		return nil
+	}
+	b, err := h.ctx.CreateBuffer(size)
+	h.fail(err)
+	return b
+}
+
+// upload fills a buffer with seeded pseudo-random 32-bit data through
+// EnqueueWriteBuffer, so the data is captured in recordings.
+func (h *host) upload(b *cl.Buffer, seed int64) {
+	if h.err != nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, b.Size())
+	for i := 0; i+4 <= len(data); i += 4 {
+		v := rng.Uint32()
+		data[i], data[i+1], data[i+2], data[i+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	h.fail(h.q.EnqueueWriteBuffer(b, 0, data))
+}
+
+// build creates and builds a program.
+func (h *host) build(p *kernel.Program) *cl.Program {
+	if h.err != nil {
+		return nil
+	}
+	prog := h.ctx.CreateProgram(p)
+	h.fail(prog.Build())
+	return prog
+}
+
+// kernel creates a kernel object.
+func (h *host) kernel(prog *cl.Program, name string) *cl.Kernel {
+	if h.err != nil {
+		return nil
+	}
+	k, err := prog.CreateKernel(name)
+	h.fail(err)
+	return k
+}
+
+// set sets a scalar argument.
+func (h *host) set(k *cl.Kernel, i int, v uint32) {
+	if h.err != nil {
+		return
+	}
+	h.fail(k.SetArg(i, v))
+}
+
+// bind binds a buffer to a surface slot.
+func (h *host) bind(k *cl.Kernel, s int, b *cl.Buffer) {
+	if h.err != nil {
+		return
+	}
+	h.fail(k.SetBuffer(s, b))
+}
+
+// enqueue dispatches a kernel.
+func (h *host) enqueue(k *cl.Kernel, gws int) {
+	if h.err != nil {
+		return
+	}
+	h.fail(h.q.EnqueueNDRangeKernel(k, gws))
+}
+
+// dispatch sets every scalar argument and surface binding, then enqueues
+// the kernel — the canonical OpenCL host pattern of re-supplying all
+// arguments before each invocation, which is what gives real applications
+// their ~15% kernel-call share (Figure 3a).
+func (h *host) dispatch(k *cl.Kernel, gws int, scalars []uint32, bufs ...*cl.Buffer) {
+	for i, v := range scalars {
+		h.set(k, i, v)
+	}
+	for s, b := range bufs {
+		h.bind(k, s, b)
+	}
+	h.enqueue(k, gws)
+}
+
+// finish drains the queue (clFinish).
+func (h *host) finish() {
+	if h.err != nil {
+		return
+	}
+	h.fail(h.q.Finish())
+}
+
+// flush drains via clFlush.
+func (h *host) flush() {
+	if h.err != nil {
+		return
+	}
+	h.fail(h.q.Flush())
+}
+
+// wait drains via clWaitForEvents.
+func (h *host) wait() {
+	if h.err != nil {
+		return
+	}
+	h.fail(h.q.WaitForEvents())
+}
+
+// read drains via clEnqueueReadBuffer, discarding the data host-side.
+func (h *host) read(b *cl.Buffer, n int) {
+	if h.err != nil {
+		return
+	}
+	if n > b.Size() {
+		n = b.Size()
+	}
+	h.fail(h.q.EnqueueReadBuffer(b, 0, make([]byte, n)))
+}
+
+// readImage drains via clEnqueueReadImage.
+func (h *host) readImage(b *cl.Buffer, n int) {
+	if h.err != nil {
+		return
+	}
+	if n > b.Size() {
+		n = b.Size()
+	}
+	h.fail(h.q.EnqueueReadImage(b, 0, make([]byte, n)))
+}
+
+// copyBuf drains via clEnqueueCopyBuffer.
+func (h *host) copyBuf(src, dst *cl.Buffer, n int) {
+	if h.err != nil {
+		return
+	}
+	if n > src.Size() {
+		n = src.Size()
+	}
+	if n > dst.Size() {
+		n = dst.Size()
+	}
+	h.fail(h.q.EnqueueCopyBuffer(src, dst, 0, 0, n))
+}
+
+// copyImg drains via clEnqueueCopyImageToBuffer.
+func (h *host) copyImg(src, dst *cl.Buffer, n int) {
+	if h.err != nil {
+		return
+	}
+	if n > src.Size() {
+		n = src.Size()
+	}
+	if n > dst.Size() {
+		n = dst.Size()
+	}
+	h.fail(h.q.EnqueueCopyImageToBuffer(src, dst, 0, 0, n))
+}
+
+// query emits device-info "other" traffic.
+func (h *host) query(n int) {
+	for i := 0; i < n && h.err == nil; i++ {
+		if i%2 == 0 {
+			h.ctx.QueryDeviceInfo()
+		} else {
+			h.ctx.QueryEventProfilingInfo()
+		}
+	}
+}
+
+// releaseAll emits release calls for the given objects (cleanup traffic).
+func (h *host) release(bufs []*cl.Buffer, kernels []*cl.Kernel, progs []*cl.Program) {
+	if h.err != nil {
+		return
+	}
+	for _, k := range kernels {
+		k.Release()
+	}
+	for _, b := range bufs {
+		h.ctx.ReleaseBuffer(b)
+	}
+	for _, p := range progs {
+		p.Release()
+	}
+}
+
+// done returns the accumulated error, ensuring the queue was drained.
+func (h *host) done() error {
+	if h.err != nil {
+		return h.err
+	}
+	if h.q.Pending() > 0 {
+		return fmt.Errorf("workload finished with %d undrained enqueues", h.q.Pending())
+	}
+	return nil
+}

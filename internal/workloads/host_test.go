@@ -1,0 +1,143 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/device"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+func newTestHost(t *testing.T) (*host, *cl.Context) {
+	t.Helper()
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cl.NewContext(dev)
+	return newHost(ctx), ctx
+}
+
+// hostTestProgram builds a minimal kernel: out[gid] = arg0.
+func hostTestProgram(t *testing.T) *kernel.Program {
+	t.Helper()
+	a := asm.NewKernel("hk", isa.W16)
+	v := a.Arg(0)
+	out := a.Surface(0)
+	addr, vv := a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Mov(vv, asm.R(v))
+	a.Store(out, addr, vv, 4)
+	a.End()
+	p, err := asm.Program("host-test", a.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestHostStopsAtFirstError: after an error, subsequent operations are
+// no-ops and done() reports the first failure.
+func TestHostStopsAtFirstError(t *testing.T) {
+	h, _ := newTestHost(t)
+	if b := h.buffer(-1); b != nil { // invalid size poisons the host
+		t.Fatal("expected nil buffer")
+	}
+	if err := h.done(); err == nil || !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("done = %v", err)
+	}
+	// Subsequent calls must not panic or clear the error.
+	h.upload(nil, 1)
+	h.finish()
+	h.query(3)
+	if err := h.done(); err == nil {
+		t.Fatal("error lost")
+	}
+}
+
+// TestHostDoneDetectsUndrainedQueue: finishing a driver with pending
+// enqueues is a bug the helper must surface.
+func TestHostDoneDetectsUndrainedQueue(t *testing.T) {
+	h, _ := newTestHost(t)
+	prog := h.build(hostTestProgram(t))
+	k := h.kernel(prog, "hk")
+	buf := h.buffer(4 * 16)
+	h.set(k, 0, 3)
+	h.bind(k, 0, buf)
+	h.enqueue(k, 16)
+	if err := h.done(); err == nil || !strings.Contains(err.Error(), "undrained") {
+		t.Fatalf("done = %v", err)
+	}
+	h.finish()
+	if err := h.done(); err != nil {
+		t.Fatalf("after finish: %v", err)
+	}
+	got, _ := buf.Device().ReadU32(0, 1)
+	if got[0] != 3 {
+		t.Errorf("kernel result = %d", got[0])
+	}
+}
+
+// callCounter counts clSetKernelArg calls.
+type callCounter struct{ setArgs int }
+
+func (c *callCounter) OnAPICall(call *cl.APICall) {
+	if call.Name == cl.CallSetKernelArg {
+		c.setArgs++
+	}
+}
+func (c *callCounter) OnKernelComplete(*cl.KernelCompletion) {}
+
+// TestHostDispatchSetsEverything: dispatch re-sets scalars and surfaces
+// before each enqueue (the realistic host pattern behind Figure 3a).
+func TestHostDispatchSetsEverything(t *testing.T) {
+	h, ctx := newTestHost(t)
+	rec := &callCounter{}
+	ctx.AddInterceptor(rec)
+	prog := h.build(hostTestProgram(t))
+	k := h.kernel(prog, "hk")
+	buf := h.buffer(4 * 16)
+	before := rec.setArgs
+	h.dispatch(k, 16, []uint32{5}, buf)
+	h.finish()
+	if err := h.done(); err != nil {
+		t.Fatal(err)
+	}
+	// One scalar + one surface = two clSetKernelArg calls per dispatch.
+	if got := rec.setArgs - before; got != 2 {
+		t.Errorf("setArg calls = %d, want 2", got)
+	}
+}
+
+// TestHostSyncVariants exercises the remaining sync helpers end to end.
+func TestHostSyncVariants(t *testing.T) {
+	h, _ := newTestHost(t)
+	prog := h.build(hostTestProgram(t))
+	k := h.kernel(prog, "hk")
+	a := h.buffer(256)
+	b := h.buffer(256)
+	h.upload(a, 7)
+	h.dispatch(k, 16, []uint32{1}, a)
+	h.flush()
+	h.dispatch(k, 16, []uint32{2}, a)
+	h.wait()
+	h.dispatch(k, 16, []uint32{3}, a)
+	h.read(a, 64)
+	h.dispatch(k, 16, []uint32{4}, a)
+	h.readImage(a, 64)
+	h.dispatch(k, 16, []uint32{5}, a)
+	h.copyBuf(a, b, 64)
+	h.dispatch(k, 16, []uint32{6}, a)
+	h.copyImg(a, b, 64)
+	h.release([]*cl.Buffer{a, b}, []*cl.Kernel{k}, []*cl.Program{prog})
+	if err := h.done(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := a.Device().ReadU32(0, 1)
+	if got[0] != 6 {
+		t.Errorf("final value = %d, want 6", got[0])
+	}
+}

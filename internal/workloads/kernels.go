@@ -1,0 +1,736 @@
+package workloads
+
+// Reusable kernel builders. Each returns a real program in the kernel IR:
+// blurs convolve, hashes mix, fractals iterate with data-dependent early
+// exits, cascades branch per stage. Loop trip counts usually come from
+// kernel arguments, so the same kernel exhibits argument-dependent
+// behaviour — the property that makes kernel-name-only feature vectors
+// inaccurate for some applications (Section V-B).
+//
+// Loop counters run at the kernel's dispatch width (every channel holds
+// the same counter value, as vectorized GPU code does); only the loop
+// back-edge branch executes scalar, plus a few deliberately scalar
+// address computations, giving the small SIMD1 share seen in Figure 4b.
+//
+// Surface/argument conventions are per builder and documented on each.
+
+import (
+	"gtpin/internal/asm"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// gidAddr emits addr = (gid + offset) * elem, the canonical per-lane
+// buffer address.
+func gidAddr(a *asm.KernelBuilder, addr isa.Reg, offset isa.Operand, elemShift uint32) {
+	a.Add(addr, asm.R(kernel.GIDReg), offset)
+	a.Shl(addr, asm.R(addr), asm.I(elemShift))
+}
+
+// openLoop opens a counted loop with a full-width counter. Returns the
+// counter register; the caller emits the body, then calls closeLoop.
+func openLoop(a *asm.KernelBuilder, label string) isa.Reg {
+	i := a.Temp()
+	a.MovI(i, 0)
+	a.Label(label)
+	return i
+}
+
+// closeLoop increments the counter and branches back while i < limit.
+// The comparison runs full width (all channels agree); the back-edge
+// branch itself is scalar.
+func closeLoop(a *asm.KernelBuilder, label string, i isa.Reg, limit isa.Operand) {
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondLT, asm.R(i), limit)
+	a.SetWidth(1)
+	a.Br(isa.BranchAny, label)
+	a.SetWidth(0)
+}
+
+// guardTail emits a rarely-taken boundary/degenerate-case handler: a
+// guard branch into a chain of n handler blocks that saturate the result
+// register. Real JIT-compiled kernels carry many such statically-present
+// but rarely-executed blocks (boundary clamps, NaN/denormal handling,
+// format fallbacks), which is where the paper's large unique-basic-block
+// counts (mean 1139 per program) come from. The guard costs two dynamic
+// instructions per channel-group; the handler chain almost never runs.
+func guardTail(a *asm.KernelBuilder, n int, result isa.Reg) {
+	a.Cmp(isa.CondGE, asm.R(kernel.GIDReg), asm.I(0xFFFFFF00))
+	a.SetWidth(1)
+	a.Br(isa.BranchAny, "guard_tail")
+	a.SetWidth(0)
+	a.Jmp("guard_done")
+	a.Label("guard_tail")
+	t := a.Temp()
+	for i := 0; i < n; i++ {
+		// One handler block per case: clamp against a case-specific bound
+		// and dispatch onwards.
+		a.MovI(t, uint32(0x100+i*37))
+		a.Min(result, asm.R(result), asm.R(t))
+		a.Xor(t, asm.R(t), asm.R(result))
+		a.Cmp(isa.CondEQ, asm.R(t), asm.I(uint32(i)))
+		a.Br(isa.BranchAll, "guard_done")
+	}
+	a.Jmp("guard_done")
+	a.Label("guard_done")
+}
+
+// newStreamCopy builds a double-buffered stream copy with register
+// staging: y[i] = x[i] over `iters` (arg 0) strided passes.
+// Args: 0=iters. Surfaces: 0=src, 1=dst.
+func newStreamCopy(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	iters := a.Arg(0)
+	src, dst := a.Surface(0), a.Surface(1)
+	addr, v, stage, sum := a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(sum, 0)
+	i := openLoop(a, "pass")
+	// addr = (gid + i*width) * 4, so passes stream through the buffer.
+	a.Mad(addr, asm.R(i), asm.I(uint32(w)), asm.R(kernel.GIDReg))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(v, addr, src, 4)
+	a.Mov(stage, asm.R(v))                      // stage through a register pair, as
+	a.And(stage, asm.R(stage), asm.I(0xFFFFFF)) // unpack/repack idiom
+	a.Or(stage, asm.R(stage), asm.R(v))
+	a.Add(sum, asm.R(sum), asm.R(stage))
+	a.Mov(v, asm.R(stage))
+	a.Store(dst, addr, v, 4)
+	closeLoop(a, "pass", i, asm.R(iters))
+	guardTail(a, 8, sum)
+	a.End()
+	return a.MustBuild()
+}
+
+// newStreamScale builds y[i] = s*x[i] + b with clamp over iters passes.
+// Args: 0=iters, 1=scale, 2=bias. Surfaces: 0=src, 1=dst.
+func newStreamScale(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	iters, s, b := a.Arg(0), a.Arg(1), a.Arg(2)
+	src, dst := a.Surface(0), a.Surface(1)
+	addr, v, t, u := a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	i := openLoop(a, "pass")
+	a.Mad(addr, asm.R(i), asm.I(uint32(w)), asm.R(kernel.GIDReg))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(v, addr, src, 4)
+	a.Mov(t, asm.R(v))
+	a.Mad(t, asm.R(s), asm.R(t), asm.R(b))
+	a.Mov(u, asm.R(t))
+	a.Shr(u, asm.R(u), asm.I(9))
+	a.Mad(t, asm.R(u), asm.I(3), asm.R(t))
+	a.Min(t, asm.R(t), asm.I(0x7FFFFFFF))
+	a.Max(t, asm.R(t), asm.I(1))
+	a.Mov(v, asm.R(t))
+	a.Store(dst, addr, v, 4)
+	closeLoop(a, "pass", i, asm.R(iters))
+	guardTail(a, 9, t)
+	a.End()
+	return a.MustBuild()
+}
+
+// newBlur builds a 1-D convolution with triangular weights over a radius
+// given by arg 0: out[i] = Σ_{r=0}^{2R} w(r)·in[i+r], normalized.
+// Args: 0=radius. Surfaces: 0=src, 1=dst.
+func newBlur(name string, w isa.Width, elem uint8) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	radius := a.Arg(0)
+	src, dst := a.Surface(0), a.Surface(1)
+	addr, v, acc, wgt, span, wsum, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	shift := uint32(2)
+	if elem == 1 {
+		shift = 0
+	}
+	a.MovI(acc, 0)
+	a.MovI(wsum, 0)
+	// span = 2*radius + 1 taps
+	a.Shl(span, asm.R(radius), asm.I(1))
+	a.AddI(span, span, 1)
+	r := openLoop(a, "tap")
+	// weight = radius+1 - |r - radius|
+	a.Mov(t, asm.R(r))
+	a.Sub(wgt, asm.R(t), asm.R(radius))
+	a.Abs(wgt, asm.R(wgt))
+	a.Sub(wgt, asm.R(radius), asm.R(wgt))
+	a.AddI(wgt, wgt, 1)
+	a.Add(wsum, asm.R(wsum), asm.R(wgt))
+	gidAddr(a, addr, asm.R(r), shift)
+	a.Load(v, addr, src, elem)
+	a.Mov(t, asm.R(v))
+	a.And(t, asm.R(t), asm.I(0xFFFFFF))
+	a.Mad(acc, asm.R(wgt), asm.R(t), asm.R(acc))
+	closeLoop(a, "tap", r, asm.R(span))
+	a.Math(isa.MathIDiv, acc, asm.R(acc), asm.R(wsum))
+	guardTail(a, 12, acc)
+	gidAddr(a, addr, asm.I(0), shift)
+	a.Store(dst, addr, acc, elem)
+	a.End()
+	return a.MustBuild()
+}
+
+// newHistogram builds a histogram: for `perItem` (arg 0) elements per
+// work-item, bin = luma(value) & 255, hist[bin] += 1 atomically.
+// Args: 0=perItem. Surfaces: 0=data, 1=histogram.
+func newHistogram(name string, w isa.Width, elem uint8) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	perItem := a.Arg(0)
+	data, hist := a.Surface(0), a.Surface(1)
+	addr, v, bin, one, t, u := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(one, 1)
+	binShift := uint32(2)
+	if elem == 8 {
+		binShift = 3
+	}
+	i := openLoop(a, "item")
+	a.Mad(addr, asm.R(i), asm.I(uint32(w)), asm.R(kernel.GIDReg))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(v, addr, data, 4)
+	// luma ≈ (r + 2g + b) / 4 from packed channels
+	a.Mov(t, asm.R(v))
+	a.Shr(t, asm.R(t), asm.I(8))
+	a.And(t, asm.R(t), asm.I(255))
+	a.Mov(u, asm.R(v))
+	a.And(u, asm.R(u), asm.I(255))
+	a.Mad(u, asm.R(t), asm.I(2), asm.R(u))
+	a.Shr(t, asm.R(v), asm.I(16))
+	a.And(t, asm.R(t), asm.I(255))
+	a.Add(u, asm.R(u), asm.R(t))
+	a.Shr(bin, asm.R(u), asm.I(2))
+	a.And(bin, asm.R(bin), asm.I(255))
+	a.Shl(bin, asm.R(bin), asm.I(binShift))
+	a.AtomicAdd(v, hist, bin, one, elem)
+	closeLoop(a, "item", i, asm.R(perItem))
+	guardTail(a, 12, v)
+	a.End()
+	return a.MustBuild()
+}
+
+// newReduce builds a block-sum reduction: each group block-loads `spans`
+// (arg 0) contiguous chunks, sums them, and stores one partial per group.
+// The block addressing is deliberately scalar (SIMD1).
+// Args: 0=spans. Surfaces: 0=src, 1=partials.
+func newReduce(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	spans := a.Arg(0)
+	src, out := a.Surface(0), a.Surface(1)
+	addr, v, acc, t := a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(acc, 0)
+	i := openLoop(a, "span")
+	a.SetWidth(1)
+	a.Mul(addr, asm.R(kernel.TIDReg), asm.R(spans))
+	a.Add(addr, asm.R(addr), asm.R(i))
+	a.Shl(addr, asm.R(addr), asm.I(6)) // 64-byte chunks
+	a.SetWidth(0)
+	a.LoadBlock(v, addr, src, 4)
+	a.Mov(t, asm.R(v))
+	a.Shr(t, asm.R(t), asm.I(1))
+	a.Add(acc, asm.R(acc), asm.R(t))
+	closeLoop(a, "span", i, asm.R(spans))
+	guardTail(a, 8, acc)
+	a.SetWidth(1)
+	a.Shl(addr, asm.R(kernel.TIDReg), asm.I(2))
+	a.SetWidth(0)
+	a.Store(out, addr, acc, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newHashRounds builds a logic-heavy mixing loop (SHA-flavoured):
+// `rounds` (arg 0) rounds of xor/rotate/add over two per-lane state
+// words.
+// Args: 0=rounds, 1=key. Surfaces: 0=out.
+func newHashRounds(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	rounds, key := a.Arg(0), a.Arg(1)
+	out := a.Surface(0)
+	v, v2, t, u, addr := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.Xor(v, asm.R(kernel.GIDReg), asm.R(key))
+	a.Mov(v2, asm.R(kernel.GIDReg))
+	a.Not(v2, asm.R(v2))
+	a.MovI(u, 0x9E3779B9)
+	i := openLoop(a, "round")
+	// v = rotl(v, 7) ^ (v2 + u); v2 = rotl(v2, 13) + v; u += key
+	a.Shl(t, asm.R(v), asm.I(7))
+	a.Shr(v, asm.R(v), asm.I(25))
+	a.Or(t, asm.R(t), asm.R(v))
+	a.Add(v, asm.R(v2), asm.R(u))
+	a.Xor(v, asm.R(v), asm.R(t))
+	a.Shl(t, asm.R(v2), asm.I(13))
+	a.Shr(v2, asm.R(v2), asm.I(19))
+	a.Or(v2, asm.R(v2), asm.R(t))
+	a.Add(v2, asm.R(v2), asm.R(v))
+	a.Add(u, asm.R(u), asm.R(key))
+	closeLoop(a, "round", i, asm.R(rounds))
+	a.Xor(v, asm.R(v), asm.R(v2))
+	guardTail(a, 10, v)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, v, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newAESRound builds table-lookup crypto rounds: per round, four
+// S-box-style gathers indexed by state bytes, mixed and key-whitened.
+// Args: 0=rounds, 1=key. Surfaces: 0=input, 1=sbox table, 2=output.
+func newAESRound(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	rounds, key := a.Arg(0), a.Arg(1)
+	in, sbox, out := a.Surface(0), a.Surface(1), a.Surface(2)
+	addr, st, idx, t, acc := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Load(st, addr, in, 4)
+	a.Xor(st, asm.R(st), asm.R(key))
+	i := openLoop(a, "round")
+	a.MovI(acc, 0)
+	for b := uint32(0); b < 4; b++ {
+		a.Mov(idx, asm.R(st))
+		a.Shr(idx, asm.R(idx), asm.I(8*b))
+		a.And(idx, asm.R(idx), asm.I(255))
+		a.Shl(idx, asm.R(idx), asm.I(2))
+		a.Load(t, idx, sbox, 4)
+		if b > 0 {
+			a.Shl(t, asm.R(t), asm.I(b))
+		}
+		a.Xor(acc, asm.R(acc), asm.R(t))
+	}
+	a.Mov(t, asm.R(acc))
+	a.Shr(t, asm.R(t), asm.I(16))
+	a.Xor(acc, asm.R(acc), asm.R(t))
+	a.Xor(st, asm.R(acc), asm.R(key))
+	closeLoop(a, "round", i, asm.R(rounds))
+	guardTail(a, 28, st)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, st, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newNBody builds a particle-interaction kernel: for each of `count`
+// (arg 0) other particles, compute an inverse-square-root interaction
+// and accumulate. Math-unit heavy; the neighbour block address is scalar.
+// Args: 0=count. Surfaces: 0=positions, 1=forces.
+func newNBody(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	count := a.Arg(0)
+	pos, force := a.Surface(0), a.Surface(1)
+	addr, p, q, d, f, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Load(p, addr, pos, 4)
+	a.MovI(f, 0)
+	j := openLoop(a, "other")
+	a.SetWidth(1)
+	a.Shl(addr, asm.R(j), asm.I(2))
+	a.SetWidth(0)
+	a.LoadBlock(q, addr, pos, 4)
+	a.Mov(t, asm.R(q))
+	a.Sub(d, asm.R(p), asm.R(t))
+	a.Mul(d, asm.R(d), asm.R(d))
+	a.AddI(d, d, 1) // softening
+	a.Math(isa.MathSqrt, d, asm.R(d), asm.I(0))
+	a.Math(isa.MathInv, d, asm.R(d), asm.I(0))
+	a.Shr(d, asm.R(d), asm.I(16))
+	a.Mad(f, asm.R(d), asm.I(3), asm.R(f))
+	closeLoop(a, "other", j, asm.R(count))
+	guardTail(a, 14, f)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(force, addr, f, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newJulia builds an escape-time fractal iteration with a data-dependent
+// exit: lanes iterate z = z² + c until |z| exceeds a threshold or maxIter
+// (arg 0) is reached; per-lane iteration counts are accumulated with
+// predication and stored.
+// Args: 0=maxIter, 1=cReal. Surfaces: 0=out.
+func newJulia(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	maxIter, cr := a.Arg(0), a.Arg(1)
+	out := a.Surface(0)
+	addr, z, n, t, i := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	// z seeded from gid so neighbouring lanes diverge at different times.
+	a.Mul(z, asm.R(kernel.GIDReg), asm.I(2654435761))
+	a.Shr(z, asm.R(z), asm.I(12))
+	a.MovI(n, 0)
+	a.MovI(i, 0)
+	a.Label("iter")
+	// z = (z*z >> 16) + c, tracking the high product half
+	a.Mov(t, asm.R(z))
+	a.Mach(t, asm.R(t), asm.R(z))
+	a.Shl(t, asm.R(t), asm.I(16))
+	a.Mul(z, asm.R(z), asm.R(z))
+	a.Shr(z, asm.R(z), asm.I(16))
+	a.Or(z, asm.R(z), asm.R(t))
+	a.Add(z, asm.R(z), asm.R(cr))
+	// converged lanes (|z| < 2^24) bump their counters
+	a.Cmp(isa.CondLT, asm.R(z), asm.I(1<<24))
+	a.SetPred(isa.PredOn)
+	a.AddI(n, n, 1)
+	a.SetPred(isa.PredNoneMode)
+	// loop while any lane is still converging and i < maxIter
+	a.AddI(i, i, 1)
+	a.Cmp(isa.CondGE, asm.R(i), asm.R(maxIter))
+	a.SetWidth(1)
+	a.Br(isa.BranchAny, "done") // iteration limit reached (scalar test)
+	a.SetWidth(0)
+	a.Cmp(isa.CondLT, asm.R(z), asm.I(1<<24))
+	a.Br(isa.BranchAny, "iter") // some lane still inside
+	a.Label("done")
+	guardTail(a, 18, n)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, n, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newRaycastAO builds an ambient-occlusion sampler: `samples` (arg 0)
+// rays per work-item, each marched 4 fixed steps with a hit test that
+// predicates the occlusion accumulation. One scene fetch per march.
+// Args: 0=samples. Surfaces: 0=scene, 1=out.
+func newRaycastAO(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	samples := a.Arg(0)
+	scene, out := a.Surface(0), a.Surface(1)
+	addr, dir, pos, h, occ, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(occ, 0)
+	s := openLoop(a, "ray")
+	a.Add(dir, asm.R(kernel.GIDReg), asm.R(s))
+	a.Math(isa.MathSin, dir, asm.R(dir), asm.I(0))
+	a.Mov(pos, asm.R(kernel.GIDReg))
+	for step := 0; step < 4; step++ {
+		a.Mad(pos, asm.R(dir), asm.I(3), asm.R(pos))
+		a.Mov(t, asm.R(pos))
+		a.Shr(t, asm.R(t), asm.I(3))
+		a.Xor(pos, asm.R(pos), asm.R(t))
+	}
+	a.And(addr, asm.R(pos), asm.I(0xFFFF))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(h, addr, scene, 4)
+	a.Cmp(isa.CondGT, asm.R(h), asm.I(1<<30))
+	a.SetPred(isa.PredOn)
+	a.AddI(occ, occ, 1)
+	a.SetPred(isa.PredNoneMode)
+	closeLoop(a, "ray", s, asm.R(samples))
+	guardTail(a, 20, occ)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, occ, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newFFTPass builds one butterfly pass: x' = x + t·y, y' = x - t·y with a
+// table twiddle, partner strided by arg 1.
+// Args: 0=reps, 1=strideShift. Surfaces: 0=data (in/out).
+func newFFTPass(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	reps, strideShift := a.Arg(0), a.Arg(1)
+	data := a.Surface(0)
+	addrA, addrB, x, y, tw, t, u := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	r := openLoop(a, "rep")
+	gidAddr(a, addrA, asm.R(r), 2)
+	a.MovI(t, 1)
+	a.Shl(t, asm.R(t), asm.R(strideShift))
+	a.Shl(t, asm.R(t), asm.I(2))
+	a.Add(addrB, asm.R(addrA), asm.R(t))
+	a.Load(x, addrA, data, 4)
+	a.Load(y, addrB, data, 4)
+	a.Math(isa.MathCos, tw, asm.R(kernel.GIDReg), asm.I(0))
+	a.Mov(u, asm.R(y))
+	a.Mul(t, asm.R(tw), asm.R(u))
+	a.Shr(t, asm.R(t), asm.I(15))
+	a.Mov(u, asm.R(x))
+	a.Add(y, asm.R(u), asm.R(t))
+	a.Sub(x, asm.R(u), asm.R(t))
+	a.Avg(u, asm.R(x), asm.R(y))
+	a.Xor(u, asm.R(u), asm.R(tw))
+	a.Store(data, addrA, y, 4)
+	a.Store(data, addrB, x, 4)
+	closeLoop(a, "rep", r, asm.R(reps))
+	guardTail(a, 22, x)
+	a.End()
+	return a.MustBuild()
+}
+
+// newJacobi builds a 5-point stencil smoothing step, `sweeps` (arg 0)
+// times: out[i] = weighted avg of in[i], in[i±1], in[i±pitch].
+// Args: 0=sweeps, 1=pitch. Surfaces: 0=in, 1=out.
+func newJacobi(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	sweeps, pitch := a.Arg(0), a.Arg(1)
+	in, out := a.Surface(0), a.Surface(1)
+	addr, c, n1, n2, acc, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	s := openLoop(a, "sweep")
+	gidAddr(a, addr, asm.R(s), 2)
+	a.Load(c, addr, in, 4)
+	a.AddI(addr, addr, 4)
+	a.Load(n1, addr, in, 4)
+	a.Mov(t, asm.R(c))
+	a.Shl(t, asm.R(t), asm.I(1)) // centre weight 2
+	a.Add(acc, asm.R(t), asm.R(n1))
+	a.Sub(addr, asm.R(addr), asm.I(8))
+	a.Load(n1, addr, in, 4)
+	a.Add(acc, asm.R(acc), asm.R(n1))
+	a.Mad(addr, asm.R(pitch), asm.I(4), asm.R(addr))
+	a.Load(n2, addr, in, 4)
+	a.Add(acc, asm.R(acc), asm.R(n2))
+	a.Mov(t, asm.R(acc))
+	a.Shr(acc, asm.R(t), asm.I(2))
+	a.Avg(acc, asm.R(acc), asm.R(c))
+	gidAddr(a, addr, asm.R(s), 2)
+	a.Store(out, addr, acc, 4)
+	closeLoop(a, "sweep", s, asm.R(sweeps))
+	guardTail(a, 16, acc)
+	a.End()
+	return a.MustBuild()
+}
+
+// newCascade builds a classifier cascade with `stages` branchy stages:
+// each stage loads a feature, compares against a threshold derived from
+// arg 0, and rejects early — producing two basic blocks per stage plus a
+// shared reject path, the structure that gives face detection its large
+// unique-basic-block count.
+// Args: 0=threshBase. Surfaces: 0=features, 1=out.
+func newCascade(name string, w isa.Width, stages int) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	thresh := a.Arg(0)
+	feat, out := a.Surface(0), a.Surface(1)
+	addr, v, t, score := a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(score, 0)
+	for s := 0; s < stages; s++ {
+		a.Add(addr, asm.R(kernel.GIDReg), asm.I(uint32(s*17)))
+		a.And(addr, asm.R(addr), asm.I(0xFFFF))
+		a.Shl(addr, asm.R(addr), asm.I(2))
+		a.Load(v, addr, feat, 4)
+		a.Mov(t, asm.R(v))
+		a.Shr(t, asm.R(t), asm.I(4))
+		a.Mad(v, asm.R(t), asm.I(15), asm.R(v))
+		a.Add(t, asm.R(thresh), asm.I(uint32(s)))
+		a.Cmp(isa.CondLT, asm.R(v), asm.R(t))
+		a.Br(isa.BranchAll, "reject") // all lanes weak: reject the window
+		a.AddI(score, score, 1)
+	}
+	a.Jmp("accept")
+	a.Label("reject")
+	a.MovI(score, 0)
+	a.Label("accept")
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, score, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// newVertexTransform builds a 3-component matrix transform with register
+// staging of the vertex. Kernels built with prefetch start with a narrow
+// 4-wide warm-up fetch — the source of the rare SIMD4 instructions
+// Figure 4b reports for a handful of applications.
+// Args: 0=m0, 1=m1, 2=m2. Surfaces: 0=verts in, 1=verts out.
+func newVertexTransform(name string, w isa.Width) *kernel.Kernel {
+	return newVertexTransformOpt(name, w, false)
+}
+
+func newVertexTransformOpt(name string, w isa.Width, prefetch bool) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	m0, m1, m2 := a.Arg(0), a.Arg(1), a.Arg(2)
+	in, out := a.Surface(0), a.Surface(1)
+	addr, x, y, z, r, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Mul(addr, asm.R(addr), asm.I(3))
+	if prefetch {
+		// Quad-wide warm-up fetch of the leading vertices.
+		a.SetWidth(4)
+		a.Load(t, addr, in, 4)
+		a.SetWidth(0)
+	}
+	a.Load(x, addr, in, 4)
+	a.AddI(addr, addr, 4)
+	a.Load(y, addr, in, 4)
+	a.AddI(addr, addr, 4)
+	a.Load(z, addr, in, 4)
+	for c, m := range []isa.Reg{m0, m1, m2} {
+		a.Mov(r, asm.R(x))
+		a.Mul(r, asm.R(r), asm.R(m))
+		a.Mov(t, asm.R(y))
+		a.Mad(r, asm.R(t), asm.R(m), asm.R(r))
+		a.Mov(t, asm.R(z))
+		a.Mad(r, asm.R(t), asm.I(uint32(c+1)), asm.R(r))
+		a.Shr(r, asm.R(r), asm.I(8))
+		a.Store(out, addr, r, 4)
+		a.Sub(addr, asm.R(addr), asm.I(4))
+	}
+	guardTail(a, 16, r)
+	a.End()
+	return a.MustBuild()
+}
+
+// newFragShade builds a texture-sampling fragment shader: `taps` (arg 0)
+// texture fetches blended into a lit colour, with per-channel unpacking.
+// Args: 0=taps, 1=light. Surfaces: 0=texture, 1=framebuffer.
+func newFragShade(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	taps, light := a.Arg(0), a.Arg(1)
+	tex, fb := a.Surface(0), a.Surface(1)
+	addr, uv, c, acc, ch, t2 := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(acc, 0)
+	t := openLoop(a, "tap")
+	a.Mad(uv, asm.R(t), asm.I(97), asm.R(kernel.GIDReg))
+	a.And(uv, asm.R(uv), asm.I(0x3FFFF))
+	a.Shl(addr, asm.R(uv), asm.I(2))
+	a.Load(c, addr, tex, 4)
+	// unpack-shade-repack: two channels lit separately
+	a.Mov(ch, asm.R(c))
+	a.And(ch, asm.R(ch), asm.I(0xFFFF))
+	a.Mul(ch, asm.R(ch), asm.R(light))
+	a.Shr(ch, asm.R(ch), asm.I(8))
+	a.Mov(t2, asm.R(c))
+	a.Shr(t2, asm.R(t2), asm.I(16))
+	a.Mul(t2, asm.R(t2), asm.R(light))
+	a.Shr(t2, asm.R(t2), asm.I(8))
+	a.Shl(t2, asm.R(t2), asm.I(16))
+	a.Or(ch, asm.R(ch), asm.R(t2))
+	a.Add(acc, asm.R(acc), asm.R(ch))
+	closeLoop(a, "tap", t, asm.R(taps))
+	guardTail(a, 24, acc)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(fb, addr, acc, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newBlend builds a video crossfade: out = (alpha·a + (256-alpha)·b)>>8,
+// repeated `rows` (arg 0) times at row stride to cover a frame slice.
+// Args: 0=rows, 1=alpha, 2=pitch. Surfaces: 0=frameA, 1=frameB, 2=out.
+func newBlend(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	rows, alpha, pitch := a.Arg(0), a.Arg(1), a.Arg(2)
+	fa, fb, out := a.Surface(0), a.Surface(1), a.Surface(2)
+	addr, va, vb, beta, r2, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(beta, 256)
+	a.Sub(beta, asm.R(beta), asm.R(alpha))
+	r := openLoop(a, "row")
+	a.Mov(r2, asm.R(r))
+	a.Mul(r2, asm.R(r2), asm.R(pitch))
+	a.Add(addr, asm.R(r2), asm.R(kernel.GIDReg))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(va, addr, fa, 4)
+	a.Load(vb, addr, fb, 4)
+	a.Mov(t, asm.R(va))
+	a.Mul(t, asm.R(t), asm.R(alpha))
+	a.Mad(t, asm.R(vb), asm.R(beta), asm.R(t))
+	a.Shr(t, asm.R(t), asm.I(8))
+	a.Min(t, asm.R(t), asm.I(0xFFFFFF))
+	a.Mov(va, asm.R(t))
+	a.Store(out, addr, va, 4)
+	closeLoop(a, "row", r, asm.R(rows))
+	guardTail(a, 18, va)
+	a.End()
+	return a.MustBuild()
+}
+
+// newColorGrade builds a write-heavy grading pass: one read feeds
+// `writes` (arg 0) graded output planes — the Sony Vegas pattern of
+// writing far more bytes than are read.
+// Args: 0=writes, 1=gain. Surfaces: 0=in, 1=out.
+func newColorGrade(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	writes, gain := a.Arg(0), a.Arg(1)
+	in, out := a.Surface(0), a.Surface(1)
+	addr, v, g, plane, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Load(v, addr, in, 4)
+	p := openLoop(a, "plane")
+	a.Mov(g, asm.R(v))
+	a.Mad(g, asm.R(g), asm.R(gain), asm.R(p))
+	a.Mov(t, asm.R(g))
+	a.Shr(t, asm.R(t), asm.I(7))
+	a.Add(g, asm.R(g), asm.R(t))
+	a.Shr(g, asm.R(g), asm.I(4))
+	a.Min(g, asm.R(g), asm.I(0xFFFFFF))
+	a.Mad(plane, asm.R(p), asm.I(1<<18), asm.R(addr))
+	a.Store(out, plane, g, 4)
+	a.Xor(g, asm.R(g), asm.I(0x8080))
+	a.AddI(plane, plane, 4)
+	a.Store(out, plane, g, 4) // chroma companion
+	closeLoop(a, "plane", p, asm.R(writes))
+	guardTail(a, 22, g)
+	a.End()
+	return a.MustBuild()
+}
+
+// newMotionEstimate builds a sum-of-absolute-differences search over
+// `cands` (arg 0) candidate offsets, tracking the best candidate.
+// Args: 0=cands. Surfaces: 0=ref, 1=cur, 2=best.
+func newMotionEstimate(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	cands := a.Arg(0)
+	ref, cur, best := a.Surface(0), a.Surface(1), a.Surface(2)
+	addr, rv, cv, sad, bestv, t := a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp(), a.Temp()
+	a.MovI(bestv, 0xFFFFFFFF)
+	gidAddr(a, addr, asm.I(0), 2)
+	// Quad-wide warm-up fetch before the scalar-per-item search.
+	a.SetWidth(4)
+	a.Load(rv, addr, ref, 4)
+	a.SetWidth(0)
+	a.Load(cv, addr, cur, 4)
+	k := openLoop(a, "cand")
+	a.Mad(addr, asm.R(k), asm.I(31), asm.R(kernel.GIDReg))
+	a.And(addr, asm.R(addr), asm.I(0x3FFFF))
+	a.Shl(addr, asm.R(addr), asm.I(2))
+	a.Load(rv, addr, ref, 4)
+	a.Mov(t, asm.R(rv))
+	a.Sub(sad, asm.R(t), asm.R(cv))
+	a.Abs(sad, asm.R(sad))
+	a.Mov(t, asm.R(sad))
+	a.Shl(t, asm.R(t), asm.I(1))
+	a.Add(sad, asm.R(sad), asm.R(t))
+	a.Min(bestv, asm.R(bestv), asm.R(sad))
+	closeLoop(a, "cand", k, asm.R(cands))
+	guardTail(a, 20, bestv)
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(best, addr, bestv, 4)
+	a.End()
+	return a.MustBuild()
+}
+
+// newComputeStress builds the Sandra "Processor GPU" stress kernel:
+// `iters` (arg 0) iterations of pure multiply-add chains — ~90%
+// computation instructions, nearly no memory traffic.
+// Args: 0=iters, 1=seed. Surfaces: 0=out.
+func newComputeStress(name string, w isa.Width) *kernel.Kernel {
+	a := asm.NewKernel(name, w)
+	iters, seed := a.Arg(0), a.Arg(1)
+	out := a.Surface(0)
+	addr := a.Temp()
+	v := a.Temps(4)
+	for j, r := range v {
+		a.Add(r, asm.R(kernel.GIDReg), asm.I(uint32(j*7+1)))
+	}
+	i := openLoop(a, "iter")
+	for j, r := range v {
+		n := v[(j+1)%len(v)]
+		a.Mad(r, asm.R(r), asm.R(seed), asm.R(n))
+		a.Mul(n, asm.R(n), asm.R(r))
+		a.Add(r, asm.R(r), asm.R(n))
+		a.Mad(n, asm.R(r), asm.I(uint32(2*j+3)), asm.R(n))
+		a.Mach(r, asm.R(r), asm.R(n))
+		a.Add(r, asm.R(r), asm.I(uint32(j+1)))
+	}
+	closeLoop(a, "iter", i, asm.R(iters))
+	a.Add(v[0], asm.R(v[0]), asm.R(v[2]))
+	guardTail(a, 10, v[0])
+	gidAddr(a, addr, asm.I(0), 2)
+	a.Store(out, addr, v[0], 4)
+	a.End()
+	return a.MustBuild()
+}

@@ -1,0 +1,238 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+
+	"gtpin/internal/device"
+	"gtpin/internal/isa"
+)
+
+// Paper-shape tests: the characterization signatures the paper reports
+// for specific applications must hold for our reconstructions — at small
+// scale, since the shapes are scale-invariant.
+
+var (
+	shapeOnce sync.Once
+	shapeRes  map[string]*Result
+)
+
+func shapeResults(t *testing.T) map[string]*Result {
+	t.Helper()
+	shapeOnce.Do(func() {
+		shapeRes = make(map[string]*Result)
+		cfg := device.IvyBridgeHD4000()
+		for _, spec := range All() {
+			res, err := Run(spec, ScaleSmall, cfg, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			shapeRes[spec.Name] = res
+		}
+	})
+	return shapeRes
+}
+
+func kernelPct(res *Result) float64 {
+	k, _, _ := res.Tracer.BreakdownPct()
+	return k
+}
+
+func syncPct(res *Result) float64 {
+	_, s, _ := res.Tracer.BreakdownPct()
+	return s
+}
+
+// Figure 3a shapes.
+func TestAPIBreakdownShapes(t *testing.T) {
+	rs := shapeResults(t)
+
+	// throughput-bitcoin has the lowest kernel-call share (paper: 4.5%).
+	btc := kernelPct(rs["cb-throughput-bitcoin"])
+	if btc > 12 {
+		t.Errorf("bitcoin kernel%% = %.1f, expected the suite's lowest (paper 4.5%%)", btc)
+	}
+	// part-sim-32k has the highest (paper: 76.5%).
+	ps32 := kernelPct(rs["cb-physics-part-sim-32k"])
+	if ps32 < 50 {
+		t.Errorf("part-sim-32k kernel%% = %.1f, expected the highest (paper 76.5%%)", ps32)
+	}
+	for name, res := range rs {
+		if name == "cb-physics-part-sim-32k" {
+			continue
+		}
+		if k := kernelPct(res); k >= ps32 {
+			t.Errorf("%s kernel%% %.1f exceeds part-sim-32k's %.1f", name, k, ps32)
+		}
+		if k := kernelPct(res); k < btc && name != "cb-throughput-bitcoin" {
+			t.Errorf("%s kernel%% %.1f below bitcoin's %.1f", name, k, btc)
+		}
+	}
+	// juliaset has the highest synchronization share (paper: 25.7%).
+	julia := syncPct(rs["cb-throughput-juliaset"])
+	if julia < 15 {
+		t.Errorf("juliaset sync%% = %.1f, expected the highest (paper 25.7%%)", julia)
+	}
+	for name, res := range rs {
+		if s := syncPct(res); s > julia {
+			t.Errorf("%s sync%% %.1f exceeds juliaset's %.1f", name, s, julia)
+		}
+	}
+}
+
+// Figure 3b shapes.
+func TestStructureShapes(t *testing.T) {
+	rs := shapeResults(t)
+	// Desktop facedetect has the most unique basic blocks (paper ~11500).
+	blocks := func(res *Result) int {
+		n := 0
+		for _, ki := range res.GTPin.Kernels() {
+			n += ki.NumBlocks
+		}
+		return n
+	}
+	fd := blocks(rs["cb-vision-facedetect"])
+	for name, res := range rs {
+		if b := blocks(res); b > fd {
+			t.Errorf("%s has %d blocks, more than facedetect's %d", name, b, fd)
+		}
+	}
+	// T-Rex has the most unique kernels (paper max 50).
+	trex := len(rs["cb-graphics-t-rex"].GTPin.Kernels())
+	if trex < 30 {
+		t.Errorf("t-rex kernels = %d, expected the suite maximum", trex)
+	}
+	// Gaussian apps have the fewest (paper min 1-2).
+	if g := len(rs["cb-gaussian-image"].GTPin.Kernels()); g != 2 {
+		t.Errorf("gaussian-image kernels = %d, want 2", g)
+	}
+}
+
+// Figure 3c shapes.
+func TestDynamicWorkShapes(t *testing.T) {
+	rs := shapeResults(t)
+	// tv-l1 has the most kernel invocations (paper max 18157).
+	tvl1 := len(rs["cb-vision-tv-l1-of"].Profile.Invocations)
+	for name, res := range rs {
+		if n := len(res.Profile.Invocations); n > tvl1 {
+			t.Errorf("%s has %d invocations, more than tv-l1's %d", name, n, tvl1)
+		}
+	}
+	// gaussian-image has the fewest (paper: ~56, the shortest benchmark).
+	gi := len(rs["cb-gaussian-image"].Profile.Invocations)
+	for name, res := range rs {
+		if n := len(res.Profile.Invocations); n < gi {
+			t.Errorf("%s has %d invocations, fewer than gaussian-image's %d", name, n, gi)
+		}
+	}
+}
+
+// Figure 4a shapes.
+func TestInstructionMixShapes(t *testing.T) {
+	rs := shapeResults(t)
+	// proc-gpu is computation-dominated (paper: 91%).
+	agg := rs["sandra-proc-gpu"].Profile.Aggregate()
+	comp := 100 * float64(agg.ByCategory[isa.CatComputation]) / float64(agg.Instrs)
+	if comp < 85 {
+		t.Errorf("proc-gpu computation%% = %.1f, want ≥85 (paper 91%%)", comp)
+	}
+	// Crypto apps are logic-dominated (table lookups + xors).
+	for _, name := range []string{"sandra-crypt-aes128", "sandra-crypt-aes256"} {
+		a := rs[name].Profile.Aggregate()
+		logic := 100 * float64(a.ByCategory[isa.CatLogic]) / float64(a.Instrs)
+		if logic < 40 {
+			t.Errorf("%s logic%% = %.1f, expected dominant", name, logic)
+		}
+	}
+}
+
+// Figure 4b shapes.
+func TestSIMDShapes(t *testing.T) {
+	rs := shapeResults(t)
+	var w16, w8, w4, w2 uint64
+	var total uint64
+	appsUsingW4 := 0
+	for _, res := range rs {
+		agg := res.Profile.Aggregate()
+		w16 += agg.ByWidth[isa.WidthIndex(isa.W16)]
+		w8 += agg.ByWidth[isa.WidthIndex(isa.W8)]
+		w4 += agg.ByWidth[isa.WidthIndex(isa.W4)]
+		w2 += agg.ByWidth[isa.WidthIndex(isa.W2)]
+		total += agg.Instrs
+		if agg.ByWidth[isa.WidthIndex(isa.W4)] > 0 {
+			appsUsingW4++
+		}
+	}
+	// Paper: 16- and 8-wide dominate (52% + 45%); 2-wide never used.
+	if frac := float64(w16+w8) / float64(total); frac < 0.85 {
+		t.Errorf("W16+W8 share = %.2f, expected dominant", frac)
+	}
+	if w2 != 0 {
+		t.Errorf("W2 instructions executed: %d (paper: never used)", w2)
+	}
+	// Paper: 4-wide instructions are rare (<0.1% overall) and appear in
+	// only 6 applications.
+	if w4 == 0 {
+		t.Error("no W4 instructions; the paper reports a handful of apps using them")
+	}
+	if frac := float64(w4) / float64(total); frac > 0.01 {
+		t.Errorf("W4 share = %.4f, expected rare", frac)
+	}
+	if appsUsingW4 < 3 || appsUsingW4 > 10 {
+		t.Errorf("%d apps use W4; the paper reports 6", appsUsingW4)
+	}
+}
+
+// Figure 4c shapes.
+func TestMemoryShapes(t *testing.T) {
+	rs := shapeResults(t)
+	// Crypto reads the most bytes.
+	aesRead := rs["sandra-crypt-aes256"].Profile.Aggregate().BytesRead
+	reads := 0
+	for _, res := range rs {
+		if res.Profile.Aggregate().BytesRead > aesRead {
+			reads++
+		}
+	}
+	if reads > 2 {
+		t.Errorf("%d applications out-read aes256; the crypto pair should lead", reads)
+	}
+	// Every Sony Vegas region writes more than it reads; region 5 has the
+	// extreme ratio.
+	r5 := ratioWR(rs["sonyvegas-proj-r5"])
+	for i := 1; i <= 7; i++ {
+		name := "sonyvegas-proj-r" + itoa(i)
+		r := ratioWR(rs[name])
+		if r <= 1 {
+			t.Errorf("%s writes/reads = %.2f, expected > 1", name, r)
+		}
+		if r > r5 {
+			t.Errorf("%s ratio %.1f exceeds region 5's %.1f", name, r, r5)
+		}
+	}
+	if r5 < 10 {
+		t.Errorf("region 5 write amplification = %.1f, expected extreme (paper 525X)", r5)
+	}
+	// Most non-Vegas applications read more than they write (paper:
+	// average 1110 GB read vs 105 GB written).
+	wins := 0
+	for name, res := range rs {
+		if len(name) > 9 && name[:9] == "sonyvegas" {
+			continue
+		}
+		if ratioWR(res) < 1 {
+			wins++
+		}
+	}
+	if wins < 12 {
+		t.Errorf("only %d non-Vegas applications are read-dominated", wins)
+	}
+}
+
+func ratioWR(res *Result) float64 {
+	agg := res.Profile.Aggregate()
+	if agg.BytesRead == 0 {
+		return float64(agg.BytesWritten)
+	}
+	return float64(agg.BytesWritten) / float64(agg.BytesRead)
+}

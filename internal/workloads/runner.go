@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/profile"
+)
+
+// JitterSigma is the relative timing noise applied to timed runs,
+// standing in for run-to-run variation on real hardware.
+const JitterSigma = 0.02
+
+// Result bundles everything one application's profiling pipeline
+// produces: the CoFluent recording and timings of the native (plain) run,
+// and the GT-Pin profile from the instrumented replay.
+type Result struct {
+	App       *App
+	Recording *cofluent.Recording
+	Tracer    *cofluent.Tracer // from the uninstrumented timed run
+	GTPin     *gtpin.GTPin
+	Profile   *profile.Profile
+}
+
+// Run executes the paper's profiling pipeline for one benchmark:
+//
+//  1. Run the application natively with the CoFluent tracer attached,
+//     producing the API-call record, per-kernel timings (with the trial's
+//     timing jitter), and a replayable recording.
+//  2. Replay the recording with GT-Pin attached, collecting
+//     per-invocation dynamic profiles from the instrumented binaries.
+//  3. Join GT-Pin's counts with CoFluent's (uninstrumented) timings into
+//     a profile for the selection pipeline.
+//
+// trialSeed seeds the timing jitter; different seeds model different
+// trials on the same machine.
+func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, error) {
+	app, err := spec.Build(sc)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: build %s: %w", spec.Name, err)
+	}
+
+	// Step 1: native timed run under CoFluent.
+	dev, err := device.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
+	dev.SetJitter(device.NewTimingJitter(trialSeed, JitterSigma))
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	if err := app.Run(ctx); err != nil {
+		return nil, fmt.Errorf("workloads: run %s: %w", spec.Name, err)
+	}
+	rec, err := cofluent.Record(spec.Name, tr, app.Programs)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: record %s: %w", spec.Name, err)
+	}
+
+	// Step 2: instrumented replay under GT-Pin.
+	idev, err := device.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
+	var g *gtpin.GTPin
+	if _, err := rec.Replay(idev, func(rctx *cl.Context) error {
+		var aerr error
+		g, aerr = gtpin.Attach(rctx, gtpin.Options{})
+		return aerr
+	}); err != nil {
+		return nil, fmt.Errorf("workloads: instrumented replay of %s: %w", spec.Name, err)
+	}
+
+	// Step 3: join counts and timings.
+	p, err := profile.Build(spec.Name, g, tr.TimesNs())
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
+	return &Result{App: app, Recording: rec, Tracer: tr, GTPin: g, Profile: p}, nil
+}
+
+// TimedReplay re-executes a recording without instrumentation on the
+// given device configuration and returns per-invocation times — a new
+// trial (different seed), frequency, or architecture generation for the
+// Section V-E validations.
+func TimedReplay(rec *cofluent.Recording, cfg device.Config, trialSeed int64) ([]float64, error) {
+	dev, err := device.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dev.SetJitter(device.NewTimingJitter(trialSeed, JitterSigma))
+	tr, err := rec.Replay(dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tr.TimesNs(), nil
+}
+
+// ApproxTarget returns the Approx-interval instruction target for a
+// scale: the paper's 100M instructions scaled by the suite's 1e-4
+// instruction factor (≈10K), scaled further by the test scale factors.
+func ApproxTarget(sc Scale) uint64 {
+	t := 10000 * sc.Iters * sc.Data
+	if t < 500 {
+		t = 500
+	}
+	return uint64(t)
+}

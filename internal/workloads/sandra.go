@@ -1,0 +1,128 @@
+package workloads
+
+// The three SiSoftware Sandra 2014 benchmarks (Table I): two cryptography
+// benchmarks — the paper's heaviest readers (624 GB and 2174 GB) — and
+// the "Processor GPU" stress test, whose instruction mix is 91%
+// computation.
+
+import (
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "sandra-crypt-aes128",
+		Suite: SuiteSandra,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 3, Instrs: 70e9, BytesRead: 624e9},
+		Build: func(sc Scale) (*App, error) { return cryptApp("sandra-crypt-aes128", 10, 380, isa.W16, sc) },
+	})
+	register(&Spec{
+		Name:  "sandra-crypt-aes256",
+		Suite: SuiteSandra,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 3, Instrs: 240e9, BytesRead: 2174e9},
+		Build: func(sc Scale) (*App, error) { return cryptApp("sandra-crypt-aes256", 14, 820, isa.W8, sc) },
+	})
+	register(&Spec{
+		Name:  "sandra-proc-gpu",
+		Suite: SuiteSandra,
+		Paper: PaperStats{KernelPct: 15, UniqueKernels: 4, Instrs: 650e9},
+		Build: buildProcGPU,
+	})
+}
+
+// cryptApp builds an AES-style benchmark: blocks stream through
+// key-whitened table-lookup rounds. The table gathers dominate traffic,
+// making the crypto pair the heaviest readers in the suite.
+func cryptApp(name string, rounds, batches int, w isa.Width, sc Scale) (*App, error) {
+	prog, err := asm.Program(name,
+		newAESRound(name+"_encrypt", w),
+		newAESRound(name+"_decrypt", w),
+		newHashRounds(name+"_keyschedule", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	nBatches := sc.N(float64(batches), sc.Invs, 3)
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		in := h.buffer(gws*4 + 4096)
+		sbox := h.buffer(256*4 + 64)
+		out := h.buffer(gws*4 + 4096)
+		keys := h.buffer(1 << 12)
+		h.upload(in, 171)
+		h.upload(sbox, 172)
+		p := h.build(prog)
+		enc := h.kernel(p, name+"_encrypt")
+		dec := h.kernel(p, name+"_decrypt")
+		ksched := h.kernel(p, name+"_keyschedule")
+
+		for b := 0; b < nBatches; b++ {
+			if b%32 == 0 { // periodic re-key
+				h.dispatch(ksched, dim(sc, 128),
+					[]uint32{loops(sc, 24, 4), uint32(0xA5A5A5A5 + b)}, keys)
+			}
+			h.dispatch(enc, gws, []uint32{loops(sc, rounds, 2), uint32(0x1000 + b)}, in, sbox, out)
+			if b%2 == 1 { // verify pass decrypts half the batches
+				h.dispatch(dec, gws, []uint32{loops(sc, rounds, 2), uint32(0x1000 + b)}, out, sbox, in)
+			}
+			if b%4 == 3 {
+				h.finish()
+				h.query(2)
+			}
+		}
+		h.finish()
+		h.read(out, 4096)
+		return h.done()
+	}
+	return &App{Name: name, Suite: SuiteSandra, Programs: []*kernel.Program{prog}, Run: run}, nil
+}
+
+// buildProcGPU models the Sandra "Processor GPU" stress test: long
+// multiply-add chains with almost no memory traffic — the application
+// with the paper's highest computation share (91%).
+func buildProcGPU(sc Scale) (*App, error) {
+	prog, err := asm.Program("sandra-proc-gpu",
+		newComputeStress("procgpu_float", isa.W16),
+		newComputeStress("procgpu_double", isa.W8),
+		newComputeStress("procgpu_int", isa.W16),
+		newReduce("procgpu_score", isa.W8))
+	if err != nil {
+		return nil, err
+	}
+
+	passes := sc.N(36, sc.Invs, 2)
+	gws := dim(sc, 2048)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		out := h.buffer(gws*4 + 4096)
+		score := h.buffer(1 << 14)
+		p := h.build(prog)
+		kf := h.kernel(p, "procgpu_float")
+		kd := h.kernel(p, "procgpu_double")
+		ki := h.kernel(p, "procgpu_int")
+		ks := h.kernel(p, "procgpu_score")
+
+		for ps := 0; ps < passes; ps++ {
+			iters := loops(sc, 90, 12)
+			if ps >= passes/2 {
+				iters = loops(sc, 130, 16) // second half runs the longer precision test
+			}
+			for _, k := range []*cl.Kernel{kf, kd, ki} {
+				h.dispatch(k, gws, []uint32{iters, uint32(0x41C64E6D + ps)}, out)
+			}
+			h.dispatch(ks, dim(sc, 256), []uint32{loops(sc, 4, 1)}, out, score)
+			h.finish()
+			h.query(3)
+		}
+		h.read(score, 1024)
+		return h.done()
+	}
+	return &App{Name: "sandra-proc-gpu", Suite: SuiteSandra,
+		Programs: []*kernel.Program{prog}, Run: run}, nil
+}

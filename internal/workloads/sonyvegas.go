@@ -1,0 +1,127 @@
+package workloads
+
+// The seven Sony Vegas Pro press-project regions (Table I): video
+// rendering passes demonstrating different effects. The regions write far
+// more bytes than they read — the extreme being region 5 — via
+// multi-plane colour-grading outputs.
+
+import (
+	"fmt"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// vegasRegion parameterizes one press-project region.
+type vegasRegion struct {
+	id       int
+	frames   float64 // base frame count
+	planes   int     // colour-grade output planes (write amplification)
+	blurRad  int     // gaussian radius (regions with blur effects)
+	crossfad bool    // region includes crossfades
+	motion   bool    // region includes motion-compensated effects
+}
+
+var vegasRegions = []vegasRegion{
+	{id: 1, frames: 740, planes: 10, blurRad: 3, crossfad: true},
+	{id: 2, frames: 570, planes: 16, crossfad: true, motion: true},
+	{id: 3, frames: 900, planes: 12, blurRad: 5},
+	{id: 4, frames: 660, planes: 20, motion: true},
+	{id: 5, frames: 430, planes: 96}, // extreme write amplification
+	{id: 6, frames: 830, planes: 8, crossfad: true, blurRad: 4},
+	{id: 7, frames: 440, planes: 24, motion: true, crossfad: true},
+}
+
+func init() {
+	for _, r := range vegasRegions {
+		r := r
+		register(&Spec{
+			Name:  fmt.Sprintf("sonyvegas-proj-r%d", r.id),
+			Suite: SuiteSonyVegas,
+			Paper: PaperStats{KernelPct: 15, UniqueKernels: 6, BytesWritten: 200e9},
+			Build: func(sc Scale) (*App, error) { return vegasApp(r, sc) },
+		})
+	}
+}
+
+func vegasApp(r vegasRegion, sc Scale) (*App, error) {
+	name := fmt.Sprintf("sonyvegas-proj-r%d", r.id)
+	prefix := fmt.Sprintf("vegas_r%d", r.id)
+	gradeW := isa.W16
+	if r.id%2 == 0 {
+		gradeW = isa.W8
+	}
+	ks := []*kernel.Kernel{
+		newColorGrade(prefix+"_grade", gradeW),
+		newBlend(prefix+"_fade", isa.W8),
+		newStreamScale(prefix+"_levels", isa.W8),
+	}
+	if r.blurRad > 0 {
+		ks = append(ks, newBlur(prefix+"_gauss", isa.W16, 4))
+	}
+	if r.motion {
+		ks = append(ks, newMotionEstimate(prefix+"_me", isa.W16))
+	}
+	ks = append(ks, newStreamCopy(prefix+"_encode", isa.W8))
+	prog, err := asm.Program(name, ks...)
+	if err != nil {
+		return nil, err
+	}
+
+	frames := sc.N(r.frames, sc.Invs, 4)
+	gws := dim(sc, 1024)
+
+	run := func(ctx *cl.Context) error {
+		h := newHost(ctx)
+		frameA := h.buffer(gws*4 + 8192)
+		frameB := h.buffer(gws*4 + 8192)
+		// Output plane buffer sized for the plane stride addressing.
+		planes := h.buffer(1 << 21)
+		h.upload(frameA, int64(181+r.id))
+		h.upload(frameB, int64(191+r.id))
+		p := h.build(prog)
+
+		grade := h.kernel(p, prefix+"_grade")
+		fade := h.kernel(p, prefix+"_fade")
+		levels := h.kernel(p, prefix+"_levels")
+		var gauss, me *cl.Kernel
+		if r.blurRad > 0 {
+			gauss = h.kernel(p, prefix+"_gauss")
+		}
+		if r.motion {
+			me = h.kernel(p, prefix+"_me")
+		}
+		encode := h.kernel(p, prefix+"_encode")
+
+		for f := 0; f < frames; f++ {
+			// Crossfades only happen at cut points (phase structure).
+			if r.crossfad && (f/40)%3 == 2 {
+				h.dispatch(fade, gws,
+					[]uint32{loops(sc, 3, 1), uint32((f * 7) % 256), 64}, frameA, frameB, frameA)
+			}
+			if gauss != nil {
+				h.dispatch(gauss, gws, []uint32{loops(sc, r.blurRad, 1)}, frameA, frameB)
+			}
+			if me != nil {
+				h.dispatch(me, gws, []uint32{loops(sc, 6, 2)}, frameA, frameB, planes)
+			}
+			h.dispatch(grade, gws, []uint32{uint32(r.planes), uint32(5 + f%3)}, frameA, planes)
+			if f%2 == 1 {
+				h.dispatch(levels, gws, []uint32{loops(sc, 1, 1), 3, 7}, frameA, frameA)
+			}
+			if f%4 == 3 {
+				h.dispatch(encode, gws, []uint32{loops(sc, 2, 1)}, planes, planes)
+			}
+			h.finish()
+			if f%25 == 24 {
+				h.read(planes, 4096)
+				h.query(2)
+			}
+		}
+		h.read(planes, 8192)
+		return h.done()
+	}
+	return &App{Name: name, Suite: SuiteSonyVegas, Programs: []*kernel.Program{prog}, Run: run}, nil
+}

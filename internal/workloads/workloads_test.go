@@ -1,0 +1,72 @@
+package workloads
+
+import (
+	"testing"
+
+	"gtpin/internal/device"
+	"gtpin/internal/intervals"
+)
+
+func TestRegistryHas25Benchmarks(t *testing.T) {
+	all := All()
+	if len(all) != 25 {
+		t.Fatalf("registry has %d benchmarks, want 25", len(all))
+	}
+	suites := map[string]int{}
+	for _, s := range all {
+		suites[s.Suite]++
+	}
+	if suites[SuiteCompuBenchDesktop] != 6 {
+		t.Errorf("desktop suite has %d apps, want 6", suites[SuiteCompuBenchDesktop])
+	}
+	if suites[SuiteCompuBenchMobile] != 9 {
+		t.Errorf("mobile suite has %d apps, want 9", suites[SuiteCompuBenchMobile])
+	}
+	if suites[SuiteSandra] != 3 {
+		t.Errorf("sandra suite has %d apps, want 3", suites[SuiteSandra])
+	}
+	if suites[SuiteSonyVegas] != 7 {
+		t.Errorf("vegas suite has %d apps, want 7", suites[SuiteSonyVegas])
+	}
+}
+
+// TestAllBenchmarksRunTiny executes every benchmark's full profiling
+// pipeline at tiny scale and checks basic profile invariants.
+func TestAllBenchmarksRunTiny(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Run(spec, ScaleTiny, device.IvyBridgeHD4000(), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := res.Profile
+			if len(p.Invocations) == 0 {
+				t.Fatal("no invocations profiled")
+			}
+			if p.TotalInstrs() == 0 {
+				t.Fatal("no instructions counted")
+			}
+			if p.TotalTimeSec() <= 0 {
+				t.Fatal("no time measured")
+			}
+			// Interval divisions must partition the profile.
+			for _, s := range intervals.Schemes {
+				ivs, err := intervals.Divide(p, s, ApproxTarget(ScaleTiny))
+				if err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+				if err := intervals.Validate(p, ivs); err != nil {
+					t.Fatalf("%v: %v", s, err)
+				}
+			}
+			k, sc, o := res.Tracer.Breakdown()
+			if k == 0 || sc == 0 || o == 0 {
+				t.Errorf("degenerate API breakdown: kernel=%d sync=%d other=%d", k, sc, o)
+			}
+			if k != len(p.Invocations) {
+				t.Errorf("kernel calls %d != invocations %d", k, len(p.Invocations))
+			}
+		})
+	}
+}
