@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race vet check bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# check is the CI gate: static analysis, a full build, and the test
+# suite under the race detector (the chaos suite must never panic or
+# deadlock under -race).
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

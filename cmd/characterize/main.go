@@ -8,14 +8,25 @@
 // Usage:
 //
 //	characterize [-scale full|small|tiny] [-app name] [-fig table1|3a|3b|3c|4a|4b|4c|all]
+//	             [-fault-rate R] [-fault-seed S] [-watchdog N]
+//
+// A per-application failure does not abort the sweep: the failed
+// application is reported in the run-status table with its error class,
+// the figures are produced from the applications that completed, and the
+// exit status is non-zero only when every application failed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/par"
 	"gtpin/internal/report"
@@ -24,9 +35,15 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
 	appFlag := flag.String("app", "", "profile a single benchmark by name")
 	figFlag := flag.String("fig", "all", "which output to produce: table1, 3a, 3b, 3c, 4a, 4b, 4c, or all")
+	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1]")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
+	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -42,6 +59,17 @@ func main() {
 		}
 		specs = []*workloads.Spec{spec}
 	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+	}
+	var fo *workloads.FaultOptions
+	if *faultRate > 0 || *watchdog > 0 {
+		fo = &workloads.FaultOptions{
+			Rates:    faults.Uniform(*faultRate),
+			Seed:     *faultSeed,
+			Watchdog: *watchdog,
+		}
+	}
 
 	if show(*figFlag, "table1") {
 		printTableI(specs)
@@ -50,21 +78,63 @@ func main() {
 	type row struct {
 		spec *workloads.Spec
 		res  *workloads.Result
+		err  error
 	}
-	rows := make([]row, len(specs))
+	all := make([]row, len(specs))
 	cfg := device.IvyBridgeHD4000()
-	if err := par.ForEach(len(specs), func(i int) error {
+	if err := par.ForEach(ctx, len(specs), func(i int) error {
 		spec := specs[i]
-		res, err := workloads.Run(spec, sc, cfg, 1)
+		res, err := workloads.RunWithFaults(spec, sc, cfg, 1, fo)
 		if err != nil {
-			return err
+			// Per-application failures do not abort the sweep; they are
+			// reported with their error class in the run-status table.
+			fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", spec.Name, err)
+			all[i] = row{spec: spec, err: err}
+			return nil
 		}
 		fmt.Fprintf(os.Stderr, "profiled %-28s %s instrs, %d invocations\n",
 			spec.Name, report.HumanCount(float64(res.Profile.TotalInstrs())), len(res.Profile.Invocations))
-		rows[i] = row{spec, res}
+		all[i] = row{spec: spec, res: res}
 		return nil
 	}); err != nil {
-		fatal(err)
+		if !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "characterize: interrupted; reporting completed applications")
+	}
+
+	var rows []row
+	failed := 0
+	for _, r := range all {
+		if r.err != nil {
+			failed++
+		} else if r.res != nil {
+			rows = append(rows, r)
+		}
+	}
+	if failed > 0 || len(rows) < len(all) || fo != nil {
+		report.Section(os.Stdout, "Run status")
+		t := report.NewTable("", "Application", "Status", "Error Class", "Injected Faults")
+		for i, r := range all {
+			// Index specs directly: an interrupted sweep leaves undispatched
+			// entries in all with nothing filled in.
+			switch {
+			case r.err != nil:
+				class := faults.Kind(r.err)
+				if class == "" {
+					class = faults.ClassOf(r.err).String()
+				}
+				t.Row(specs[i].Name, "FAILED", class, "")
+			case r.res != nil:
+				t.Row(specs[i].Name, "ok", "", r.res.FaultStats.Total())
+			default:
+				t.Row(specs[i].Name, "not run", "", "")
+			}
+		}
+		t.Write(os.Stdout)
+	}
+	if len(rows) == 0 {
+		fatal(fmt.Errorf("all %d applications failed", len(all)))
 	}
 
 	if show(*figFlag, "3a") {

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gtpin/internal/device"
 	"gtpin/internal/intervals"
@@ -35,6 +38,9 @@ type check struct {
 }
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
 	skipValidate := flag.Bool("skip-validate", false, "skip the Figure 8 validations (the slowest step)")
 	flag.Parse()
@@ -59,7 +65,7 @@ func main() {
 	}
 	specs := workloads.All()
 	apps := make([]appRun, len(specs))
-	if err := par.ForEach(len(specs), func(i int) error {
+	if err := par.ForEach(ctx, len(specs), func(i int) error {
 		res, err := workloads.Run(specs[i], sc, base, 1)
 		if err != nil {
 			return err
@@ -184,7 +190,7 @@ func main() {
 	if !*skipValidate {
 		crossErrs := func(cfg device.Config, seed int64) []float64 {
 			out := make([]float64, len(apps))
-			if err := par.ForEach(len(apps), func(i int) error {
+			if err := par.ForEach(ctx, len(apps), func(i int) error {
 				best := selection.MinError(apps[i].evals)
 				times, err := workloads.TimedReplay(apps[i].res.Recording, cfg, seed)
 				if err != nil {

@@ -12,10 +12,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"gtpin/internal/device"
 	"gtpin/internal/export"
@@ -33,6 +36,9 @@ import (
 var fig5Apps = []string{"cb-physics-ocean-surf", "sandra-crypt-aes128", "sonyvegas-proj-r3"}
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
 	figFlag := flag.String("fig", "all", "output: table2, table3, 5, 6, 7, bestavg, or all")
 	csvDir := flag.String("csv", "", "directory to write per-app evaluation CSVs and selection work lists")
@@ -54,7 +60,7 @@ func main() {
 	cfg := device.IvyBridgeHD4000()
 	specs := workloads.All()
 	profs := make([]*profile.Profile, len(specs))
-	if err := par.ForEach(len(specs), func(i int) error {
+	if err := par.ForEach(ctx, len(specs), func(i int) error {
 		res, err := workloads.Run(specs[i], sc, cfg, 1)
 		if err != nil {
 			return err
@@ -81,7 +87,7 @@ func main() {
 	needEvals := show(*figFlag, "5") || show(*figFlag, "6") || show(*figFlag, "7") || show(*figFlag, "bestavg")
 	if needEvals {
 		all := make([][]*selection.Evaluation, len(order))
-		if err := par.ForEach(len(order), func(i int) error {
+		if err := par.ForEach(ctx, len(order), func(i int) error {
 			evs, err := selection.EvaluateAll(profiles[order[i]], opts)
 			if err != nil {
 				return err

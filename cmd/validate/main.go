@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gtpin/internal/device"
 	"gtpin/internal/par"
@@ -31,6 +34,9 @@ import (
 var freqsMHz = []int{1000, 850, 700, 550, 350}
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
 	partFlag := flag.String("part", "all", "which validation: trials, freq, arch, or all")
 	nTrials := flag.Int("trials", 9, "number of additional trials (paper: trials 2-10)")
@@ -50,7 +56,7 @@ func main() {
 	}
 	specs := workloads.All()
 	apps := make([]appState, len(specs))
-	if err := par.ForEach(len(specs), func(i int) error {
+	if err := par.ForEach(ctx, len(specs), func(i int) error {
 		res, err := workloads.Run(specs[i], sc, base, 1)
 		if err != nil {
 			return err
@@ -82,7 +88,7 @@ func main() {
 		report.Section(os.Stdout, "Figure 8 (top): error using trial-1 selections on trials 2-%d", *nTrials+1)
 		t := report.NewTable("", "Application", "Config", "Mean Error%", "Max Error%")
 		perApp := make([][]float64, len(apps))
-		if err := par.ForEach(len(apps), func(i int) error {
+		if err := par.ForEach(ctx, len(apps), func(i int) error {
 			for trial := 2; trial <= *nTrials+1; trial++ {
 				e, err := crossErr(apps[i], base, int64(trial))
 				if err != nil {
@@ -120,7 +126,7 @@ func main() {
 		}
 		t := report.NewTable("", headers...)
 		perApp := make([][]float64, len(apps))
-		if err := par.ForEach(len(apps), func(i int) error {
+		if err := par.ForEach(ctx, len(apps), func(i int) error {
 			for _, f := range freqsMHz {
 				e, err := crossErr(apps[i], base.WithFrequency(f), 1)
 				if err != nil {
@@ -170,7 +176,7 @@ func main() {
 		t := report.NewTable("", "Application", "Config", "Error%")
 		hsw := device.HaswellHD4600()
 		errsArch := make([]float64, len(apps))
-		if err := par.ForEach(len(apps), func(i int) error {
+		if err := par.ForEach(ctx, len(apps), func(i int) error {
 			e, err := crossErr(apps[i], hsw, 1)
 			if err != nil {
 				return err

@@ -2,8 +2,10 @@ package cl
 
 import (
 	"fmt"
+	"sort"
 
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
 )
@@ -19,6 +21,8 @@ type BuildHook func(bin *jit.Binary) (*jit.Binary, error)
 // interception points tools attach to.
 type Context struct {
 	dev          *device.Device
+	degraded     *device.Device // lazy graceful-degradation fallback
+	resilience   Resilience
 	interceptors []Interceptor
 	buildHooks   []BuildHook
 
@@ -45,7 +49,7 @@ func (ctx *Context) SetTraceBuffer(b *device.Buffer) { ctx.traceBuf = b }
 // observe the complete call stream; applications then issue their setup
 // calls via EmitSetupCalls or individual methods.
 func NewContext(dev *device.Device) *Context {
-	return &Context{dev: dev}
+	return &Context{dev: dev, resilience: DefaultResilience()}
 }
 
 // EmitSetupCalls emits the platform/device/context setup sequence a real
@@ -140,23 +144,59 @@ func (p *Program) IR() *kernel.Program { return p.ir }
 
 // Build JIT-compiles every kernel and runs the registered build hooks on
 // each binary, in order — the point where GT-Pin instruments the code.
+// Transient JIT failures (faults.ErrJITTransient) are retried under the
+// context's resilience policy before being surfaced.
 func (p *Program) Build() error {
 	p.ctx.emit(&APICall{Name: CallBuildProgram, Program: p.ID})
+	pol := p.ctx.resilience
+	var err error
+	for attempt := 0; ; attempt++ {
+		var bins map[string]*jit.Binary
+		bins, err = p.buildOnce()
+		if err == nil {
+			p.bins = bins
+			return nil
+		}
+		if !faults.IsTransient(err) || attempt >= pol.MaxRetries {
+			return err
+		}
+	}
+}
+
+// buildOnce is one JIT attempt: compile, consult the fault injector, run
+// the build hooks. Kernels are visited in sorted-name order so the
+// injector's per-kernel draw counts advance identically on every run.
+func (p *Program) buildOnce() (map[string]*jit.Binary, error) {
 	bins, err := jit.CompileProgram(p.ir)
 	if err != nil {
-		return fmt.Errorf("cl: build program %d: %w", p.ID, err)
+		return nil, fmt.Errorf("cl: build program %d: %w", p.ID, err)
 	}
-	for name, bin := range bins {
+	names := make([]string, 0, len(bins))
+	for name := range bins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Consult the injector for every kernel before any build hook runs:
+	// a transient JIT failure must abort the attempt with no hook side
+	// effects, so a retry re-runs the hooks (instrumentation, rewriting)
+	// from a clean slate.
+	inj := p.ctx.dev.FaultInjector()
+	for _, name := range names {
+		if inj.JITFault(name) {
+			return nil, fmt.Errorf("cl: build program %d: jit of kernel %s: %w", p.ID, name, faults.ErrJITTransient)
+		}
+	}
+	for _, name := range names {
+		bin := bins[name]
 		for _, h := range p.ctx.buildHooks {
 			bin, err = h(bin)
 			if err != nil {
-				return fmt.Errorf("cl: build hook on kernel %s: %w", name, err)
+				return nil, fmt.Errorf("cl: build hook on kernel %s: %w", name, err)
 			}
 		}
 		bins[name] = bin
 	}
-	p.bins = bins
-	return nil
+	return bins, nil
 }
 
 // Release emits the program release call.

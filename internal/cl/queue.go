@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 )
 
 // Queue is an in-order command queue. EnqueueNDRangeKernel defers
@@ -31,20 +32,26 @@ type Event struct {
 	kernel string
 	done   bool
 	stats  device.ExecStats
+	err    error // set when the invocation failed past the resilience policy
 }
 
 // Kernel returns the kernel name the event tracks.
 func (e *Event) Kernel() string { return e.kernel }
 
-// Complete reports whether the invocation has executed.
+// Complete reports whether the invocation has executed successfully.
 func (e *Event) Complete() bool { return e.done }
 
+// Err returns the classified execution error of a failed invocation, or
+// nil if the invocation completed (or has not executed yet).
+func (e *Event) Err() error { return e.err }
+
 // ProfilingTimeNs returns the invocation's modelled execution time. It
-// fails if the event has not completed (no synchronization call has
-// drained the queue yet).
+// fails with faults.ErrEventNotComplete if the event has not completed
+// (no synchronization call has drained the queue yet, or the invocation
+// failed).
 func (e *Event) ProfilingTimeNs() (float64, error) {
 	if !e.done {
-		return 0, fmt.Errorf("cl: event for kernel %s has not completed", e.kernel)
+		return 0, fmt.Errorf("cl: event for kernel %s: %w", e.kernel, faults.ErrEventNotComplete)
 	}
 	return e.stats.TimeNs, nil
 }
@@ -98,26 +105,33 @@ func (q *Queue) EnqueueNDRangeKernelWithEvent(k *Kernel, gws int) (*Event, error
 	return ev, nil
 }
 
-// drain executes all pending kernels in order on the device and notifies
-// interceptors of each completion.
+// drain executes all pending kernels in order on the device, each under
+// the resilience policy, and notifies interceptors of each completion.
+//
+// On a failure that survives the policy, the drain stops at the failing
+// kernel: earlier invocations are complete (their events fired), the
+// failing kernel's pending entry is dropped, and later enqueues remain
+// pending for a subsequent synchronization call — the in-order analogue
+// of a command queue whose failed command is discarded. The returned
+// *KernelExecError identifies the failing kernel and enqueue sequence.
 func (q *Queue) drain() error {
-	for _, p := range q.pending {
-		surfs := make([]*device.Buffer, len(p.surfaces), len(p.surfaces)+1)
-		for i, b := range p.surfaces {
-			surfs[i] = b.buf
-		}
-		if q.ctx.traceBuf != nil {
-			surfs = append(surfs, q.ctx.traceBuf)
-		}
-		disp := device.Dispatch{
-			Binary:         p.kernel.bin,
-			Args:           p.args,
-			Surfaces:       surfs,
-			GlobalWorkSize: p.gws,
-		}
-		st, err := q.ctx.dev.Run(disp)
+	for len(q.pending) > 0 {
+		p := q.pending[0]
+		q.pending = q.pending[1:]
+		st, err := q.executeResilient(&p)
 		if err != nil {
-			return fmt.Errorf("cl: executing kernel %s: %w", p.kernel.name, err)
+			kerr := &KernelExecError{
+				Kernel:        p.kernel.name,
+				EnqueueSeq:    p.enqueueSeq,
+				InvocationSeq: q.ctx.invocations,
+				Attempts:      st.Attempts,
+				Degraded:      st.Degraded,
+				Err:           err,
+			}
+			if p.event != nil {
+				p.event.err = kerr
+			}
+			return kerr
 		}
 		if p.event != nil {
 			p.event.stats = st
@@ -136,7 +150,6 @@ func (q *Queue) drain() error {
 			i.OnKernelComplete(comp)
 		}
 	}
-	q.pending = q.pending[:0]
 	return nil
 }
 
@@ -163,7 +176,7 @@ func (q *Queue) WaitForEvents(events ...*Event) error {
 	}
 	for _, e := range events {
 		if e != nil && !e.done {
-			return fmt.Errorf("cl: waited event for kernel %s did not complete", e.kernel)
+			return fmt.Errorf("cl: waited event for kernel %s: %w", e.kernel, faults.ErrEventNotComplete)
 		}
 	}
 	return nil

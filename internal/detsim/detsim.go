@@ -37,6 +37,10 @@ type Config struct {
 	// PipelineDepth is the in-order pipeline's result latency in cycles
 	// for single-cycle ops (dependent instructions stall on it).
 	PipelineDepth int
+	// WatchdogInstrs is the per-channel-group dynamic-instruction budget
+	// of the simulator's step loops, surfaced as faults.ErrWatchdogTimeout
+	// when exceeded. 0 uses the default runaway backstop.
+	WatchdogInstrs uint64
 }
 
 // DefaultConfig returns a detailed model of the paper's HD 4000 system.
@@ -136,6 +140,9 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, fmt.Errorf("detsim: %w", err)
 	}
 	cfg.Caches = caches
+	if cfg.WatchdogInstrs == 0 {
+		cfg.WatchdogInstrs = maxGroupInstrs
+	}
 	return &Simulator{cfg: cfg, caches: h}, nil
 }
 

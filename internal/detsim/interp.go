@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/kernel"
 )
@@ -153,8 +154,8 @@ func (s *Simulator) runGroupDetailed(k *kernel.Kernel, args []uint32, surfs []*d
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
 			instrs++
-			if instrs > maxGroupInstrs {
-				return 0, 0, fmt.Errorf("exceeded %d instructions; runaway loop?", maxGroupInstrs)
+			if instrs > s.cfg.WatchdogInstrs {
+				return 0, 0, fmt.Errorf("%w: group exceeded its %d-instruction budget", faults.ErrWatchdogTimeout, s.cfg.WatchdogInstrs)
 			}
 			start := readyAt(in)
 			iw := int(in.Width)
@@ -293,8 +294,8 @@ func (s *Simulator) runGroupFunctional(k *kernel.Kernel, args []uint32, surfs []
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
 			instrs++
-			if instrs > maxGroupInstrs {
-				return fmt.Errorf("exceeded %d instructions; runaway loop?", maxGroupInstrs)
+			if instrs > s.cfg.WatchdogInstrs {
+				return fmt.Errorf("%w: group exceeded its %d-instruction budget", faults.ErrWatchdogTimeout, s.cfg.WatchdogInstrs)
 			}
 			iw := int(in.Width)
 			if iw > width {

@@ -1,0 +1,40 @@
+package detsim_test
+
+import (
+	"errors"
+	"testing"
+
+	"gtpin/internal/detsim"
+	"gtpin/internal/faults"
+)
+
+// TestWatchdogBudgetInDetailedSimulation: the cycle-level simulator
+// enforces the same per-enqueue instruction budget as the functional
+// device, surfacing overruns as the typed watchdog timeout.
+func TestWatchdogBudgetInDetailedSimulation(t *testing.T) {
+	rec, n, _ := record(t, 300, 6)
+
+	tight := detsim.DefaultConfig()
+	tight.WatchdogInstrs = 10
+	sim, err := detsim.New(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sim.Run(rec, []detsim.Range{{From: 0, To: n}})
+	if !errors.Is(err, faults.ErrWatchdogTimeout) {
+		t.Fatalf("err = %v, want ErrWatchdogTimeout under a 10-instruction budget", err)
+	}
+	if faults.IsTransient(err) {
+		t.Error("watchdog timeouts are permanent")
+	}
+
+	generous := detsim.DefaultConfig()
+	generous.WatchdogInstrs = 1 << 40
+	sim2, err := detsim.New(generous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim2.Run(rec, []detsim.Range{{From: 0, To: n}}); err != nil {
+		t.Fatalf("generous budget must not trip: %v", err)
+	}
+}

@@ -106,6 +106,24 @@ func (c Config) WithEUs(eus int) Config {
 	return c
 }
 
+// Degraded returns the graceful-degradation fallback configuration: half
+// the EUs (re-fused into a single subslice when the halved count no
+// longer divides evenly), where a kernel that repeatedly failed on the
+// full configuration is retried. Functional results are unaffected — only
+// the timing model sees the narrower machine.
+func (c Config) Degraded() Config {
+	eus := c.EUs / 2
+	if eus < 1 {
+		eus = 1
+	}
+	if c.SubSlices > eus || eus%c.SubSlices != 0 {
+		c.SubSlices = 1
+	}
+	c.EUs = eus
+	c.Name = fmt.Sprintf("%s (degraded x%dEU)", c.Name, eus)
+	return c
+}
+
 // Validate checks the configuration is physically sensible.
 func (c Config) Validate() error {
 	switch {

@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
@@ -32,6 +33,13 @@ type ExecStats struct {
 	BytesWritten  uint64  // bytes written to surfaces
 	ComputeCycles uint64  // summed per-thread execution cycles
 	TimeNs        float64 // modelled wall-clock time of the dispatch
+
+	// Resilience bookkeeping, filled by the cl layer's resilient drain.
+	// All three stay zero-valued on the fault-free path, so profiles from
+	// injection-free runs are unchanged.
+	Attempts  int     // execution attempts consumed (0 or 1 = no retries)
+	Degraded  bool    // final attempt ran on the degraded fallback config
+	BackoffNs float64 // modelled retry backoff delay, not in TimeNs
 }
 
 // maxGroupInstrs bounds dynamic instructions per channel-group, as a
@@ -67,6 +75,12 @@ type Device struct {
 	dispatches uint64 // dispatches completed, drives thermal drift
 	jitter     *TimingJitter
 
+	// watchdog is the per-enqueue dynamic-instruction budget; 0 keeps
+	// only the per-group runaway backstop.
+	watchdog uint64
+	inj      *faults.Injector
+	curInv   *faults.Invocation // fault plan of the dispatch in flight
+
 	// memStallCycles is the per-send memory stall charged to a thread:
 	// the wall-clock latency in cycles, divided by the EU's SMT depth
 	// (co-resident threads hide most of each other's latency).
@@ -101,6 +115,36 @@ func (d *Device) Config() Config { return d.cfg }
 // complete. The MsgTimer send reads this during execution.
 func (d *Device) Timestamp() uint64 { return d.cycles }
 
+// SetWatchdog installs a per-enqueue watchdog: any dispatch whose dynamic
+// instruction count exceeds budget fails with faults.ErrWatchdogTimeout.
+// A zero budget disables the watchdog, leaving only the per-group
+// runaway-loop backstop.
+func (d *Device) SetWatchdog(budget uint64) { d.watchdog = budget }
+
+// WatchdogBudget returns the installed per-enqueue instruction budget
+// (0 = disabled).
+func (d *Device) WatchdogBudget() uint64 { return d.watchdog }
+
+// SetFaultInjector installs a fault injector consulted on every dispatch;
+// nil disables injection. The injector's draw counts advance per
+// execution attempt, so it must not be shared across concurrently-running
+// devices.
+func (d *Device) SetFaultInjector(inj *faults.Injector) { d.inj = inj }
+
+// FaultInjector returns the installed injector, or nil.
+func (d *Device) FaultInjector() *faults.Injector { return d.inj }
+
+// Jitter returns the installed timing jitter source, or nil.
+func (d *Device) Jitter() *TimingJitter { return d.jitter }
+
+// budget returns the effective per-enqueue instruction budget.
+func (d *Device) budget() uint64 {
+	if d.watchdog > 0 {
+		return d.watchdog
+	}
+	return maxGroupInstrs
+}
+
 func (d *Device) kernelFor(bin *jit.Binary) (*kernel.Kernel, error) {
 	if k, ok := d.decoded[bin]; ok {
 		return k, nil
@@ -117,25 +161,34 @@ func (d *Device) kernelFor(bin *jit.Binary) (*kernel.Kernel, error) {
 func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 	var st ExecStats
 	if disp.Binary == nil {
-		return st, fmt.Errorf("device: dispatch has no binary")
+		return st, fmt.Errorf("device: dispatch has no binary: %w", faults.ErrInvalidDispatch)
 	}
 	k, err := d.kernelFor(disp.Binary)
 	if err != nil {
 		return st, err
 	}
 	if disp.GlobalWorkSize <= 0 {
-		return st, fmt.Errorf("device: kernel %s: global work size %d", k.Name, disp.GlobalWorkSize)
+		return st, fmt.Errorf("device: kernel %s: global work size %d: %w", k.Name, disp.GlobalWorkSize, faults.ErrInvalidDispatch)
 	}
 	if len(disp.Args) < k.NumArgs {
-		return st, fmt.Errorf("device: kernel %s: %d args supplied, %d required", k.Name, len(disp.Args), k.NumArgs)
+		return st, fmt.Errorf("device: kernel %s: %d args supplied, %d required: %w", k.Name, len(disp.Args), k.NumArgs, faults.ErrInvalidDispatch)
 	}
 	if len(disp.Surfaces) < k.NumSurfaces {
-		return st, fmt.Errorf("device: kernel %s: %d surfaces bound, %d required", k.Name, len(disp.Surfaces), k.NumSurfaces)
+		return st, fmt.Errorf("device: kernel %s: %d surfaces bound, %d required: %w", k.Name, len(disp.Surfaces), k.NumSurfaces, faults.ErrInvalidDispatch)
 	}
 	for i, s := range disp.Surfaces {
 		if s == nil {
-			return st, fmt.Errorf("device: kernel %s: surface %d is nil", k.Name, i)
+			return st, fmt.Errorf("device: kernel %s: surface %d is nil: %w", k.Name, i, faults.ErrInvalidDispatch)
 		}
+	}
+
+	d.curInv = d.inj.BeginInvocation(k.Name, 0)
+	defer func() { d.curInv = nil }()
+	if d.curInv.Hang() {
+		// The kernel stops making forward progress; the watchdog detects
+		// the hang once the enqueue's instruction budget is consumed.
+		return st, fmt.Errorf("device: kernel %s: %w: no forward progress after %d instructions: %w",
+			k.Name, faults.ErrWatchdogTimeout, d.budget(), faults.ErrKernelHang)
 	}
 
 	width := int(k.SIMD)
@@ -148,6 +201,11 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 		if err := d.runGroup(k, disp, g, active, &st); err != nil {
 			return st, fmt.Errorf("device: kernel %s group %d: %w", k.Name, g, err)
 		}
+	}
+	if d.curInv.CorruptResult() {
+		// Integrity checking rejects the dispatch; its side effects are
+		// untrustworthy and the caller must replay from a clean snapshot.
+		return st, fmt.Errorf("device: kernel %s: %w", k.Name, faults.ErrCorruptResult)
 	}
 	st.Groups = groups
 	st.TimeNs = d.jitter.Perturb(d.cfg.dispatchTimeNs(&st) * d.thermalDrift())
@@ -213,7 +271,10 @@ func (d *Device) runGroup(k *kernel.Kernel, disp Dispatch, group, active int, st
 			groupInstrs++
 			groupCycles += uint64(instrCost[in.Op])
 			if groupInstrs > maxGroupInstrs {
-				return fmt.Errorf("exceeded %d instructions; runaway loop?", maxGroupInstrs)
+				return fmt.Errorf("%w: group exceeded %d instructions; runaway loop?", faults.ErrWatchdogTimeout, maxGroupInstrs)
+			}
+			if d.watchdog > 0 && st.Instrs+groupInstrs > d.watchdog {
+				return fmt.Errorf("%w: enqueue exceeded its %d-instruction budget", faults.ErrWatchdogTimeout, d.watchdog)
 			}
 
 			iw := int(in.Width) // instruction execution width

@@ -1,0 +1,141 @@
+package device
+
+import (
+	"errors"
+	"testing"
+
+	"gtpin/internal/faults"
+)
+
+func TestWatchdogBudgetTripsAsTypedTimeout(t *testing.T) {
+	bin := loopKernel(t)
+	dev, _ := New(IvyBridgeHD4000())
+	out, _ := NewBuffer(4 * 16)
+	disp := Dispatch{Binary: bin, Args: []uint32{1000}, Surfaces: []*Buffer{out}, GlobalWorkSize: 16}
+
+	// Generous budget: runs fine.
+	dev.SetWatchdog(100000)
+	if _, err := dev.Run(disp); err != nil {
+		t.Fatalf("under budget: %v", err)
+	}
+	// Tiny budget: the same dispatch must fail with the typed timeout.
+	dev.SetWatchdog(100)
+	_, err := dev.Run(disp)
+	if !errors.Is(err, faults.ErrWatchdogTimeout) {
+		t.Fatalf("err = %v, want ErrWatchdogTimeout", err)
+	}
+	if faults.IsTransient(err) {
+		t.Error("a watchdog timeout is not transient")
+	}
+	// Disabling the watchdog restores execution.
+	dev.SetWatchdog(0)
+	if _, err := dev.Run(disp); err != nil {
+		t.Fatalf("watchdog off: %v", err)
+	}
+}
+
+func TestInjectedHangSurfacesBothSentinels(t *testing.T) {
+	bin := loopKernel(t)
+	dev, _ := New(IvyBridgeHD4000())
+	inj, _ := faults.NewInjector(1, faults.Rates{Hang: 1})
+	dev.SetFaultInjector(inj)
+	out, _ := NewBuffer(4 * 16)
+	_, err := dev.Run(Dispatch{Binary: bin, Args: []uint32{3}, Surfaces: []*Buffer{out}, GlobalWorkSize: 16})
+	if !errors.Is(err, faults.ErrWatchdogTimeout) || !errors.Is(err, faults.ErrKernelHang) {
+		t.Fatalf("err = %v, want watchdog timeout wrapping kernel hang", err)
+	}
+	if inj.Stats().Hangs != 1 {
+		t.Errorf("hang stats = %+v", inj.Stats())
+	}
+}
+
+func TestInjectedSendFaultIsTransient(t *testing.T) {
+	bin := loopKernel(t)
+	dev, _ := New(IvyBridgeHD4000())
+	inj, _ := faults.NewInjector(1, faults.Rates{Send: 1})
+	dev.SetFaultInjector(inj)
+	// The faulting transaction index is drawn in [1,64]; give the dispatch
+	// 64 send transactions (one per channel group) so it cannot escape.
+	out, _ := NewBuffer(4 * 16 * 64)
+	_, err := dev.Run(Dispatch{Binary: bin, Args: []uint32{3}, Surfaces: []*Buffer{out}, GlobalWorkSize: 16 * 64})
+	if !errors.Is(err, faults.ErrSendFault) {
+		t.Fatalf("err = %v, want ErrSendFault", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Error("send faults must classify transient")
+	}
+}
+
+func TestInjectedCorruptionAfterExecution(t *testing.T) {
+	bin := loopKernel(t)
+	dev, _ := New(IvyBridgeHD4000())
+	inj, _ := faults.NewInjector(1, faults.Rates{Corrupt: 1})
+	dev.SetFaultInjector(inj)
+	out, _ := NewBuffer(4 * 16)
+	_, err := dev.Run(Dispatch{Binary: bin, Args: []uint32{3}, Surfaces: []*Buffer{out}, GlobalWorkSize: 16})
+	if !errors.Is(err, faults.ErrCorruptResult) {
+		t.Fatalf("err = %v, want ErrCorruptResult", err)
+	}
+	if !faults.IsTransient(err) {
+		t.Error("corruption must classify transient (replay from snapshot)")
+	}
+}
+
+func TestValidationErrorsAreInvalidDispatch(t *testing.T) {
+	bin := loopKernel(t)
+	dev, _ := New(IvyBridgeHD4000())
+	for i, d := range []Dispatch{
+		{},
+		{Binary: bin, GlobalWorkSize: 0},
+		{Binary: bin, Args: []uint32{1}, GlobalWorkSize: 16}, // missing surface
+	} {
+		if _, err := dev.Run(d); !errors.Is(err, faults.ErrInvalidDispatch) {
+			t.Errorf("case %d: err = %v, want ErrInvalidDispatch", i, err)
+		}
+	}
+}
+
+func TestDegradedConfigValidAndSlower(t *testing.T) {
+	cfg := IvyBridgeHD4000()
+	cfg.ThermalAmp, cfg.ContentionAmp = 0, 0
+	deg := cfg.Degraded()
+	if deg.EUs >= cfg.EUs {
+		t.Fatalf("degraded EUs = %d, want fewer than %d", deg.EUs, cfg.EUs)
+	}
+	bin := loopKernel(t)
+	run := func(c Config) (float64, uint32) {
+		dev, err := New(c)
+		if err != nil {
+			t.Fatalf("config %q invalid: %v", c.Name, err)
+		}
+		out, _ := NewBuffer(4 * 16)
+		st, err := dev.Run(Dispatch{Binary: bin, Args: []uint32{10}, Surfaces: []*Buffer{out}, GlobalWorkSize: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out.ReadU32(0, 1)
+		return st.TimeNs, got[0]
+	}
+	fullNs, fullSum := run(cfg)
+	degNs, degSum := run(deg)
+	if degSum != fullSum {
+		t.Errorf("degraded execution changed results: %d vs %d", degSum, fullSum)
+	}
+	if degNs < fullNs {
+		t.Errorf("degraded config faster than full: %.1fns < %.1fns", degNs, fullNs)
+	}
+}
+
+func TestDegradedDegradesAgain(t *testing.T) {
+	// Degrading repeatedly must bottom out at a still-valid 1-EU config.
+	cfg := IvyBridgeHD4000()
+	for i := 0; i < 8; i++ {
+		cfg = cfg.Degraded()
+		if _, err := New(cfg); err != nil {
+			t.Fatalf("degradation step %d produced invalid config %+v: %v", i, cfg, err)
+		}
+	}
+	if cfg.EUs != 1 {
+		t.Errorf("EUs = %d after repeated degradation, want 1", cfg.EUs)
+	}
+}

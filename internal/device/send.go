@@ -3,6 +3,7 @@ package device
 import (
 	"fmt"
 
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 )
 
@@ -12,6 +13,9 @@ import (
 // full SIMD width addressed by channel 0.
 func (d *Device) execSend(in *isa.Instruction, disp Dispatch, width, active int, groupCycles uint64, st *ExecStats) error {
 	st.Sends++
+	if d.curInv.SendFault(st.Sends) {
+		return fmt.Errorf("send %s (transaction %d): %w", in.Msg.Kind, st.Sends, faults.ErrSendFault)
+	}
 	msg := in.Msg
 	switch msg.Kind {
 	case isa.MsgEOT:
@@ -22,7 +26,7 @@ func (d *Device) execSend(in *isa.Instruction, disp Dispatch, width, active int,
 	}
 
 	if int(msg.Surface) >= len(disp.Surfaces) {
-		return fmt.Errorf("send %s: surface %d not bound", msg.Kind, msg.Surface)
+		return fmt.Errorf("send %s: surface %d not bound: %w", msg.Kind, msg.Surface, faults.ErrInvalidDispatch)
 	}
 	surf := disp.Surfaces[msg.Surface]
 	elem := int(msg.ElemBytes)

@@ -1,0 +1,140 @@
+// Package faults is the failure model of the GT-Pin reproduction: a typed
+// error taxonomy shared by every layer of the stack (cl, device, detsim,
+// jit, gtpin) and a deterministic, seedable fault injector that the device
+// and runtime consult to simulate the driver/GPU misbehavior the paper's
+// multi-hour characterization runs had to survive — hung kernels,
+// transient JIT failures, send/memory errors, and corrupted results.
+//
+// Every sentinel carries a Transient/Permanent classification, so the
+// resilience layer in internal/cl can decide mechanically whether an error
+// is worth retrying (transient) or must be surfaced or degraded around
+// (permanent). Callers match errors with errors.Is/errors.As across
+// arbitrarily deep %w chains.
+package faults
+
+import (
+	"context"
+	"errors"
+)
+
+// Class partitions errors by whether retrying the failed operation can
+// plausibly succeed.
+type Class uint8
+
+// Error classes.
+const (
+	// Permanent errors reproduce on retry: malformed binaries, invalid
+	// dispatches, genuine hangs, programming errors.
+	Permanent Class = iota
+	// Transient errors model momentary conditions — a JIT hiccup, a flaky
+	// memory transaction — that a retry with backoff can clear.
+	Transient
+)
+
+// String returns "transient" or "permanent".
+func (c Class) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "permanent"
+}
+
+// Sentinel is a classified error kind. Sentinels are compared by identity
+// (errors.Is), so each variable below names exactly one failure kind.
+type Sentinel struct {
+	name  string
+	class Class
+}
+
+// NewSentinel creates a classified sentinel error; packages outside the
+// core taxonomy (tools, tests) may mint their own kinds.
+func NewSentinel(name string, class Class) *Sentinel {
+	return &Sentinel{name: name, class: class}
+}
+
+// Error implements error.
+func (s *Sentinel) Error() string { return s.name }
+
+// Class reports the sentinel's retry classification.
+func (s *Sentinel) Class() Class { return s.class }
+
+// The taxonomy. Each layer wraps these with %w so call sites can classify
+// failures without parsing strings.
+var (
+	// ErrKernelHang marks a kernel that stopped making forward progress;
+	// the watchdog converts the hang into ErrWatchdogTimeout, and the two
+	// are wrapped together. Hangs reproduce on retry but may clear on a
+	// degraded configuration.
+	ErrKernelHang = NewSentinel("kernel hang", Permanent)
+
+	// ErrWatchdogTimeout is raised by the per-enqueue watchdog inside the
+	// device and detsim step loops when a dispatch exceeds its
+	// cycle/instruction budget.
+	ErrWatchdogTimeout = NewSentinel("watchdog timeout", Permanent)
+
+	// ErrSendFault is a failed send (memory) transaction — the modeled
+	// analogue of a bus/ECC error on one message. Retryable.
+	ErrSendFault = NewSentinel("send fault", Transient)
+
+	// ErrJITTransient is a momentary driver JIT failure during program
+	// build. Retryable.
+	ErrJITTransient = NewSentinel("transient jit failure", Transient)
+
+	// ErrCorruptResult marks a dispatch whose results failed integrity
+	// checking (detected corruption). The execution side effects are
+	// untrustworthy; the dispatch must be replayed from a clean snapshot.
+	ErrCorruptResult = NewSentinel("corrupted result", Transient)
+
+	// ErrEventNotComplete is returned when profiling information is
+	// requested from an event no synchronization call has completed yet.
+	ErrEventNotComplete = NewSentinel("event not complete", Permanent)
+
+	// ErrBadBinary marks a malformed or truncated device binary.
+	ErrBadBinary = NewSentinel("bad kernel binary", Permanent)
+
+	// ErrInvalidDispatch marks a dispatch that fails validation: missing
+	// binary, bad work size, unbound arguments or surfaces.
+	ErrInvalidDispatch = NewSentinel("invalid dispatch", Permanent)
+
+	// ErrAlreadyAttached is returned when a second instrumentation engine
+	// attaches to an already-instrumented context or kernel.
+	ErrAlreadyAttached = NewSentinel("already instrumented", Permanent)
+
+	// ErrResourceExhausted marks an out-of-resource condition (trace
+	// buffer slots, call-stack depth) that retrying cannot fix.
+	ErrResourceExhausted = NewSentinel("resource exhausted", Permanent)
+)
+
+// classifier lets non-Sentinel error types participate in classification.
+type classifier interface{ Class() Class }
+
+// ClassOf walks err's wrap chain and returns the classification of the
+// first classified error found. Unclassified errors — including plain
+// fmt.Errorf strings and context cancellation — default to Permanent, the
+// safe choice: never retry what we don't understand.
+func ClassOf(err error) Class {
+	var c classifier
+	if errors.As(err, &c) {
+		return c.Class()
+	}
+	return Permanent
+}
+
+// IsTransient reports whether err is classified transient, i.e. a retry
+// with backoff may succeed. Context cancellation is never transient.
+func IsTransient(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return ClassOf(err) == Transient
+}
+
+// Kind returns the human-readable name of the taxonomy sentinel err wraps,
+// or "" if err wraps none — what harnesses print in failure tables.
+func Kind(err error) string {
+	var s *Sentinel
+	if errors.As(err, &s) {
+		return s.name
+	}
+	return ""
+}

@@ -5,6 +5,7 @@ import (
 
 	"gtpin/internal/cl"
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/kernel"
 )
@@ -82,7 +83,7 @@ func Attach(ctx *cl.Context, opts Options) (*GTPin, error) {
 
 func (g *GTPin) allocSlot() (int, error) {
 	if g.nextSlot >= maxSlots {
-		return 0, fmt.Errorf("out of trace-buffer counter slots (%d used)", g.nextSlot)
+		return 0, fmt.Errorf("out of trace-buffer counter slots (%d used): %w", g.nextSlot, faults.ErrResourceExhausted)
 	}
 	s := g.nextSlot
 	g.nextSlot++

@@ -23,6 +23,7 @@ package gtpin
 import (
 	"fmt"
 
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
@@ -148,14 +149,14 @@ func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
 		return nil, fmt.Errorf("gtpin: rewriter: %w", err)
 	}
 	if _, dup := g.kernels[k.Name]; dup {
-		return nil, fmt.Errorf("gtpin: kernel %q instrumented twice", k.Name)
+		return nil, fmt.Errorf("gtpin: kernel %q instrumented twice: %w", k.Name, faults.ErrAlreadyAttached)
 	}
 	// Refuse already-instrumented binaries (e.g. a second GT-Pin instance
 	// attached to the same context): the Injected encoding bit marks them.
 	for _, b := range k.Blocks {
 		for _, in := range b.Instrs {
 			if in.Injected {
-				return nil, fmt.Errorf("gtpin: kernel %q is already instrumented", k.Name)
+				return nil, fmt.Errorf("gtpin: kernel %q is %w", k.Name, faults.ErrAlreadyAttached)
 			}
 		}
 	}

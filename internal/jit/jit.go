@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/kernel"
 )
@@ -58,13 +59,13 @@ func Compile(k *kernel.Kernel) (*Binary, error) {
 func Decode(bin *Binary) (*kernel.Kernel, error) {
 	code := bin.Code
 	if len(code) < 14 {
-		return nil, fmt.Errorf("jit: binary too short (%d bytes)", len(code))
+		return nil, fmt.Errorf("jit: binary too short (%d bytes): %w", len(code), faults.ErrBadBinary)
 	}
 	if got := binary.LittleEndian.Uint32(code); got != Magic {
-		return nil, fmt.Errorf("jit: bad magic %#x", got)
+		return nil, fmt.Errorf("jit: bad magic %#x: %w", got, faults.ErrBadBinary)
 	}
 	if code[4] != Version {
-		return nil, fmt.Errorf("jit: unsupported binary version %d", code[4])
+		return nil, fmt.Errorf("jit: unsupported binary version %d: %w", code[4], faults.ErrBadBinary)
 	}
 	k := &kernel.Kernel{
 		SIMD:        isa.Width(code[5]),
@@ -72,12 +73,12 @@ func Decode(bin *Binary) (*kernel.Kernel, error) {
 		NumSurfaces: int(code[7]),
 	}
 	if !k.SIMD.Valid() {
-		return nil, fmt.Errorf("jit: invalid dispatch width %d", code[5])
+		return nil, fmt.Errorf("jit: invalid dispatch width %d: %w", code[5], faults.ErrBadBinary)
 	}
 	nameLen := int(binary.LittleEndian.Uint16(code[8:]))
 	pos := 10
 	if pos+nameLen+4 > len(code) {
-		return nil, fmt.Errorf("jit: truncated header")
+		return nil, fmt.Errorf("jit: truncated header: %w", faults.ErrBadBinary)
 	}
 	k.Name = string(code[pos : pos+nameLen])
 	pos += nameLen
@@ -85,22 +86,22 @@ func Decode(bin *Binary) (*kernel.Kernel, error) {
 	pos += 4
 	for id := 0; id < numBlocks; id++ {
 		if pos+4 > len(code) {
-			return nil, fmt.Errorf("jit: truncated block header (block %d)", id)
+			return nil, fmt.Errorf("jit: truncated block header (block %d): %w", id, faults.ErrBadBinary)
 		}
 		n := int(binary.LittleEndian.Uint32(code[pos:]))
 		pos += 4
 		if pos+n*isa.InstrBytes > len(code) {
-			return nil, fmt.Errorf("jit: truncated block body (block %d)", id)
+			return nil, fmt.Errorf("jit: truncated block body (block %d): %w", id, faults.ErrBadBinary)
 		}
 		instrs, err := isa.DecodeSlice(code[pos : pos+n*isa.InstrBytes])
 		if err != nil {
-			return nil, fmt.Errorf("jit: block %d: %w", id, err)
+			return nil, fmt.Errorf("jit: block %d: %w: %w", id, faults.ErrBadBinary, err)
 		}
 		pos += n * isa.InstrBytes
 		k.Blocks = append(k.Blocks, &kernel.Block{ID: id, Instrs: instrs})
 	}
 	if pos != len(code) {
-		return nil, fmt.Errorf("jit: %d trailing bytes", len(code)-pos)
+		return nil, fmt.Errorf("jit: %d trailing bytes: %w", len(code)-pos, faults.ErrBadBinary)
 	}
 	return k, nil
 }

@@ -4,22 +4,32 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
 
-// ForEach runs f(0..n-1) across min(n, GOMAXPROCS) goroutines and returns
-// the first error (by index order) if any call fails. All calls run to
-// completion regardless of failures, so partial results stay consistent.
-func ForEach(n int, f func(i int) error) error {
+// ForEach runs f(0..n-1) across min(n, GOMAXPROCS) goroutines. Work items
+// that have started run to completion regardless of failures, so partial
+// results stay consistent; all their errors are aggregated (in index
+// order) with errors.Join rather than only the first being reported.
+//
+// Once ctx is cancelled no new indices are dispatched; already-running
+// calls finish, undispatched indices never run, and ctx.Err() joins the
+// returned error. A nil ctx means never cancelled.
+func ForEach(ctx context.Context, n int, f func(i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	errs := make([]error, n)
+	errs := make([]error, n+1)
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -31,15 +41,16 @@ func ForEach(n int, f func(i int) error) error {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	errs[n] = ctx.Err()
+	return errors.Join(errs...)
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -9,7 +10,7 @@ import (
 func TestForEachRunsAll(t *testing.T) {
 	var count int64
 	seen := make([]int32, 100)
-	err := ForEach(100, func(i int) error {
+	err := ForEach(context.Background(), 100, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		atomic.AddInt32(&seen[i], 1)
 		return nil
@@ -27,10 +28,10 @@ func TestForEachRunsAll(t *testing.T) {
 	}
 }
 
-func TestForEachReturnsFirstErrorByIndex(t *testing.T) {
+func TestForEachAggregatesAllErrors(t *testing.T) {
 	errA := errors.New("a")
 	errB := errors.New("b")
-	err := ForEach(10, func(i int) error {
+	err := ForEach(context.Background(), 10, func(i int) error {
 		switch i {
 		case 3:
 			return errB
@@ -39,14 +40,14 @@ func TestForEachReturnsFirstErrorByIndex(t *testing.T) {
 		}
 		return nil
 	})
-	if err != errA {
-		t.Errorf("err = %v, want the lowest-index error", err)
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Errorf("err = %v, want both worker errors joined", err)
 	}
 }
 
 func TestForEachCompletesDespiteError(t *testing.T) {
 	var count int64
-	_ = ForEach(50, func(i int) error {
+	_ = ForEach(context.Background(), 50, func(i int) error {
 		atomic.AddInt64(&count, 1)
 		if i == 0 {
 			return errors.New("early")
@@ -59,10 +60,54 @@ func TestForEachCompletesDespiteError(t *testing.T) {
 }
 
 func TestForEachZeroAndNegative(t *testing.T) {
-	if err := ForEach(0, func(int) error { return errors.New("never") }); err != nil {
+	if err := ForEach(context.Background(), 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Error("n=0 must be a no-op")
 	}
-	if err := ForEach(-5, func(int) error { return errors.New("never") }); err != nil {
+	if err := ForEach(context.Background(), -5, func(int) error { return errors.New("never") }); err != nil {
 		t.Error("negative n must be a no-op")
+	}
+}
+
+func TestForEachNilContext(t *testing.T) {
+	var count int64
+	if err := ForEach(nil, 8, func(int) error { atomic.AddInt64(&count, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Errorf("ran %d times", count)
+	}
+}
+
+func TestForEachStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	err := ForEach(ctx, 1000, func(i int) error {
+		if atomic.AddInt64(&started, 1) == 5 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled joined in", err)
+	}
+	// Already-dispatched work completes, but most of the 1000 indices
+	// must never have started.
+	if n := atomic.LoadInt64(&started); n >= 1000 {
+		t.Errorf("all %d items ran despite cancellation", n)
+	}
+}
+
+func TestForEachPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var count int64
+	err := ForEach(ctx, 100, func(int) error { atomic.AddInt64(&count, 1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// The select may race a handful of dispatches in before observing
+	// Done; "stop dispatching" just has to keep it far below n.
+	if count > 50 {
+		t.Errorf("%d items ran on a pre-cancelled context", count)
 	}
 }

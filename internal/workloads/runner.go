@@ -6,6 +6,7 @@ import (
 	"gtpin/internal/cl"
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/gtpin"
 	"gtpin/internal/profile"
 )
@@ -23,6 +24,52 @@ type Result struct {
 	Tracer    *cofluent.Tracer // from the uninstrumented timed run
 	GTPin     *gtpin.GTPin
 	Profile   *profile.Profile
+
+	// FaultStats counts the faults injected across both pipeline phases
+	// when the run was configured with FaultOptions; all survived faults
+	// were absorbed by retry or degradation (a surfaced fault fails the
+	// run instead).
+	FaultStats faults.Stats
+}
+
+// FaultOptions enables chaos-mode profiling: deterministic fault
+// injection at the given rates, an optional per-enqueue watchdog budget,
+// and an optional resilience-policy override. Each pipeline phase
+// (native run, instrumented replay) draws from its own injector, seeded
+// from Seed and the application name, so parallel sweeps stay
+// reproducible.
+type FaultOptions struct {
+	Rates    faults.Rates
+	Seed     int64
+	Watchdog uint64 // per-enqueue instruction budget; 0 = disabled
+	// Resilience overrides the context policy; nil keeps
+	// cl.DefaultResilience().
+	Resilience *cl.Resilience
+}
+
+// arm configures one phase's device (and, via the returned function, its
+// cl context) for fault injection.
+func (fo *FaultOptions) arm(dev *device.Device, app, phase string) (*faults.Injector, error) {
+	if fo == nil {
+		return nil, nil
+	}
+	var inj *faults.Injector
+	if !fo.Rates.Zero() {
+		var err error
+		inj, err = faults.NewInjector(faults.DeriveSeed(fo.Seed, app+"/"+phase), fo.Rates)
+		if err != nil {
+			return nil, err
+		}
+		dev.SetFaultInjector(inj)
+	}
+	dev.SetWatchdog(fo.Watchdog)
+	return inj, nil
+}
+
+func (fo *FaultOptions) apply(ctx *cl.Context) {
+	if fo != nil && fo.Resilience != nil {
+		ctx.SetResilience(*fo.Resilience)
+	}
 }
 
 // Run executes the paper's profiling pipeline for one benchmark:
@@ -38,6 +85,13 @@ type Result struct {
 // trialSeed seeds the timing jitter; different seeds model different
 // trials on the same machine.
 func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, error) {
+	return RunWithFaults(spec, sc, cfg, trialSeed, nil)
+}
+
+// RunWithFaults is Run under a fault model: fo configures deterministic
+// fault injection, the kernel watchdog, and the resilience policy for
+// both pipeline phases. A nil fo is identical to Run.
+func RunWithFaults(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *FaultOptions) (*Result, error) {
 	app, err := spec.Build(sc)
 	if err != nil {
 		return nil, fmt.Errorf("workloads: build %s: %w", spec.Name, err)
@@ -49,7 +103,12 @@ func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, err
 		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
 	}
 	dev.SetJitter(device.NewTimingJitter(trialSeed, JitterSigma))
+	natInj, err := fo.arm(dev, spec.Name, "native")
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
 	ctx := cl.NewContext(dev)
+	fo.apply(ctx)
 	tr := cofluent.Attach(ctx)
 	if err := app.Run(ctx); err != nil {
 		return nil, fmt.Errorf("workloads: run %s: %w", spec.Name, err)
@@ -64,8 +123,13 @@ func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, err
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
 	}
+	repInj, err := fo.arm(idev, spec.Name, "replay")
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
 	var g *gtpin.GTPin
 	if _, err := rec.Replay(idev, func(rctx *cl.Context) error {
+		fo.apply(rctx)
 		var aerr error
 		g, aerr = gtpin.Attach(rctx, gtpin.Options{})
 		return aerr
@@ -78,7 +142,13 @@ func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, err
 	if err != nil {
 		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
 	}
-	return &Result{App: app, Recording: rec, Tracer: tr, GTPin: g, Profile: p}, nil
+	st := natInj.Stats()
+	rst := repInj.Stats()
+	st.Hangs += rst.Hangs
+	st.SendFaults += rst.SendFaults
+	st.JITFaults += rst.JITFaults
+	st.Corruptions += rst.Corruptions
+	return &Result{App: app, Recording: rec, Tracer: tr, GTPin: g, Profile: p, FaultStats: st}, nil
 }
 
 // TimedReplay re-executes a recording without instrumentation on the
