@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check bench clean
+.PHONY: all build test race vet check crash smoke bench clean
 
 all: build
 
@@ -16,13 +16,31 @@ race:
 vet:
 	$(GO) vet ./...
 
-# check is the CI gate: static analysis, a full build, and the test
-# suite under the race detector (the chaos suite must never panic or
-# deadlock under -race).
-check: vet build race
+# crash runs the crash-recovery suite under the race detector: journal
+# append/recover, torn-tail and bit-flip fuzzing, atomic-writer
+# semantics, and kill/resume byte-identity of the supervised pool.
+crash:
+	$(GO) test -race -run 'Journal|Recover|Atomic|Dir|Resume|Pool|Artifact|Torn' ./internal/runstate ./internal/workloads
+
+# smoke is the journal round-trip check on the real harness: run a tiny
+# characterize sweep journaled to a state dir, resume it, and require
+# the byte-identical report.
+smoke:
+	rm -rf .smoke
+	mkdir -p .smoke
+	$(GO) run ./cmd/characterize -scale tiny -fig 3c -state-dir .smoke/state > .smoke/run1.out 2> .smoke/run1.err
+	$(GO) run ./cmd/characterize -scale tiny -fig 3c -state-dir .smoke/state -resume > .smoke/run2.out 2> .smoke/run2.err
+	cmp .smoke/run1.out .smoke/run2.out
+	rm -rf .smoke
+
+# check is the CI gate: static analysis, a full build, the test suite
+# under the race detector (the chaos and crash-recovery suites must
+# never panic or deadlock under -race), and the resume smoke test.
+check: vet build race crash smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 clean:
 	$(GO) clean ./...
+	rm -rf .smoke

@@ -9,6 +9,15 @@
 //
 //	characterize [-scale full|small|tiny] [-app name] [-fig table1|3a|3b|3c|4a|4b|4c|all]
 //	             [-fault-rate R] [-fault-seed S] [-watchdog N]
+//	             [-state-dir DIR] [-resume]
+//
+// The sweep runs as a supervised worker pool. With -state-dir each
+// (app, device-config, fault-seed) unit is journaled in a crash-
+// consistent WAL and its profile persisted atomically, so a run killed
+// partway through — crash, OOM, Ctrl-C — can be continued with -resume:
+// journaled-complete units are skipped (their artifacts digest-verified)
+// and in-flight ones re-executed, producing a report byte-identical to
+// an uninterrupted run with the same seeds. See docs/checkpointing.md.
 //
 // A per-application failure does not abort the sweep: the failed
 // application is reported in the run-status table with its error class,
@@ -28,8 +37,9 @@ import (
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
 	"gtpin/internal/isa"
-	"gtpin/internal/par"
+	"gtpin/internal/profile"
 	"gtpin/internal/report"
+	"gtpin/internal/runstate"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
 )
@@ -44,6 +54,8 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1]")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
+	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each unit and persist profiles atomically")
+	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed units, re-run in-flight ones")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -71,62 +83,69 @@ func main() {
 		}
 	}
 
+	state, err := runstate.OpenSweep(*stateDir, *resume, "characterize", os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	if state != nil {
+		defer state.Close()
+	}
+
 	if show(*figFlag, "table1") {
 		printTableI(specs)
 	}
 
-	type row struct {
-		spec *workloads.Spec
-		res  *workloads.Result
-		err  error
+	units := make([]workloads.Unit, len(specs))
+	for i, spec := range specs {
+		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: device.IvyBridgeHD4000(), TrialSeed: 1, Faults: fo}
 	}
-	all := make([]row, len(specs))
-	cfg := device.IvyBridgeHD4000()
-	if err := par.ForEach(ctx, len(specs), func(i int) error {
-		spec := specs[i]
-		res, err := workloads.RunWithFaults(spec, sc, cfg, 1, fo)
-		if err != nil {
-			// Per-application failures do not abort the sweep; they are
-			// reported with their error class in the run-status table.
-			fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", spec.Name, err)
-			all[i] = row{spec: spec, err: err}
-			return nil
-		}
-		fmt.Fprintf(os.Stderr, "profiled %-28s %s instrs, %d invocations\n",
-			spec.Name, report.HumanCount(float64(res.Profile.TotalInstrs())), len(res.Profile.Invocations))
-		all[i] = row{spec: spec, res: res}
-		return nil
-	}); err != nil {
-		if !errors.Is(err, context.Canceled) {
-			fatal(err)
+	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
+		State:     state,
+		Resume:    *resume,
+		OnOutcome: progressLine,
+	})
+	if perr != nil {
+		if !errors.Is(perr, context.Canceled) {
+			fatal(perr)
 		}
 		fmt.Fprintln(os.Stderr, "characterize: interrupted; reporting completed applications")
-	}
-
-	var rows []row
-	failed := 0
-	for _, r := range all {
-		if r.err != nil {
-			failed++
-		} else if r.res != nil {
-			rows = append(rows, r)
+		if state != nil {
+			fmt.Fprintf(os.Stderr, "characterize: progress journaled in %s; continue with -resume\n", *stateDir)
 		}
 	}
-	if failed > 0 || len(rows) < len(all) || fo != nil {
+
+	type row struct {
+		spec *workloads.Spec
+		art  *workloads.Artifact
+		prof *profile.Profile
+	}
+	var rows []row
+	failed := 0
+	for i, o := range outs {
+		switch {
+		case o.Err != nil:
+			failed++
+		case o.Artifact != nil:
+			p, err := o.Artifact.Profile()
+			if err != nil {
+				fatal(err)
+			}
+			rows = append(rows, row{spec: specs[i], art: o.Artifact, prof: p})
+		}
+	}
+	if failed > 0 || len(rows) < len(outs) || fo != nil {
 		report.Section(os.Stdout, "Run status")
 		t := report.NewTable("", "Application", "Status", "Error Class", "Injected Faults")
-		for i, r := range all {
-			// Index specs directly: an interrupted sweep leaves undispatched
-			// entries in all with nothing filled in.
+		for i, o := range outs {
 			switch {
-			case r.err != nil:
-				class := faults.Kind(r.err)
+			case o.Err != nil:
+				class := faults.Kind(o.Err)
 				if class == "" {
-					class = faults.ClassOf(r.err).String()
+					class = faults.ClassOf(o.Err).String()
 				}
 				t.Row(specs[i].Name, "FAILED", class, "")
-			case r.res != nil:
-				t.Row(specs[i].Name, "ok", "", r.res.FaultStats.Total())
+			case o.Artifact != nil:
+				t.Row(specs[i].Name, "ok", "", o.Artifact.FaultStats.Total())
 			default:
 				t.Row(specs[i].Name, "not run", "", "")
 			}
@@ -134,7 +153,7 @@ func main() {
 		t.Write(os.Stdout)
 	}
 	if len(rows) == 0 {
-		fatal(fmt.Errorf("all %d applications failed", len(all)))
+		fatal(fmt.Errorf("all %d applications failed", len(outs)))
 	}
 
 	if show(*figFlag, "3a") {
@@ -142,9 +161,8 @@ func main() {
 		t := report.NewTable("", "Application", "Total Calls", "Kernel%", "Sync%", "Other%")
 		var ks, ss []float64
 		for _, r := range rows {
-			k, s, o := r.res.Tracer.BreakdownPct()
-			kc, scc, oc := r.res.Tracer.Breakdown()
-			t.Row(r.spec.Name, kc+scc+oc, k, s, o)
+			k, s, o := r.art.BreakdownPct()
+			t.Row(r.spec.Name, r.art.TotalCalls(), k, s, o)
 			ks = append(ks, k)
 			ss = append(ss, s)
 		}
@@ -157,13 +175,12 @@ func main() {
 		t := report.NewTable("", "Application", "Unique Kernels", "Unique Basic Blks")
 		var uk, ub []float64
 		for _, r := range rows {
-			kernels := r.res.GTPin.Kernels()
 			blocks := 0
-			for _, ki := range kernels {
+			for _, ki := range r.art.Static {
 				blocks += ki.NumBlocks
 			}
-			t.Row(r.spec.Name, len(kernels), blocks)
-			uk = append(uk, float64(len(kernels)))
+			t.Row(r.spec.Name, len(r.art.Static), blocks)
+			uk = append(uk, float64(len(r.art.Static)))
 			ub = append(ub, float64(blocks))
 		}
 		t.Row("AVERAGE", stats.Mean(uk), stats.Mean(ub))
@@ -175,7 +192,7 @@ func main() {
 		t := report.NewTable("", "Application", "Kernel Count", "Basic Blk Count", "Instr. Count")
 		var inv, bb, in []float64
 		for _, r := range rows {
-			agg := r.res.Profile.Aggregate()
+			agg := r.prof.Aggregate()
 			t.Row(r.spec.Name, agg.KernelInvocations,
 				report.HumanCount(float64(agg.BlockExecs)), report.HumanCount(float64(agg.Instrs)))
 			inv = append(inv, float64(agg.KernelInvocations))
@@ -191,7 +208,7 @@ func main() {
 		t := report.NewTable("", "Application", "Moves", "Logic", "Control", "Computation", "Sends")
 		sums := make([][]float64, isa.NumCategories)
 		for _, r := range rows {
-			agg := r.res.Profile.Aggregate()
+			agg := r.prof.Aggregate()
 			total := float64(agg.Instrs)
 			var pct [isa.NumCategories]float64
 			for c := 0; c < isa.NumCategories; c++ {
@@ -211,7 +228,7 @@ func main() {
 		t := report.NewTable("", "Application", "W16", "W8", "W4", "W2", "W1")
 		sums := make([][]float64, isa.NumWidths)
 		for _, r := range rows {
-			agg := r.res.Profile.Aggregate()
+			agg := r.prof.Aggregate()
 			total := float64(agg.Instrs)
 			var pct [isa.NumWidths]float64
 			for w := 0; w < isa.NumWidths; w++ {
@@ -230,7 +247,7 @@ func main() {
 		t := report.NewTable("", "Application", "Bytes Read", "Bytes Written", "W/R Ratio")
 		var rd, wr []float64
 		for _, r := range rows {
-			agg := r.res.Profile.Aggregate()
+			agg := r.prof.Aggregate()
 			ratio := 0.0
 			if agg.BytesRead > 0 {
 				ratio = float64(agg.BytesWritten) / float64(agg.BytesRead)
@@ -242,6 +259,24 @@ func main() {
 		}
 		t.Row("AVERAGE", report.HumanBytes(stats.Mean(rd)), report.HumanBytes(stats.Mean(wr)), "")
 		t.Write(os.Stdout)
+	}
+}
+
+// progressLine reports one settled unit on stderr.
+func progressLine(o workloads.Outcome) {
+	name := o.Unit.Spec.Name
+	switch {
+	case o.Err != nil:
+		fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", name, o.Err)
+	case o.Resumed:
+		fmt.Fprintf(os.Stderr, "resumed  %-28s (journaled complete, artifact verified)\n", name)
+	default:
+		var instrs uint64
+		for i := range o.Artifact.Invocations {
+			instrs += o.Artifact.Invocations[i].Instrs
+		}
+		fmt.Fprintf(os.Stderr, "profiled %-28s %s instrs, %d invocations\n",
+			name, report.HumanCount(float64(instrs)), len(o.Artifact.Invocations))
 	}
 }
 

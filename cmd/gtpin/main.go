@@ -213,15 +213,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := export.ProfileJSON(f, p); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := export.ProfileJSONFile(*jsonOut, p); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("profile summary written to %s\n", *jsonOut)

@@ -17,6 +17,13 @@
 // Usage:
 //
 //	overhead [-scale small|tiny|full] [-apps N] [-detailed]
+//	         [-fault-rate R] [-fault-seed S] [-watchdog N]
+//
+// The chaos flags mirror cmd/characterize: -fault-rate enables
+// deterministic fault injection (seeded by -fault-seed) in the native
+// run and both instrumented replays, and -watchdog bounds each
+// enqueue's instruction budget — measuring overheads while the
+// resilience layer is absorbing faults.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"gtpin/internal/cofluent"
 	"gtpin/internal/detsim"
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/gtpin"
 	"gtpin/internal/report"
 	"gtpin/internal/stats"
@@ -39,11 +47,25 @@ func main() {
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
 	appsFlag := flag.Int("apps", 6, "number of applications to measure (0 = all 25)")
 	detailedFlag := flag.Bool("detailed", true, "also run full detailed simulation")
+	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1]")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
+	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+	}
+	var fo *workloads.FaultOptions
+	if *faultRate > 0 || *watchdog > 0 {
+		fo = &workloads.FaultOptions{
+			Rates:    faults.Uniform(*faultRate),
+			Seed:     *faultSeed,
+			Watchdog: *watchdog,
+		}
 	}
 	specs := workloads.All()
 	if *appsFlag > 0 && *appsFlag < len(specs) {
@@ -64,7 +86,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if _, err := fo.Arm(dev, spec.Name, "native"); err != nil {
+			fatal(err)
+		}
 		ctx := cl.NewContext(dev)
+		fo.Apply(ctx)
 		tr := cofluent.Attach(ctx)
 		t0 := time.Now()
 		if err := app.Run(ctx); err != nil {
@@ -82,9 +108,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if _, err := fo.Arm(idev, spec.Name, "replay"); err != nil {
+			fatal(err)
+		}
 		t1 := time.Now()
 		var g *gtpin.GTPin
 		itr, err := rec.Replay(idev, func(rctx *cl.Context) error {
+			fo.Apply(rctx)
 			var aerr error
 			g, aerr = gtpin.Attach(rctx, gtpin.Options{})
 			return aerr
@@ -102,8 +132,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if _, err := fo.Arm(hdev, spec.Name, "heavy"); err != nil {
+			fatal(err)
+		}
 		t1h := time.Now()
 		if _, err := rec.Replay(hdev, func(rctx *cl.Context) error {
+			fo.Apply(rctx)
 			_, aerr := gtpin.Attach(rctx, gtpin.Options{MemTrace: true, Latency: true})
 			return aerr
 		}); err != nil {

@@ -6,10 +6,16 @@
 //
 // Usage:
 //
-//	repro [-scale small|full|tiny] [-skip-validate]
+//	repro [-scale small|full|tiny] [-skip-validate] [-state-dir DIR] [-resume]
 //
 // At -scale small the whole run takes a couple of minutes; -scale full
 // matches the committed reference outputs under results/.
+//
+// With -state-dir the profiling sweep is journaled: each application's
+// profile artifact and CoFluent recording are persisted atomically, and
+// a killed run continued with -resume skips journaled-complete
+// applications (digest-verified) and reproduces the same headline
+// numbers an uninterrupted run prints. See docs/checkpointing.md.
 package main
 
 import (
@@ -20,11 +26,14 @@ import (
 	"os/signal"
 	"syscall"
 
+	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
 	"gtpin/internal/intervals"
 	"gtpin/internal/isa"
 	"gtpin/internal/par"
+	"gtpin/internal/profile"
 	"gtpin/internal/report"
+	"gtpin/internal/runstate"
 	"gtpin/internal/selection"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
@@ -43,6 +52,8 @@ func main() {
 
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
 	skipValidate := flag.Bool("skip-validate", false, "skip the Figure 8 validations (the slowest step)")
+	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles and recordings atomically")
+	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -52,33 +63,73 @@ func main() {
 	opts := selection.Options{ApproxTarget: workloads.ApproxTarget(sc), Seed: 42}
 	base := device.IvyBridgeHD4000()
 
+	state, err := runstate.OpenSweep(*stateDir, *resume, "repro", os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	if state != nil {
+		defer state.Close()
+	}
+
 	var checks []check
 	add := func(name, paper, measured string, ok bool) {
 		checks = append(checks, check{name, paper, measured, ok})
 	}
 
 	// ---- Profile all 25 applications. ----
+	// Every downstream number is computed from each unit's durable
+	// artifact (profile + API-call counts) and, for the replay
+	// validations, its persisted recording — so a resumed run reproduces
+	// the same headline numbers without re-profiling completed apps.
 	type appRun struct {
-		spec  *workloads.Spec
-		res   *workloads.Result
-		evals []*selection.Evaluation
+		spec      *workloads.Spec
+		art       *workloads.Artifact
+		prof      *profile.Profile
+		recording func() (*cofluent.Recording, error)
+		evals     []*selection.Evaluation
 	}
 	specs := workloads.All()
+	units := make([]workloads.Unit, len(specs))
+	for i, spec := range specs {
+		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: base, TrialSeed: 1}
+	}
+	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
+		State:          state,
+		Resume:         *resume,
+		SaveRecordings: state != nil,
+		OnOutcome: func(o workloads.Outcome) {
+			switch {
+			case o.Err != nil:
+				fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
+			case o.Resumed:
+				fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
+			default:
+				fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
+			}
+		},
+	})
+	if perr != nil {
+		if state != nil {
+			fmt.Fprintf(os.Stderr, "repro: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)
+		}
+		fatal(perr)
+	}
 	apps := make([]appRun, len(specs))
-	if err := par.ForEach(ctx, len(specs), func(i int) error {
-		res, err := workloads.Run(specs[i], sc, base, 1)
-		if err != nil {
-			return err
+	for i, o := range outs {
+		if o.Err != nil {
+			// The reproduction needs every application; a journaled run
+			// can be continued after the failure is addressed.
+			fatal(fmt.Errorf("%s: %w", specs[i].Name, o.Err))
 		}
-		evals, err := selection.EvaluateAll(res.Profile, opts)
+		prof, err := o.Artifact.Profile()
 		if err != nil {
-			return err
+			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "profiled %-28s\n", specs[i].Name)
-		apps[i] = appRun{specs[i], res, evals}
-		return nil
-	}); err != nil {
-		fatal(err)
+		evals, err := selection.EvaluateAll(prof, opts)
+		if err != nil {
+			fatal(err)
+		}
+		apps[i] = appRun{spec: specs[i], art: o.Artifact, prof: prof, evals: evals, recording: recordingSource(o, state)}
 	}
 	add("Table I: benchmark roster", "25 apps in 4 suites",
 		fmt.Sprintf("%d apps", len(apps)), len(apps) == 25)
@@ -88,10 +139,10 @@ func main() {
 	var w16w8, w4 float64
 	var totalInstr float64
 	for _, a := range apps {
-		k, s, _ := a.res.Tracer.BreakdownPct()
+		k, s, _ := a.art.BreakdownPct()
 		kPct = append(kPct, k)
 		sPct = append(sPct, s)
-		agg := a.res.Profile.Aggregate()
+		agg := a.prof.Aggregate()
 		ti := float64(agg.Instrs)
 		comp = append(comp, stats.Pct(float64(agg.ByCategory[isa.CatComputation]), ti))
 		ctrl = append(ctrl, stats.Pct(float64(agg.ByCategory[isa.CatControl]), ti))
@@ -122,7 +173,7 @@ func main() {
 	for si, s := range intervals.Schemes {
 		var counts []float64
 		for _, a := range apps {
-			ivs, err := intervals.Divide(a.res.Profile, s, opts.ApproxTarget)
+			ivs, err := intervals.Divide(a.prof, s, opts.ApproxTarget)
 			if err != nil {
 				fatal(err)
 			}
@@ -192,11 +243,15 @@ func main() {
 			out := make([]float64, len(apps))
 			if err := par.ForEach(ctx, len(apps), func(i int) error {
 				best := selection.MinError(apps[i].evals)
-				times, err := workloads.TimedReplay(apps[i].res.Recording, cfg, seed)
+				rec, err := apps[i].recording()
 				if err != nil {
 					return err
 				}
-				e, err := selection.CrossError(best, apps[i].res.Profile, times)
+				times, err := workloads.TimedReplay(rec, cfg, seed)
+				if err != nil {
+					return err
+				}
+				e, err := selection.CrossError(best, apps[i].prof, times)
 				if err != nil {
 					return err
 				}
@@ -263,6 +318,25 @@ func main() {
 	fmt.Printf("%d/%d checks in band\n", passed, len(checks))
 	if passed < len(checks) {
 		os.Exit(1)
+	}
+}
+
+// recordingSource returns the replay-validation recording for one
+// settled unit: the in-memory one when the unit executed this process,
+// or the persisted blob when it was resumed from the journal. Resumed
+// units always have the blob — journaled repro runs persist recordings
+// alongside artifacts.
+func recordingSource(o workloads.Outcome, state *runstate.Dir) func() (*cofluent.Recording, error) {
+	if o.Result != nil {
+		rec := o.Result.Recording
+		return func() (*cofluent.Recording, error) { return rec, nil }
+	}
+	key := o.Unit.Key()
+	return func() (*cofluent.Recording, error) {
+		if state == nil || !o.Artifact.HasRecording {
+			return nil, fmt.Errorf("repro: no recording for resumed unit %s", key)
+		}
+		return cofluent.LoadFile(state.UnitFile(key, ".rec"))
 	}
 }
 

@@ -9,6 +9,13 @@
 // Usage:
 //
 //	subsets [-scale full|small|tiny] [-fig table2|table3|5|6|7|bestavg|all]
+//	        [-csv DIR] [-state-dir DIR] [-resume]
+//
+// With -state-dir the profiling sweep (the expensive step) is journaled
+// and each profile persisted atomically, so a killed run continued with
+// -resume skips journaled-complete applications and produces the same
+// tables. CSV exports are written atomically (temp file + rename) in
+// all modes. See docs/checkpointing.md.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"gtpin/internal/par"
 	"gtpin/internal/profile"
 	"gtpin/internal/report"
+	"gtpin/internal/runstate"
 	"gtpin/internal/selection"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
@@ -41,7 +49,9 @@ func main() {
 
 	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
 	figFlag := flag.String("fig", "all", "output: table2, table3, 5, 6, 7, bestavg, or all")
-	csvDir := flag.String("csv", "", "directory to write per-app evaluation CSVs and selection work lists")
+	csvDir := flag.String("csv", "", "directory to write per-app evaluation CSVs and selection work lists (atomic writes)")
+	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
+	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -50,32 +60,61 @@ func main() {
 	}
 	opts := selection.Options{ApproxTarget: workloads.ApproxTarget(sc), Seed: 42}
 
+	state, err := runstate.OpenSweep(*stateDir, *resume, "subsets", os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	if state != nil {
+		defer state.Close()
+	}
+
 	if show(*figFlag, "table3") {
 		printTableIII()
 	}
 
 	// Profile every application once; all interval/feature exploration
 	// reuses the same profiles (the paper's "no additional overhead"
-	// observation in Section V-C).
+	// observation in Section V-C). The sweep runs as a supervised pool:
+	// with -state-dir each profile is journaled and persisted, so a
+	// resumed run rebuilds the identical tables from the artifacts.
 	cfg := device.IvyBridgeHD4000()
 	specs := workloads.All()
-	profs := make([]*profile.Profile, len(specs))
-	if err := par.ForEach(ctx, len(specs), func(i int) error {
-		res, err := workloads.Run(specs[i], sc, cfg, 1)
-		if err != nil {
-			return err
+	units := make([]workloads.Unit, len(specs))
+	for i, spec := range specs {
+		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: cfg, TrialSeed: 1}
+	}
+	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
+		State:  state,
+		Resume: *resume,
+		OnOutcome: func(o workloads.Outcome) {
+			switch {
+			case o.Err != nil:
+				fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
+			case o.Resumed:
+				fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
+			default:
+				fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
+			}
+		},
+	})
+	if perr != nil {
+		if state != nil {
+			fmt.Fprintf(os.Stderr, "subsets: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)
 		}
-		fmt.Fprintf(os.Stderr, "profiled %-28s\n", specs[i].Name)
-		profs[i] = res.Profile
-		return nil
-	}); err != nil {
-		fatal(err)
+		fatal(perr)
 	}
 	profiles := make(map[string]*profile.Profile)
 	var order []string
-	for i, spec := range specs {
-		profiles[spec.Name] = profs[i]
-		order = append(order, spec.Name)
+	for i, o := range outs {
+		if o.Err != nil {
+			fatal(fmt.Errorf("%s: %w", specs[i].Name, o.Err))
+		}
+		p, err := o.Artifact.Profile()
+		if err != nil {
+			fatal(err)
+		}
+		profiles[specs[i].Name] = p
+		order = append(order, specs[i].Name)
 	}
 
 	if show(*figFlag, "table2") {
@@ -272,32 +311,20 @@ func printFig7(order []string, evals map[string][]*selection.Evaluation) {
 }
 
 // writeCSVs exports every application's 30 evaluations plus the
-// error-minimizing configuration's simulation work list.
+// error-minimizing configuration's simulation work list. Writes are
+// atomic: a crash mid-export never leaves a truncated CSV behind.
 func writeCSVs(dir string, order []string, evals map[string][]*selection.Evaluation) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, name := range order {
-		f, err := os.Create(filepath.Join(dir, name+"_evaluations.csv"))
-		if err != nil {
+		if err := export.EvaluationsCSVFile(filepath.Join(dir, name+"_evaluations.csv"), evals[name]); err != nil {
 			return err
 		}
-		if err := export.EvaluationsCSV(f, evals[name]); err != nil {
-			f.Close()
-			return err
-		}
-		f.Close()
-
 		best := selection.MinError(evals[name])
-		g, err := os.Create(filepath.Join(dir, name+"_selection.csv"))
-		if err != nil {
+		if err := export.SelectionsCSVFile(filepath.Join(dir, name+"_selection.csv"), best); err != nil {
 			return err
 		}
-		if err := export.SelectionsCSV(g, best); err != nil {
-			g.Close()
-			return err
-		}
-		g.Close()
 	}
 	return nil
 }

@@ -13,6 +13,13 @@
 // Usage:
 //
 //	validate [-scale full|small|tiny] [-part trials|freq|arch|all] [-trials N]
+//	         [-fault-rate R] [-fault-seed S] [-watchdog N]
+//
+// The chaos flags mirror cmd/characterize: -fault-rate enables
+// deterministic fault injection (seeded by -fault-seed) during the
+// profiling runs, and -watchdog bounds each enqueue's instruction
+// budget — exercising whether selections survive a fault-absorbing
+// profile run.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"syscall"
 
 	"gtpin/internal/device"
+	"gtpin/internal/faults"
 	"gtpin/internal/par"
 	"gtpin/internal/report"
 	"gtpin/internal/selection"
@@ -40,11 +48,25 @@ func main() {
 	scaleFlag := flag.String("scale", "full", "workload scale: full, small, or tiny")
 	partFlag := flag.String("part", "all", "which validation: trials, freq, arch, or all")
 	nTrials := flag.Int("trials", 9, "number of additional trials (paper: trials 2-10)")
+	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1] during profiling")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
+	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *faultRate < 0 || *faultRate > 1 {
+		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+	}
+	var fo *workloads.FaultOptions
+	if *faultRate > 0 || *watchdog > 0 {
+		fo = &workloads.FaultOptions{
+			Rates:    faults.Uniform(*faultRate),
+			Seed:     *faultSeed,
+			Watchdog: *watchdog,
+		}
 	}
 	opts := selection.Options{ApproxTarget: workloads.ApproxTarget(sc), Seed: 42}
 	base := device.IvyBridgeHD4000()
@@ -57,7 +79,7 @@ func main() {
 	specs := workloads.All()
 	apps := make([]appState, len(specs))
 	if err := par.ForEach(ctx, len(specs), func(i int) error {
-		res, err := workloads.Run(specs[i], sc, base, 1)
+		res, err := workloads.RunWithFaults(specs[i], sc, base, 1, fo)
 		if err != nil {
 			return err
 		}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"gtpin/internal/runstate"
 )
 
 // Save writes the recording to w, gzip-compressed (write-buffer payloads
@@ -44,17 +46,14 @@ func Load(r io.Reader) (*Recording, error) {
 	return &rec, nil
 }
 
-// SaveFile writes the recording to path.
+// SaveFile writes the recording to path atomically: a crash mid-save
+// leaves either the previous recording or none, never a torn gzip
+// stream.
 func (r *Recording) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := runstate.WriteAtomic(path, r.Save); err != nil {
 		return fmt.Errorf("cofluent: %w", err)
 	}
-	if err := r.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return nil
 }
 
 // LoadFile reads a recording from path.

@@ -1,0 +1,37 @@
+package export
+
+// File-writing front ends for the exporters. Results written by long
+// sweeps must never be observable half-written — a crash mid-export
+// would otherwise leave a truncated CSV that downstream plotting reads
+// as a short (but well-formed) result set. Each helper stages the full
+// output through the atomic writer: temp file in the target directory,
+// fsync, rename.
+
+import (
+	"io"
+
+	"gtpin/internal/profile"
+	"gtpin/internal/runstate"
+	"gtpin/internal/selection"
+)
+
+// EvaluationsCSVFile atomically writes EvaluationsCSV output to path.
+func EvaluationsCSVFile(path string, evals []*selection.Evaluation) error {
+	return runstate.WriteAtomic(path, func(w io.Writer) error {
+		return EvaluationsCSV(w, evals)
+	})
+}
+
+// SelectionsCSVFile atomically writes SelectionsCSV output to path.
+func SelectionsCSVFile(path string, ev *selection.Evaluation) error {
+	return runstate.WriteAtomic(path, func(w io.Writer) error {
+		return SelectionsCSV(w, ev)
+	})
+}
+
+// ProfileJSONFile atomically writes ProfileJSON output to path.
+func ProfileJSONFile(path string, p *profile.Profile) error {
+	return runstate.WriteAtomic(path, func(w io.Writer) error {
+		return ProfileJSON(w, p)
+	})
+}

@@ -103,6 +103,12 @@ var (
 	// ErrResourceExhausted marks an out-of-resource condition (trace
 	// buffer slots, call-stack depth) that retrying cannot fix.
 	ErrResourceExhausted = NewSentinel("resource exhausted", Permanent)
+
+	// ErrWorkerPanic marks a panic recovered inside a sweep worker. It
+	// is classified transient because the supervising pool grants
+	// panicked units a bounded restart budget before surfacing the
+	// failure; the panic value and stack are carried in the wrap chain.
+	ErrWorkerPanic = NewSentinel("worker panic", Transient)
 )
 
 // classifier lets non-Sentinel error types participate in classification.

@@ -1,0 +1,66 @@
+package runstate
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteAtomic writes an artifact to path atomically: the payload is
+// produced into a temp file in the same directory, fsynced, and renamed
+// over path, and the directory is fsynced so the rename itself is
+// durable. A crash at any point leaves either the old file or the new
+// file — never a torn mixture — which is the property every result
+// writer in the sweeps relies on.
+func WriteAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("runstate: atomic write %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return fmt.Errorf("runstate: atomic write %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("runstate: atomic write %s: sync: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("runstate: atomic write %s: close: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("runstate: atomic write %s: %w", path, err)
+	}
+	err = syncDir(dir)
+	return err
+}
+
+// WriteFileAtomic is WriteAtomic for a byte slice — the drop-in
+// replacement for os.WriteFile on result paths.
+func WriteFileAtomic(path string, data []byte) error {
+	return WriteAtomic(path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}
+
+// syncDir fsyncs a directory so a completed rename survives a crash.
+// Platforms whose directory handles reject fsync are tolerated: the
+// rename is still atomic, just not yet durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("runstate: sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return fmt.Errorf("runstate: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package runstate
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWriteAtomic: the file appears with exactly the written content and
+// no temp litter remains.
+func TestWriteAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	// Overwrite is atomic too.
+	if err := WriteFileAtomic(path, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "world" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestWriteAtomicFailureLeavesTarget: a failing producer must leave the
+// previous file untouched and clean up its temp file — the
+// no-half-written-output guarantee.
+func TestWriteAtomicFailureLeavesTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFileAtomic(path, []byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("producer exploded")
+	err := WriteAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "half-writ") // partial payload that must never surface
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the producer's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "stable" {
+		t.Fatalf("target corrupted by failed write: %q", got)
+	}
+	assertNoTemps(t, dir)
+}
+
+// TestDirArtifactDigest: artifacts round-trip through the state dir, and
+// any byte damage is refused with ErrDigestMismatch instead of being
+// returned.
+func TestDirArtifactDigest(t *testing.T) {
+	d, err := OpenDir(filepath.Join(t.TempDir(), "state"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	payload := []byte(`{"app":"juliaset","instrs":12345}`)
+	digest, err := d.WriteArtifact("app|cfg|seed", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := d.ReadArtifact("app|cfg|seed", digest)
+	if err != nil || string(back) != string(payload) {
+		t.Fatalf("round trip: %q, %v", back, err)
+	}
+	// Flip one byte on disk.
+	p := d.UnitFile("app|cfg|seed", ".json")
+	raw, _ := os.ReadFile(p)
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ReadArtifact("app|cfg|seed", digest); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("damaged artifact returned err %v, want ErrDigestMismatch", err)
+	}
+}
+
+// TestUnitFileCollisionFree: keys that sanitize to the same name still
+// map to distinct files.
+func TestUnitFileCollisionFree(t *testing.T) {
+	d := &Dir{Path: t.TempDir()}
+	a := d.UnitFile("app/cfg", ".json")
+	b := d.UnitFile("app|cfg", ".json")
+	if a == b {
+		t.Fatalf("distinct keys mapped to the same file %s", a)
+	}
+}
+
+func assertNoTemps(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}

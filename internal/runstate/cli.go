@@ -1,0 +1,42 @@
+package runstate
+
+import (
+	"fmt"
+	"io"
+)
+
+// OpenSweep is the shared -state-dir/-resume front door of the sweep
+// harnesses (characterize, repro, subsets). It enforces the flag
+// contract — -resume requires -state-dir, and a fresh run refuses to
+// silently ignore a directory that already holds a journaled run — and,
+// on resume, summarizes the recovered journal on w. An empty dir with
+// resume=false returns (nil, nil): the harness runs unjournaled.
+func OpenSweep(dir string, resume bool, cmd string, w io.Writer) (*Dir, error) {
+	if dir == "" {
+		if resume {
+			return nil, fmt.Errorf("-resume requires -state-dir")
+		}
+		return nil, nil
+	}
+	state, err := OpenDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rec := state.Recovered
+	if !resume && len(rec.Records) > 0 {
+		state.Close()
+		return nil, fmt.Errorf("state dir %s already holds a journaled run (%d records); pass -resume to continue it or use a fresh directory", dir, len(rec.Records))
+	}
+	if resume && w != nil {
+		fmt.Fprintf(w, "%s: recovered journal: %d completed, %d failed, %d in-flight unit(s)",
+			cmd, len(rec.Completed()), len(rec.Failed()), len(rec.InFlight()))
+		if rec.Torn {
+			fmt.Fprint(w, "; torn tail truncated")
+		}
+		if n := len(rec.Dropped); n > 0 {
+			fmt.Fprintf(w, "; %d damaged record(s) dropped", n)
+		}
+		fmt.Fprintln(w)
+	}
+	return state, nil
+}

@@ -1,0 +1,100 @@
+package runstate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Dir is an on-disk sweep state directory:
+//
+//	<dir>/journal.jsonl   the run WAL
+//	<dir>/units/          one artifact (and optional blobs) per unit
+//
+// Artifacts are written atomically and bound to the journal by digest:
+// a completion record stores the SHA-256 of the artifact bytes, and
+// ReadArtifact refuses bytes that no longer match, so a resume can
+// never build its report from a corrupt or stale file.
+type Dir struct {
+	Path      string
+	Journal   *Journal
+	Recovered *Recovery
+}
+
+// OpenDir opens (creating if needed) a state directory, running journal
+// crash recovery. The Recovered field describes the previous run.
+func OpenDir(path string) (*Dir, error) {
+	if err := os.MkdirAll(filepath.Join(path, "units"), 0o755); err != nil {
+		return nil, fmt.Errorf("runstate: state dir: %w", err)
+	}
+	j, rec, err := Create(filepath.Join(path, "journal.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	return &Dir{Path: path, Journal: j, Recovered: rec}, nil
+}
+
+// Close releases the journal.
+func (d *Dir) Close() error { return d.Journal.Close() }
+
+// Digest returns the hex SHA-256 of an artifact's bytes — the value
+// completion records carry.
+func Digest(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:])
+}
+
+// UnitFile maps a unit key to a stable file path under units/. The key
+// is sanitized for the filesystem and suffixed with a short hash so
+// distinct keys can never collide after sanitization.
+func (d *Dir) UnitFile(unit, ext string) string {
+	clean := make([]byte, 0, len(unit))
+	for i := 0; i < len(unit); i++ {
+		c := unit[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '-', c == '_':
+			clean = append(clean, c)
+		default:
+			clean = append(clean, '_')
+		}
+	}
+	return filepath.Join(d.Path, "units",
+		fmt.Sprintf("%s-%08x%s", clean, crc32.ChecksumIEEE([]byte(unit)), ext))
+}
+
+// WriteArtifact atomically persists a unit's artifact and returns its
+// digest. The artifact is durable when this returns, so journaling the
+// completion afterwards preserves WAL ordering.
+func (d *Dir) WriteArtifact(unit string, data []byte) (string, error) {
+	if err := WriteFileAtomic(d.UnitFile(unit, ".json"), data); err != nil {
+		return "", err
+	}
+	return Digest(data), nil
+}
+
+// ReadArtifact loads a unit's artifact and verifies it against the
+// digest its completion record journaled. Any mismatch — truncation,
+// bit rot, a stale file from an earlier configuration — returns
+// ErrDigestMismatch so the caller re-executes the unit instead of
+// trusting the bytes.
+func (d *Dir) ReadArtifact(unit, wantDigest string) ([]byte, error) {
+	data, err := os.ReadFile(d.UnitFile(unit, ".json"))
+	if err != nil {
+		return nil, fmt.Errorf("runstate: artifact for %s: %w", unit, err)
+	}
+	if got := Digest(data); got != wantDigest {
+		return nil, fmt.Errorf("runstate: artifact for %s: %w: sha256 %s != journaled %s",
+			unit, ErrDigestMismatch, got, wantDigest)
+	}
+	return data, nil
+}
+
+// WriteBlob atomically writes an auxiliary unit file (e.g. a CoFluent
+// recording) next to the artifact.
+func (d *Dir) WriteBlob(unit, ext string, write func(io.Writer) error) error {
+	return WriteAtomic(d.UnitFile(unit, ext), write)
+}

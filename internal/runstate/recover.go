@@ -1,0 +1,161 @@
+package runstate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Recovery is what crash recovery salvages from a journal: every record
+// that survived CRC and sequence verification, in order, plus an
+// accounting of what was dropped. Corrupt data never appears in
+// Records — a record is either verified or classified into Dropped.
+type Recovery struct {
+	// Records are the valid journal records, in file order, with
+	// strictly increasing sequence numbers.
+	Records []Record
+	// MaxSeq is the sequence number appends continue from.
+	MaxSeq uint64
+	// ValidLen is the byte length of the journal up to the end of the
+	// last valid record; everything past it is a torn tail the journal
+	// truncates on reopen.
+	ValidLen int64
+	// Dropped classifies every discarded region via the faults
+	// taxonomy: ErrTornTail, ErrCorruptRecord, or ErrSeqRegression.
+	Dropped []error
+	// Torn reports whether a torn tail was found (and will be
+	// truncated by Create).
+	Torn bool
+}
+
+// Recover reads the journal at path and salvages its valid prefix
+// structure. Corruption — torn tails, bit flips, sequence anomalies —
+// is never an error: the damaged records are classified and dropped.
+// Only real I/O failures are returned. A missing journal recovers to
+// the empty state.
+func Recover(path string) (*Recovery, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Recovery{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("runstate: read journal: %w", err)
+	}
+	rec := &Recovery{}
+	// Invalid terminated lines are only classified after the scan: a bad
+	// line followed by valid records is mid-file corruption; a bad line
+	// with nothing valid after it is part of the torn tail.
+	type bad struct {
+		off int64
+		err error
+	}
+	var invalid []bad
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Unterminated final chunk: the crash-mid-append shape.
+			rec.Dropped = append(rec.Dropped,
+				fmt.Errorf("runstate: %d unterminated byte(s) at offset %d: %w", len(data), off, ErrTornTail))
+			rec.Torn = true
+			break
+		}
+		line := data[:nl]
+		lineEnd := off + int64(nl) + 1
+		if r, verr := verifyLine(line, rec.MaxSeq); verr != nil {
+			invalid = append(invalid, bad{off: off, err: verr})
+		} else {
+			rec.Records = append(rec.Records, r)
+			rec.MaxSeq = r.Seq
+			rec.ValidLen = lineEnd
+		}
+		data = data[nl+1:]
+		off = lineEnd
+	}
+	for _, b := range invalid {
+		if b.off >= rec.ValidLen {
+			// No valid record follows: trailing damage, truncated with
+			// the tail.
+			rec.Dropped = append(rec.Dropped,
+				fmt.Errorf("runstate: invalid trailing record at offset %d (%v): %w", b.off, b.err, ErrTornTail))
+			rec.Torn = true
+		} else {
+			rec.Dropped = append(rec.Dropped,
+				fmt.Errorf("runstate: dropped record at offset %d: %w", b.off, b.err))
+		}
+	}
+	return rec, nil
+}
+
+// verifyLine parses and verifies one journal line against the running
+// maximum sequence number, returning the record only if every check
+// passes.
+func verifyLine(line []byte, maxSeq uint64) (Record, error) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Record{}, fmt.Errorf("%w: bad framing: %v", ErrCorruptRecord, err)
+	}
+	if len(env.Record) == 0 {
+		return Record{}, fmt.Errorf("%w: empty record", ErrCorruptRecord)
+	}
+	if got := crc32.ChecksumIEEE(env.Record); got != env.CRC {
+		return Record{}, fmt.Errorf("%w: crc32 %08x != stored %08x", ErrCorruptRecord, got, env.CRC)
+	}
+	var r Record
+	if err := json.Unmarshal(env.Record, &r); err != nil {
+		return Record{}, fmt.Errorf("%w: bad record body: %v", ErrCorruptRecord, err)
+	}
+	switch r.Status {
+	case StatusStarted, StatusCompleted, StatusFailed:
+	default:
+		return Record{}, fmt.Errorf("%w: unknown status %q", ErrCorruptRecord, r.Status)
+	}
+	if r.Unit == "" {
+		return Record{}, fmt.Errorf("%w: missing unit key", ErrCorruptRecord)
+	}
+	if r.Seq <= maxSeq {
+		return Record{}, fmt.Errorf("%w: seq %d after %d", ErrSeqRegression, r.Seq, maxSeq)
+	}
+	return r, nil
+}
+
+// state folds the record stream into each unit's latest status.
+func (r *Recovery) state() map[string]Record {
+	m := make(map[string]Record, len(r.Records))
+	for _, rec := range r.Records {
+		m[rec.Unit] = rec
+	}
+	return m
+}
+
+// Completed returns the units whose latest record is a completion,
+// keyed by unit with the completion record (digest included). A resume
+// skips exactly these.
+func (r *Recovery) Completed() map[string]Record {
+	return r.byStatus(StatusCompleted)
+}
+
+// InFlight returns the units whose latest record is a start — they were
+// executing when the process died and must be re-executed.
+func (r *Recovery) InFlight() map[string]Record {
+	return r.byStatus(StatusStarted)
+}
+
+// Failed returns the units whose latest record is a typed failure. A
+// resume re-executes them (completion is the only terminal state a
+// sweep accepts).
+func (r *Recovery) Failed() map[string]Record {
+	return r.byStatus(StatusFailed)
+}
+
+func (r *Recovery) byStatus(s Status) map[string]Record {
+	m := make(map[string]Record)
+	for unit, rec := range r.state() {
+		if rec.Status == s {
+			m[unit] = rec
+		}
+	}
+	return m
+}

@@ -1,0 +1,120 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gtpin/internal/faults"
+	"gtpin/internal/profile"
+)
+
+// StaticKernel is one instrumented kernel's static shape — what Figure
+// 3b reports. It is recorded separately from the profile's kernel list
+// because instrumentation sees every built kernel, invoked or not.
+type StaticKernel struct {
+	Name         string `json:"name"`
+	NumBlocks    int    `json:"num_blocks"`
+	StaticInstrs int    `json:"static_instrs"`
+}
+
+// APICallCounts is the Figure 3a breakdown in count form — the piece of
+// the CoFluent tracer a resumed report needs.
+type APICallCounts struct {
+	Kernel int `json:"kernel"`
+	Sync   int `json:"sync"`
+	Other  int `json:"other"`
+}
+
+// Artifact is the durable residue of one profiled unit: everything the
+// report-producing harnesses consume, in a JSON form that round-trips
+// exactly (uint64 counts verbatim, float64 timings via Go's shortest
+// round-trip encoding). A sweep resumed from artifacts therefore emits
+// the byte-identical aggregate report an uninterrupted run would.
+//
+// The CoFluent recording — needed only by replay-based validations —
+// is persisted as a sibling blob (HasRecording) rather than inlined,
+// keeping artifacts small.
+type Artifact struct {
+	App          string                 `json:"app"`
+	APICalls     APICallCounts          `json:"api_calls"`
+	Static       []StaticKernel         `json:"static_kernels"`
+	Kernels      []profile.KernelStatic `json:"kernels"`
+	Invocations  []profile.Invocation   `json:"invocations"`
+	FaultStats   faults.Stats           `json:"fault_stats"`
+	HasRecording bool                   `json:"has_recording,omitempty"`
+}
+
+// NewArtifact distills a pipeline Result into its durable form.
+func NewArtifact(res *Result) *Artifact {
+	k, s, o := res.Tracer.Breakdown()
+	a := &Artifact{
+		App:         res.Profile.App,
+		APICalls:    APICallCounts{Kernel: k, Sync: s, Other: o},
+		Invocations: res.Profile.Invocations,
+		FaultStats:  res.FaultStats,
+	}
+	// Zero the indexing fields profile.New recomputes, so an encoded
+	// artifact is identical whether built from a live Result or from a
+	// decoded artifact's rebuilt profile.
+	a.Kernels = append([]profile.KernelStatic(nil), res.Profile.Kernels...)
+	for i := range a.Kernels {
+		a.Kernels[i].BlockBase = 0
+	}
+	// Map iteration is randomized; sort so identical runs encode to
+	// identical bytes.
+	for _, ki := range res.GTPin.Kernels() {
+		a.Static = append(a.Static, StaticKernel{Name: ki.Name, NumBlocks: ki.NumBlocks, StaticInstrs: ki.StaticInstrs})
+	}
+	sort.Slice(a.Static, func(i, j int) bool { return a.Static[i].Name < a.Static[j].Name })
+	return a
+}
+
+// Profile rebuilds the selection-pipeline profile from the artifact.
+func (a *Artifact) Profile() (*profile.Profile, error) {
+	kernels := append([]profile.KernelStatic(nil), a.Kernels...)
+	p, err := profile.New(a.App, kernels, a.Invocations)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: artifact for %s: %w", a.App, err)
+	}
+	return p, nil
+}
+
+// BreakdownPct mirrors cofluent.Tracer.BreakdownPct for resumed units.
+func (a *Artifact) BreakdownPct() (kernelPct, syncPct, otherPct float64) {
+	total := float64(a.APICalls.Kernel + a.APICalls.Sync + a.APICalls.Other)
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return 100 * float64(a.APICalls.Kernel) / total,
+		100 * float64(a.APICalls.Sync) / total,
+		100 * float64(a.APICalls.Other) / total
+}
+
+// TotalCalls returns the traced API call count.
+func (a *Artifact) TotalCalls() int {
+	return a.APICalls.Kernel + a.APICalls.Sync + a.APICalls.Other
+}
+
+// Encode serializes the artifact canonically (fixed field order, no
+// maps), so identical results always produce identical bytes — the
+// property the journal's digest binding relies on.
+func (a *Artifact) Encode() ([]byte, error) {
+	data, err := json.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: encode artifact for %s: %w", a.App, err)
+	}
+	return data, nil
+}
+
+// DecodeArtifact parses an artifact written by Encode.
+func DecodeArtifact(data []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("workloads: decode artifact: %w", err)
+	}
+	if a.App == "" || len(a.Invocations) == 0 {
+		return nil, fmt.Errorf("workloads: decode artifact: empty profile")
+	}
+	return &a, nil
+}

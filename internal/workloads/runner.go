@@ -72,6 +72,19 @@ func (fo *FaultOptions) apply(ctx *cl.Context) {
 	}
 }
 
+// Arm configures a caller-owned device for fault injection under this
+// fault model — how harnesses that drive the pipeline phases manually
+// (cmd/overhead) get the same flags as the packaged pipeline. A nil
+// receiver arms nothing and returns a nil injector.
+func (fo *FaultOptions) Arm(dev *device.Device, app, phase string) (*faults.Injector, error) {
+	return fo.arm(dev, app, phase)
+}
+
+// Apply applies the fault model's resilience-policy override to a
+// caller-owned context; nil receivers and nil overrides keep the
+// context's default policy.
+func (fo *FaultOptions) Apply(ctx *cl.Context) { fo.apply(ctx) }
+
 // Run executes the paper's profiling pipeline for one benchmark:
 //
 //  1. Run the application natively with the CoFluent tracer attached,
