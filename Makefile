@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check crash smoke bench clean
+.PHONY: all build test race vet check crash smoke bench bench-smoke clean
 
 all: build
 
@@ -38,8 +38,24 @@ smoke:
 # never panic or deadlock under -race), and the resume smoke test.
 check: vet build race crash smoke
 
+# bench runs the Go benchmark suites (instrumentation rewrite,
+# interpreters, end-to-end sweep) and then the benchmark-regression
+# harness: a multi-trial characterization sweep timed twice — the
+# pre-optimization baseline (serial, all caches off) against the
+# cached, sharded hot path — verified byte-identical and recorded in
+# BENCH_sweep.json. The harness fails below 2x wall-clock speedup.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -out BENCH_sweep.json
+
+# bench-smoke is the CI shape of bench: the edge-case regression tests
+# under -race, one-iteration benchmark runs (compile + execute checks),
+# and the regression harness without the speedup gate (shared CI boxes
+# make wall-clock ratios too noisy to fail a build on).
+bench-smoke:
+	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads
+	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -out BENCH_sweep.json
 
 clean:
 	$(GO) clean ./...

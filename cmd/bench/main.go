@@ -1,0 +1,194 @@
+// Command bench is the benchmark-regression harness for the profiling
+// hot path: it runs one characterization sweep twice — first the
+// pre-optimization baseline (serial, rewrite cache disabled), then the
+// optimized path (sharded across -workers with the content-addressed
+// rewrite cache) — verifies the two runs settle into byte-identical
+// artifacts, and records the wall-clock comparison in a JSON report
+// written atomically so CI can trend it across commits.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"gtpin/internal/device"
+	"gtpin/internal/gtpin"
+	"gtpin/internal/runstate"
+	"gtpin/internal/workloads"
+)
+
+// report is the schema of BENCH_sweep.json.
+type report struct {
+	Scale         string  `json:"scale"`
+	Trials        int     `json:"trials"`
+	Units         int     `json:"units"`
+	Workers       int     `json:"workers"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	BaselineNs    int64   `json:"baseline_ns"` // serial, cache disabled
+	OptimizedNs   int64   `json:"optimized_ns"`
+	Speedup       float64 `json:"speedup"`
+	ByteIdentical bool    `json:"byte_identical"`
+	RewriteHits   uint64  `json:"rewrite_cache_hits"`
+	RewriteMisses uint64  `json:"rewrite_cache_misses"`
+	ReplayHits    uint64  `json:"replay_cache_hits"`
+	ReplayMisses  uint64  `json:"replay_cache_misses"`
+	NativeHits    uint64  `json:"native_cache_hits"`
+	NativeMisses  uint64  `json:"native_cache_misses"`
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "full":
+		return workloads.ScaleFull, nil
+	case "small":
+		return workloads.ScaleSmall, nil
+	case "tiny":
+		return workloads.ScaleTiny, nil
+	}
+	return workloads.Scale{}, fmt.Errorf("unknown scale %q (want full, small, or tiny)", s)
+}
+
+// buildUnits lays out the benchmark sweep: every workload at the given
+// scale, repeated for trials seeds — the shape of a real
+// characterization run, where repeated trials re-instrument the same
+// kernels and the rewrite cache earns its keep.
+func buildUnits(sc workloads.Scale, trials int) []workloads.Unit {
+	specs := workloads.All()
+	units := make([]workloads.Unit, 0, len(specs)*trials)
+	for trial := 1; trial <= trials; trial++ {
+		for _, s := range specs {
+			units = append(units, workloads.Unit{
+				Spec: s, Scale: sc, Cfg: device.IvyBridgeHD4000(), TrialSeed: int64(trial),
+			})
+		}
+	}
+	return units
+}
+
+// sweep runs the unit list and returns wall time plus the encoded
+// artifact of every unit, in unit order.
+func sweep(ctx context.Context, units []workloads.Unit, opts workloads.PoolOptions) (time.Duration, [][]byte, error) {
+	t0 := time.Now()
+	outs, err := workloads.RunPool(ctx, units, opts)
+	elapsed := time.Since(t0)
+	if err != nil {
+		return 0, nil, err
+	}
+	enc := make([][]byte, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return 0, nil, fmt.Errorf("unit %s: %w", units[i].Key(), o.Err)
+		}
+		data, err := o.Artifact.Encode()
+		if err != nil {
+			return 0, nil, fmt.Errorf("unit %s: encode: %w", units[i].Key(), err)
+		}
+		enc[i] = data
+	}
+	return elapsed, enc, nil
+}
+
+func run() error {
+	scale := flag.String("scale", "tiny", "workload scale: full, small, or tiny")
+	workers := flag.Int("workers", 0, "shard count for the optimized run (0 = GOMAXPROCS)")
+	trials := flag.Int("trials", 3, "trial seeds per workload (re-instrumentation pressure)")
+	out := flag.String("out", "BENCH_sweep.json", "report path (written atomically)")
+	minSpeedup := flag.Float64("min-speedup", 0, "fail unless optimized/baseline speedup reaches this factor")
+	flag.Parse()
+
+	sc, err := parseScale(*scale)
+	if err != nil {
+		return err
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	units := buildUnits(sc, *trials)
+	ctx := context.Background()
+
+	// Warm-up pass: populates the page cache and steadies the Go runtime
+	// so neither timed run pays one-time costs. Not timed.
+	gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
+	if _, _, err := sweep(ctx, units, workloads.PoolOptions{Workers: w}); err != nil {
+		return fmt.Errorf("warm-up sweep: %w", err)
+	}
+
+	// Baseline: the pre-optimization hot path — one unit at a time, every
+	// unit rewriting its kernels and re-executing its instrumented replay
+	// from scratch.
+	gtpin.SetDefaultRewriteCache(nil)
+	baseNs, baseArt, err := sweep(ctx, units, workloads.PoolOptions{
+		Workers: 1, DisableReplayCache: true,
+	})
+	if err != nil {
+		return fmt.Errorf("baseline sweep: %w", err)
+	}
+
+	// Optimized: sharded execution sharing the content-addressed rewrite
+	// cache and the per-pool replay cache.
+	gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
+	replays := workloads.NewReplayCache()
+	optNs, optArt, err := sweep(ctx, units, workloads.PoolOptions{
+		Workers: w, ReplayCache: replays,
+	})
+	if err != nil {
+		return fmt.Errorf("optimized sweep: %w", err)
+	}
+
+	identical := len(baseArt) == len(optArt)
+	for i := 0; identical && i < len(baseArt); i++ {
+		identical = bytes.Equal(baseArt[i], optArt[i])
+	}
+
+	rep := report{
+		Scale:         sc.Name,
+		Trials:        *trials,
+		Units:         len(units),
+		Workers:       w,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		BaselineNs:    baseNs.Nanoseconds(),
+		OptimizedNs:   optNs.Nanoseconds(),
+		Speedup:       float64(baseNs) / float64(optNs),
+		ByteIdentical: identical,
+	}
+	if rc := gtpin.DefaultRewriteCache(); rc != nil {
+		st := rc.Stats()
+		rep.RewriteHits, rep.RewriteMisses = st.Hits, st.Misses
+	}
+	rst := replays.Stats()
+	rep.ReplayHits, rep.ReplayMisses = rst.Hits, rst.Misses
+	rep.NativeHits, rep.NativeMisses = rst.NativeHits, rst.NativeMisses
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := runstate.WriteFileAtomic(*out, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("bench: %d units @ %s, %d workers: baseline %v, optimized %v (%.2fx), byte-identical=%v -> %s\n",
+		rep.Units, rep.Scale, rep.Workers, baseNs.Round(time.Millisecond),
+		optNs.Round(time.Millisecond), rep.Speedup, identical, *out)
+
+	if !identical {
+		return fmt.Errorf("optimized sweep artifacts diverge from the serial baseline")
+	}
+	if *minSpeedup > 0 && rep.Speedup < *minSpeedup {
+		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, *minSpeedup)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

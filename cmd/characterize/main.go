@@ -56,6 +56,7 @@ func main() {
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each unit and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed units, re-run in-flight ones")
+	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -103,6 +104,7 @@ func main() {
 		State:     state,
 		Resume:    *resume,
 		OnOutcome: progressLine,
+		Workers:   *workers,
 	})
 	if perr != nil {
 		if !errors.Is(perr, context.Canceled) {

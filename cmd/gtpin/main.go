@@ -43,6 +43,7 @@ func main() {
 	hotBlocks := flag.Int("hot-blocks", 0, "print the N most executed basic blocks")
 	recordPath := flag.String("record", "", "save a CoFluent recording of the run to this file")
 	replayPath := flag.String("replay", "", "profile a saved recording instead of running a benchmark")
+	noCache := flag.Bool("no-cache", false, "disable the rewrite cache: instrument every binary from scratch")
 	flag.Parse()
 
 	if *listFlag {
@@ -59,6 +60,7 @@ func main() {
 		fatal(err)
 	}
 	var opts gtpin.Options
+	opts.DisableCache = *noCache
 	switch *toolsFlag {
 	case "basic":
 	case "mem":

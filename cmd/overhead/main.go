@@ -50,7 +50,11 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1]")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
+	noCache := flag.Bool("no-cache", false, "disable the rewrite cache so every phase pays full instrumentation cost")
 	flag.Parse()
+	if *noCache {
+		gtpin.SetDefaultRewriteCache(nil)
+	}
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {

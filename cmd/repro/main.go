@@ -54,6 +54,7 @@ func main() {
 	skipValidate := flag.Bool("skip-validate", false, "skip the Figure 8 validations (the slowest step)")
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles and recordings atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
+	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -97,6 +98,7 @@ func main() {
 		State:          state,
 		Resume:         *resume,
 		SaveRecordings: state != nil,
+		Workers:        *workers,
 		OnOutcome: func(o workloads.Outcome) {
 			switch {
 			case o.Err != nil:
@@ -241,7 +243,7 @@ func main() {
 	if !*skipValidate {
 		crossErrs := func(cfg device.Config, seed int64) []float64 {
 			out := make([]float64, len(apps))
-			if err := par.ForEach(ctx, len(apps), func(i int) error {
+			if err := par.ForEachN(ctx, len(apps), *workers, func(i int) error {
 				best := selection.MinError(apps[i].evals)
 				rec, err := apps[i].recording()
 				if err != nil {

@@ -52,6 +52,7 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-app evaluation CSVs and selection work lists (atomic writes)")
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
+	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -84,8 +85,9 @@ func main() {
 		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: cfg, TrialSeed: 1}
 	}
 	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
-		State:  state,
-		Resume: *resume,
+		State:   state,
+		Resume:  *resume,
+		Workers: *workers,
 		OnOutcome: func(o workloads.Outcome) {
 			switch {
 			case o.Err != nil:
@@ -126,7 +128,7 @@ func main() {
 	needEvals := show(*figFlag, "5") || show(*figFlag, "6") || show(*figFlag, "7") || show(*figFlag, "bestavg")
 	if needEvals {
 		all := make([][]*selection.Evaluation, len(order))
-		if err := par.ForEach(ctx, len(order), func(i int) error {
+		if err := par.ForEachN(ctx, len(order), *workers, func(i int) error {
 			evs, err := selection.EvaluateAll(profiles[order[i]], opts)
 			if err != nil {
 				return err

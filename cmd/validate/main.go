@@ -51,6 +51,7 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "chaos mode: per-site fault-injection rate in [0,1] during profiling")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
+	workers := flag.Int("workers", 0, "concurrent validation shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
@@ -78,7 +79,7 @@ func main() {
 	}
 	specs := workloads.All()
 	apps := make([]appState, len(specs))
-	if err := par.ForEach(ctx, len(specs), func(i int) error {
+	if err := par.ForEachN(ctx, len(specs), *workers, func(i int) error {
 		res, err := workloads.RunWithFaults(specs[i], sc, base, 1, fo)
 		if err != nil {
 			return err
@@ -110,7 +111,7 @@ func main() {
 		report.Section(os.Stdout, "Figure 8 (top): error using trial-1 selections on trials 2-%d", *nTrials+1)
 		t := report.NewTable("", "Application", "Config", "Mean Error%", "Max Error%")
 		perApp := make([][]float64, len(apps))
-		if err := par.ForEach(ctx, len(apps), func(i int) error {
+		if err := par.ForEachN(ctx, len(apps), *workers, func(i int) error {
 			for trial := 2; trial <= *nTrials+1; trial++ {
 				e, err := crossErr(apps[i], base, int64(trial))
 				if err != nil {
@@ -148,7 +149,7 @@ func main() {
 		}
 		t := report.NewTable("", headers...)
 		perApp := make([][]float64, len(apps))
-		if err := par.ForEach(ctx, len(apps), func(i int) error {
+		if err := par.ForEachN(ctx, len(apps), *workers, func(i int) error {
 			for _, f := range freqsMHz {
 				e, err := crossErr(apps[i], base.WithFrequency(f), 1)
 				if err != nil {
@@ -198,7 +199,7 @@ func main() {
 		t := report.NewTable("", "Application", "Config", "Error%")
 		hsw := device.HaswellHD4600()
 		errsArch := make([]float64, len(apps))
-		if err := par.ForEach(ctx, len(apps), func(i int) error {
+		if err := par.ForEachN(ctx, len(apps), *workers, func(i int) error {
 			e, err := crossErr(apps[i], hsw, 1)
 			if err != nil {
 				return err

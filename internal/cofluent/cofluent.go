@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"gtpin/internal/cl"
+	"gtpin/internal/device"
 )
 
 // KernelTiming is one kernel invocation's wall-clock measurement, plus
@@ -68,6 +69,21 @@ func (t *Tracer) TimesNs() []float64 {
 		out[kt.Seq] = kt.TimeNs
 	}
 	return out
+}
+
+// PerturbTimes returns a copy of the tracer whose kernel timings carry
+// j's multiplicative noise, applied in completion order — the order the
+// device draws jitter factors during a live run. Given a tracer from an
+// unjittered execution, the result is bit-identical to what re-running
+// the same execution on a device with jitter j would record, because
+// the device stores dispatchTime*drift and perturbs it with the same
+// single multiplication. The call stream is shared, not copied.
+func (t *Tracer) PerturbTimes(j *device.TimingJitter) *Tracer {
+	nt := &Tracer{calls: t.calls, timings: append([]KernelTiming(nil), t.timings...)}
+	for i := range nt.timings {
+		nt.timings[i].TimeNs = j.Perturb(nt.timings[i].TimeNs)
+	}
+	return nt
 }
 
 // TotalKernelTimeNs returns the summed device time of all invocations.

@@ -251,8 +251,11 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 			if !ok {
 				return nil, fmt.Errorf("detsim: call %d: enqueue of unknown kernel %d", i, c.KID)
 			}
-			args := append([]uint32(nil), kargs[c.KID]...)
-			surfs := append([]*device.Buffer(nil), ksurfs[c.KID]...)
+			// Dispatch is synchronous and the interpreters never append to
+			// these slices, so the kernel's live bindings are passed
+			// directly instead of copied per enqueue.
+			args := kargs[c.KID]
+			surfs := ksurfs[c.KID]
 			if ri := rangeOf(invocation); ri >= 0 {
 				beforeT, beforeI := rep.DetailedTimeNs, rep.DetailedInstrs
 				if err := s.runDetailed(ir, args, surfs, c.GWS, ranges[ri].SampleGroups, rep); err != nil {

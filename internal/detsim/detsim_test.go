@@ -17,7 +17,7 @@ import (
 // record runs a generated program on the functional device under
 // CoFluent and returns the recording, the invocation count, and the
 // final output-buffer image (recording buffer ID 1).
-func record(t *testing.T, seed int64, steps int) (*cofluent.Recording, int, []byte) {
+func record(t testing.TB, seed int64, steps int) (*cofluent.Recording, int, []byte) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := testgen.DefaultConfig()

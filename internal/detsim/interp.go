@@ -12,6 +12,36 @@ import (
 // maxGroupInstrs bounds dynamic instructions per channel-group.
 const maxGroupInstrs = 64 << 20
 
+// First-level dispatch classes, mirroring internal/device: the functional
+// hot loop pays one dense table lookup per instruction and only control
+// flow re-examines the opcode.
+const (
+	classALU = iota
+	classControl
+	classEnd
+	classSend
+	classCmp
+)
+
+var opClass = func() [isa.NumOpcodes]uint8 {
+	var t [isa.NumOpcodes]uint8
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		switch {
+		case op == isa.OpEnd:
+			t[op] = classEnd
+		case op.IsControl():
+			t[op] = classControl
+		case op.IsSend():
+			t[op] = classSend
+		case op == isa.OpCmp:
+			t[op] = classCmp
+		default:
+			t[op] = classALU
+		}
+	}
+	return t
+}()
+
 // Pipeline geometry of the modelled in-order EU: fetch, decode, register
 // read, two execute stages, write-back, retire.
 const (
@@ -129,12 +159,19 @@ func (s *Simulator) runGroupDetailed(k *kernel.Kernel, args []uint32, surfs []*d
 		return t - uint64(numStages) + 1 // cycle the instruction issued
 	}
 
+	// readyAt checks the three sources explicitly rather than ranging over
+	// a slice literal: this runs once per dynamic instruction and the
+	// literal was the detailed loop's only per-instruction allocation.
 	readyAt := func(in *isa.Instruction) uint64 {
 		t := cycle
-		for _, src := range []isa.Operand{in.Src0, in.Src1, in.Src2} {
-			if src.Kind == isa.OperandReg && s.regReady[src.Reg] > t {
-				t = s.regReady[src.Reg]
-			}
+		if in.Src0.Kind == isa.OperandReg && s.regReady[in.Src0.Reg] > t {
+			t = s.regReady[in.Src0.Reg]
+		}
+		if in.Src1.Kind == isa.OperandReg && s.regReady[in.Src1.Reg] > t {
+			t = s.regReady[in.Src1.Reg]
+		}
+		if in.Src2.Kind == isa.OperandReg && s.regReady[in.Src2.Reg] > t {
+			t = s.regReady[in.Src2.Reg]
 		}
 		if in.Pred != isa.PredNoneMode || in.Op == isa.OpSel || in.Op == isa.OpBr {
 			if s.flagReady > t {
@@ -301,66 +338,8 @@ func (s *Simulator) runGroupFunctional(k *kernel.Kernel, args []uint32, surfs []
 			if iw > width {
 				iw = width
 			}
-			switch in.Op {
-			case isa.OpJmp:
-				next = int(in.Target)
-				break body
-			case isa.OpBr:
-				ba := active
-				if iw < ba {
-					ba = iw
-				}
-				taken := false
-				switch in.BrMode {
-				case isa.BranchAny:
-					for l := 0; l < ba && !taken; l++ {
-						taken = s.flag[l]
-					}
-				case isa.BranchAll:
-					taken = true
-					for l := 0; l < ba && taken; l++ {
-						taken = s.flag[l]
-					}
-				case isa.BranchNone:
-					taken = true
-					for l := 0; l < ba && taken; l++ {
-						taken = !s.flag[l]
-					}
-				}
-				if taken {
-					next = int(in.Target)
-				}
-				break body
-			case isa.OpCall:
-				if sp == len(retStack) {
-					return fmt.Errorf("call stack overflow")
-				}
-				retStack[sp] = blk + 1
-				sp++
-				next = int(in.Target)
-				break body
-			case isa.OpRet:
-				if sp == 0 {
-					return fmt.Errorf("ret with empty call stack")
-				}
-				sp--
-				next = retStack[sp]
-				break body
-			case isa.OpEnd:
-				return nil
-			case isa.OpCmp:
-				for l := 0; l < iw; l++ {
-					s.flag[l] = isa.EvalCmp(in.Cond, s.srcLane(in.Src0, l), s.srcLane(in.Src1, l))
-				}
-			case isa.OpSend, isa.OpSendc:
-				sa := active
-				if iw < sa {
-					sa = iw
-				}
-				if _, _, err := s.funcSend(in, surfs, iw, sa, touchCaches); err != nil {
-					return err
-				}
-			default:
+			switch opClass[in.Op] {
+			case classALU:
 				for l := 0; l < iw; l++ {
 					if !s.laneOn(in.Pred, l) {
 						continue
@@ -368,6 +347,64 @@ func (s *Simulator) runGroupFunctional(k *kernel.Kernel, args []uint32, surfs []
 					s.grf[in.Dst][l] = isa.Eval(in.Op, in.Fn,
 						s.srcLane(in.Src0, l), s.srcLane(in.Src1, l), s.srcLane(in.Src2, l), s.flag[l])
 				}
+			case classCmp:
+				for l := 0; l < iw; l++ {
+					s.flag[l] = isa.EvalCmp(in.Cond, s.srcLane(in.Src0, l), s.srcLane(in.Src1, l))
+				}
+			case classSend:
+				sa := active
+				if iw < sa {
+					sa = iw
+				}
+				if _, _, err := s.funcSend(in, surfs, iw, sa, touchCaches); err != nil {
+					return err
+				}
+			case classEnd:
+				return nil
+			default: // classControl
+				switch in.Op {
+				case isa.OpJmp:
+					next = int(in.Target)
+				case isa.OpBr:
+					ba := active
+					if iw < ba {
+						ba = iw
+					}
+					taken := false
+					switch in.BrMode {
+					case isa.BranchAny:
+						for l := 0; l < ba && !taken; l++ {
+							taken = s.flag[l]
+						}
+					case isa.BranchAll:
+						taken = true
+						for l := 0; l < ba && taken; l++ {
+							taken = s.flag[l]
+						}
+					case isa.BranchNone:
+						taken = true
+						for l := 0; l < ba && taken; l++ {
+							taken = !s.flag[l]
+						}
+					}
+					if taken {
+						next = int(in.Target)
+					}
+				case isa.OpCall:
+					if sp == len(retStack) {
+						return fmt.Errorf("call stack overflow")
+					}
+					retStack[sp] = blk + 1
+					sp++
+					next = int(in.Target)
+				case isa.OpRet:
+					if sp == 0 {
+						return fmt.Errorf("ret with empty call stack")
+					}
+					sp--
+					next = retStack[sp]
+				}
+				break body
 			}
 		}
 		blk = next

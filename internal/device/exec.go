@@ -66,6 +66,36 @@ var instrCost = func() [isa.NumOpcodes]uint32 {
 	return c
 }()
 
+// The interpreter's first-level dispatch collapses the opcode space into
+// five classes, so the hot loop pays one dense table lookup instead of a
+// sparse opcode switch; only control flow then re-examines the opcode.
+const (
+	classALU = iota
+	classControl
+	classEnd
+	classSend
+	classCmp
+)
+
+var opClass = func() [isa.NumOpcodes]uint8 {
+	var t [isa.NumOpcodes]uint8
+	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
+		switch {
+		case op == isa.OpEnd:
+			t[op] = classEnd
+		case op.IsControl():
+			t[op] = classControl
+		case op.IsSend():
+			t[op] = classSend
+		case op == isa.OpCmp:
+			t[op] = classCmp
+		default:
+			t[op] = classALU
+		}
+	}
+	return t
+}()
+
 // Device is one GPU instance. It owns a decoded-binary cache and the
 // interpreter scratch state; it is not safe for concurrent use, matching
 // a single in-order command queue.
@@ -278,41 +308,14 @@ func (d *Device) runGroup(k *kernel.Kernel, disp Dispatch, group, active int, st
 			}
 
 			iw := int(in.Width) // instruction execution width
-			switch in.Op {
-			case isa.OpJmp:
-				next = int(in.Target)
-				break body
-			case isa.OpBr:
-				// The branch reduces flags over its own execution width
-				// (a scalar br considers only channel 0).
-				ba := active
-				if iw < ba {
-					ba = iw
-				}
-				if d.reduceFlag(in.BrMode, ba) {
-					next = int(in.Target)
-				}
-				break body
-			case isa.OpCall:
-				if sp == len(retStack) {
-					return fmt.Errorf("call stack overflow")
-				}
-				retStack[sp] = blk + 1
-				sp++
-				next = int(in.Target)
-				break body
-			case isa.OpRet:
-				if sp == 0 {
-					return fmt.Errorf("ret with empty call stack")
-				}
-				sp--
-				next = retStack[sp]
-				break body
-			case isa.OpEnd:
-				st.Instrs += groupInstrs
-				st.ComputeCycles += groupCycles
-				return nil
-			case isa.OpSend, isa.OpSendc:
+			switch opClass[in.Op] {
+			case classALU:
+				d.execALU(in, iw)
+			case classCmp:
+				s0 := d.operand(in.Src0, 0, iw)
+				s1 := d.operand(in.Src1, 1, iw)
+				d.execCmp(in.Cond, s0, s1, iw)
+			case classSend:
 				sendActive := active
 				if iw < sendActive {
 					sendActive = iw
@@ -326,12 +329,39 @@ func (d *Device) runGroup(k *kernel.Kernel, disp Dispatch, group, active int, st
 					// timer reads observe memory stall time.
 					groupCycles += d.memStallCycles
 				}
-			case isa.OpCmp:
-				s0 := d.operand(in.Src0, 0, iw)
-				s1 := d.operand(in.Src1, 1, iw)
-				d.execCmp(in.Cond, s0, s1, iw)
-			default:
-				d.execALU(in, iw)
+			case classEnd:
+				st.Instrs += groupInstrs
+				st.ComputeCycles += groupCycles
+				return nil
+			default: // classControl
+				switch in.Op {
+				case isa.OpJmp:
+					next = int(in.Target)
+				case isa.OpBr:
+					// The branch reduces flags over its own execution width
+					// (a scalar br considers only channel 0).
+					ba := active
+					if iw < ba {
+						ba = iw
+					}
+					if d.reduceFlag(in.BrMode, ba) {
+						next = int(in.Target)
+					}
+				case isa.OpCall:
+					if sp == len(retStack) {
+						return fmt.Errorf("call stack overflow")
+					}
+					retStack[sp] = blk + 1
+					sp++
+					next = int(in.Target)
+				case isa.OpRet:
+					if sp == 0 {
+						return fmt.Errorf("ret with empty call stack")
+					}
+					sp--
+					next = retStack[sp]
+				}
+				break body
 			}
 		}
 		blk = next

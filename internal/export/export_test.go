@@ -35,6 +35,38 @@ func sampleEvaluation() *selection.Evaluation {
 	}
 }
 
+// TestEvaluationsCSVHostileNames is the quoting regression test: an app
+// name carrying commas, quotes, and newlines must survive a CSV
+// write/parse round trip as one field of one logical row. Guarantees the
+// emitters stay on encoding/csv rather than naive joins.
+func TestEvaluationsCSVHostileNames(t *testing.T) {
+	hostile := "evil,app\nwith \"quotes\", commas\r\nand newlines"
+	ev := sampleEvaluation()
+	ev.App = hostile
+	var buf bytes.Buffer
+	if err := export.EvaluationsCSV(&buf, []*selection.Evaluation{ev}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not re-parse: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("hostile name split the file into %d logical rows, want 2", len(rows))
+	}
+	if len(rows[1]) != 8 {
+		t.Fatalf("hostile name split the row into %d fields, want 8", len(rows[1]))
+	}
+	// encoding/csv canonicalizes \r\n inside quoted fields to \n on read.
+	want := strings.ReplaceAll(hostile, "\r\n", "\n")
+	if rows[1][0] != want {
+		t.Errorf("app field round-tripped as %q, want %q", rows[1][0], want)
+	}
+	if rows[1][7] != "1.000" {
+		t.Errorf("trailing column = %q; hostile name shifted the row", rows[1][7])
+	}
+}
+
 func TestEvaluationsCSV(t *testing.T) {
 	var buf bytes.Buffer
 	if err := export.EvaluationsCSV(&buf, []*selection.Evaluation{sampleEvaluation()}); err != nil {

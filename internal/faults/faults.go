@@ -104,6 +104,17 @@ var (
 	// buffer slots, call-stack depth) that retrying cannot fix.
 	ErrResourceExhausted = NewSentinel("resource exhausted", Permanent)
 
+	// ErrSurfaceOverflow marks a kernel whose surface binding table
+	// cannot hold one more surface: binding-table indices are 8-bit, so
+	// instrumenting a kernel that already declares the maximum number of
+	// surfaces would alias the trace surface onto a user surface.
+	ErrSurfaceOverflow = NewSentinel("surface binding table overflow", Permanent)
+
+	// ErrBadConfig marks an invalid tool or engine configuration (e.g. a
+	// non-power-of-two trace-ring size) detected at construction time.
+	// Retrying cannot fix a configuration.
+	ErrBadConfig = NewSentinel("invalid configuration", Permanent)
+
 	// ErrWorkerPanic marks a panic recovered inside a sweep worker. It
 	// is classified transient because the supervising pool grants
 	// panicked units a bounded restart budget before surfacing the

@@ -12,6 +12,7 @@ func TestTaxonomyClassification(t *testing.T) {
 	permanents := []*Sentinel{
 		ErrKernelHang, ErrWatchdogTimeout, ErrEventNotComplete,
 		ErrBadBinary, ErrInvalidDispatch, ErrAlreadyAttached, ErrResourceExhausted,
+		ErrSurfaceOverflow, ErrBadConfig,
 	}
 	for _, s := range transients {
 		if s.Class() != Transient {

@@ -2,6 +2,7 @@ package gtpin
 
 import (
 	"fmt"
+	"math"
 
 	"gtpin/internal/cl"
 	"gtpin/internal/device"
@@ -22,6 +23,18 @@ type Options struct {
 	Latency bool
 	// TraceBufBytes overrides the trace buffer size (0 = default).
 	TraceBufBytes int
+	// RingEntries overrides the memory-trace ring size in 8-byte slots
+	// (0 = derive the largest power of two that fits the trace buffer).
+	// The ring reservation arithmetic masks positions with RingEntries-1,
+	// so an explicit value must be a power of two; Attach rejects other
+	// values with faults.ErrBadConfig.
+	RingEntries int
+	// Cache overrides the rewrite cache for this instance; nil uses the
+	// process-wide DefaultRewriteCache.
+	Cache *RewriteCache
+	// DisableCache forces every binary through a full decode/instrument/
+	// re-encode even when a cache is available.
+	DisableCache bool
 }
 
 // GTPin is an attached instance of the instrumentation engine. It is
@@ -31,6 +44,7 @@ type GTPin struct {
 	opts        Options
 	traceBuf    *device.Buffer
 	ringEntries int
+	cache       *RewriteCache // nil when caching is disabled
 
 	kernels  map[string]*instrKernel
 	nextSlot int
@@ -61,17 +75,41 @@ func Attach(ctx *cl.Context, opts Options) (*GTPin, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gtpin: %w", err)
 	}
-	ringEntries := 1
-	for ringEntries*2 <= (size-ringOffset)/8 {
-		ringEntries *= 2
+	ringEntries := opts.RingEntries
+	if ringEntries == 0 {
+		ringEntries = 1
+		for ringEntries*2 <= (size-ringOffset)/8 {
+			ringEntries *= 2
+		}
+	} else {
+		// The ring reservation sequence masks positions with ringEntries-1
+		// (see memTraceSeq); a non-power-of-two size would alias chunks onto
+		// each other and corrupt the trace, so reject it up front.
+		if ringEntries < 1 || ringEntries&(ringEntries-1) != 0 {
+			return nil, fmt.Errorf("gtpin: ring size %d entries is not a power of two: %w",
+				ringEntries, faults.ErrBadConfig)
+		}
+		if ringOffset+ringEntries*8 > size {
+			return nil, fmt.Errorf("gtpin: ring size %d entries does not fit the %d-byte trace buffer: %w",
+				ringEntries, size, faults.ErrBadConfig)
+		}
 	}
 	if opts.MemTrace && ringEntries < ringChunkSlots {
-		return nil, fmt.Errorf("gtpin: trace buffer too small for memory tracing (%d bytes)", size)
+		return nil, fmt.Errorf("gtpin: trace ring too small for memory tracing (%d entries): %w",
+			ringEntries, faults.ErrBadConfig)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = DefaultRewriteCache()
+	}
+	if opts.DisableCache {
+		cache = nil
 	}
 	g := &GTPin{
 		opts:        opts,
 		traceBuf:    buf,
 		ringEntries: ringEntries,
+		cache:       cache,
 		kernels:     make(map[string]*instrKernel),
 		nextSlot:    firstFreeSlot,
 	}
@@ -81,7 +119,17 @@ func Attach(ctx *cl.Context, opts Options) (*GTPin, error) {
 	return g, nil
 }
 
+// maxImmSlot is the highest counter slot whose byte address (slot*8) still
+// fits the 32-bit immediate field of the injected address moves. Slots
+// beyond it would encode a wrapped address and silently corrupt whatever
+// lives there, so allocSlot refuses them explicitly.
+const maxImmSlot = math.MaxUint32 / 8
+
 func (g *GTPin) allocSlot() (int, error) {
+	if g.nextSlot > maxImmSlot {
+		return 0, fmt.Errorf("counter slot %d byte address overflows the 32-bit immediate encoding: %w",
+			g.nextSlot, faults.ErrResourceExhausted)
+	}
 	if g.nextSlot >= maxSlots {
 		return 0, fmt.Errorf("out of trace-buffer counter slots (%d used): %w", g.nextSlot, faults.ErrResourceExhausted)
 	}

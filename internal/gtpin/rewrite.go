@@ -21,6 +21,7 @@
 package gtpin
 
 import (
+	"errors"
 	"fmt"
 
 	"gtpin/internal/faults"
@@ -140,10 +141,58 @@ func counterBump(slot int, delta uint32, traceSurf uint8) []isa.Instruction {
 	}
 }
 
-// rewrite is the GT-Pin binary re-writer: it decodes a JIT-produced
-// binary, injects the instrumentation selected by the tool's options, and
-// re-encodes it. It is registered as a cl build hook.
+// rewrite is the GT-Pin binary re-writer entry point, registered as a cl
+// build hook. It consults the rewrite cache first: a hit reinstalls the
+// cached instrumentation metadata and advances the slot allocator exactly
+// as the original rewrite did, skipping the decode/instrument/re-encode
+// pipeline entirely. The cache key covers every input that shapes the
+// output (see cacheKey), so a hit is byte-identical to a fresh rewrite.
 func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
+	if g.cache == nil {
+		return g.instrument(bin)
+	}
+	key := g.cacheKey(bin)
+	if e, ok := g.cache.c.Get(key); ok {
+		m := e.Meta.(*rewriteMeta)
+		// Per-instance bookkeeping still applies on a hit: the same kernel
+		// name must not be instrumented twice in one context.
+		if _, dup := g.kernels[m.ik.Name]; dup {
+			return nil, fmt.Errorf("gtpin: kernel %q instrumented twice: %w", m.ik.Name, faults.ErrAlreadyAttached)
+		}
+		g.kernels[m.ik.Name] = m.ik
+		g.nextSlot = m.nextSlot
+		return e.Bin, nil
+	}
+	out, err := g.instrument(bin)
+	if err != nil {
+		return nil, err
+	}
+	name := mustDecodeName(out)
+	g.cache.c.Put(key, jit.CacheEntry{Bin: out, Meta: &rewriteMeta{
+		ik:       g.kernels[name],
+		nextSlot: g.nextSlot,
+	}})
+	return out, nil
+}
+
+// mustDecodeName extracts the kernel name from a binary the rewriter just
+// produced; by construction the header is well-formed.
+func mustDecodeName(bin *jit.Binary) string {
+	k, err := jit.Decode(bin)
+	if err != nil {
+		panic(fmt.Sprintf("gtpin: re-encoded binary failed to decode: %v", err))
+	}
+	return k.Name
+}
+
+// maxSurfaces bounds a kernel's declared surfaces: binding-table indices
+// and the header count are 8-bit, and instrumentation appends the trace
+// surface, so a kernel may declare at most 254 of its own.
+const maxSurfaces = 255
+
+// instrument decodes a JIT-produced binary, injects the instrumentation
+// selected by the tool's options, and re-encodes it.
+func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 	k, err := jit.Decode(bin)
 	if err != nil {
 		return nil, fmt.Errorf("gtpin: rewriter: %w", err)
@@ -161,6 +210,15 @@ func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
 		}
 	}
 
+	// The trace surface takes binding-table index NumSurfaces, and the
+	// incremented count must re-encode into the header's byte field; a
+	// kernel already at the 8-bit ceiling cannot be instrumented. Without
+	// this guard uint8(k.NumSurfaces) would wrap and the injected sends
+	// would alias a user surface.
+	if k.NumSurfaces >= maxSurfaces {
+		return nil, fmt.Errorf("gtpin: kernel %q declares %d surfaces; no binding-table slot left for the trace surface: %w",
+			k.Name, k.NumSurfaces, faults.ErrSurfaceOverflow)
+	}
 	traceSurf := uint8(k.NumSurfaces)
 	ik := &instrKernel{
 		Name:         k.Name,
@@ -199,8 +257,8 @@ func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
 				if g.opts.Latency {
 					sum, err1 := g.allocSlot()
 					cnt, err2 := g.allocSlot()
-					if err1 != nil || err2 != nil {
-						return nil, fmt.Errorf("gtpin: kernel %s: out of trace slots for latency", k.Name)
+					if err := errors.Join(err1, err2); err != nil {
+						return nil, fmt.Errorf("gtpin: kernel %s: latency slots: %w", k.Name, err)
 					}
 					site.LatSumSlot, site.LatCntSlot = sum, cnt
 					body = append(body,

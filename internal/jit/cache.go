@@ -1,0 +1,100 @@
+package jit
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+)
+
+// Cache is a content-addressed store of device binaries plus arbitrary
+// per-entry metadata. Keys are SHA-256 content addresses built with Key,
+// so an entry is valid exactly as long as every input that shaped the
+// binary hashes identically — the property the GT-Pin rewrite cache
+// relies on to reuse instrumented binaries across sweep units.
+//
+// A Cache is safe for concurrent use by the sharded sweep workers.
+// Entries are immutable after Put: the stored *Binary and metadata are
+// shared by every Get, so callers must never mutate them.
+type Cache struct {
+	mu      sync.RWMutex
+	entries map[string]CacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+// CacheEntry is one cached binary and the metadata its producer needs to
+// reinstall alongside it (e.g. GT-Pin's per-kernel instrumentation
+// bookkeeping).
+type CacheEntry struct {
+	Bin  *Binary
+	Meta any
+}
+
+// CacheStats is a point-in-time cache counter snapshot.
+type CacheStats struct {
+	Hits    uint64
+	Misses  uint64
+	Entries int
+}
+
+// NewCache creates an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]CacheEntry)}
+}
+
+// Key builds a SHA-256 content address over the parts. Each part is
+// length-prefixed before hashing, so distinct part boundaries can never
+// produce the same key ("ab","c" != "a","bc").
+func Key(parts ...[]byte) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Get returns the entry stored under key and whether it exists,
+// advancing the hit/miss counters.
+func (c *Cache) Get(key string) (CacheEntry, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	c.mu.Lock()
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return e, ok
+}
+
+// Put stores an entry under key. Concurrent producers racing the same
+// key are harmless when the entry is a deterministic function of the key
+// (the rewrite cache's invariant): whichever insert wins, the bytes are
+// identical.
+func (c *Cache) Put(key string, e CacheEntry) {
+	c.mu.Lock()
+	c.entries[key] = e
+	c.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.entries)}
+}
+
+// Reset drops every entry and zeroes the counters (tests and benchmark
+// baselines).
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]CacheEntry)
+	c.hits, c.misses = 0, 0
+	c.mu.Unlock()
+}

@@ -1,0 +1,67 @@
+package jit
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheKeyBoundaries(t *testing.T) {
+	a := Key([]byte("ab"), []byte("c"))
+	b := Key([]byte("a"), []byte("bc"))
+	if a == b {
+		t.Fatal("part boundaries must be part of the content address")
+	}
+	if Key([]byte("x")) != Key([]byte("x")) {
+		t.Fatal("Key must be deterministic")
+	}
+	if Key() == Key([]byte{}) {
+		t.Fatal("zero parts and one empty part must hash differently")
+	}
+}
+
+func TestCacheGetPutStats(t *testing.T) {
+	c := NewCache()
+	k := Key([]byte("bin"))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("empty cache must miss")
+	}
+	bin := &Binary{Code: []byte{1, 2, 3}}
+	c.Put(k, CacheEntry{Bin: bin, Meta: "m"})
+	e, ok := c.Get(k)
+	if !ok || e.Bin != bin || e.Meta != "m" {
+		t.Fatalf("got %+v ok=%v", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Entries != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := Key([]byte{byte(i % 16)})
+				if e, ok := c.Get(k); ok {
+					if e.Bin.Code[0] != byte(i%16) {
+						panic("wrong entry under key")
+					}
+				} else {
+					c.Put(k, CacheEntry{Bin: &Binary{Code: []byte{byte(i % 16)}}})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 16 {
+		t.Fatalf("entries = %d, want 16", st.Entries)
+	}
+}

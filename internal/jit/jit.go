@@ -123,6 +123,12 @@ func Recompile(k *kernel.Kernel) (*Binary, error) {
 }
 
 func compileUnchecked(k *kernel.Kernel) (*Binary, error) {
+	// The header encodes these counts in single bytes; larger values would
+	// silently truncate and decode as a different kernel shape.
+	if k.NumArgs > 0xFF || k.NumSurfaces > 0xFF {
+		return nil, fmt.Errorf("jit: kernel %s: %d args / %d surfaces overflow the byte-wide header fields: %w",
+			k.Name, k.NumArgs, k.NumSurfaces, faults.ErrBadBinary)
+	}
 	size := 4 + 4 + 2 + len(k.Name) + 4
 	for _, b := range k.Blocks {
 		size += 4 + len(b.Instrs)*isa.InstrBytes

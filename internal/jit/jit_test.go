@@ -55,6 +55,28 @@ func TestCompileDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestCompileRefusesByteFieldTruncation(t *testing.T) {
+	// The header stores NumSurfaces and NumArgs in single bytes; values
+	// beyond 255 used to truncate silently and decode as a smaller kernel.
+	k := sampleKernel(t, "wide")
+	k.NumSurfaces = 256
+	if _, err := Compile(k); err == nil || !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("256 surfaces must refuse to encode, got %v", err)
+	}
+	k.NumSurfaces = 255
+	bin, err := Compile(k)
+	if err != nil {
+		t.Fatalf("255 surfaces must encode: %v", err)
+	}
+	got, err := Decode(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumSurfaces != 255 {
+		t.Errorf("round-tripped NumSurfaces = %d, want 255", got.NumSurfaces)
+	}
+}
+
 func TestCompileRejectsInvalidKernel(t *testing.T) {
 	k := &kernel.Kernel{Name: "bad", SIMD: isa.W16} // no blocks
 	if _, err := Compile(k); err == nil {

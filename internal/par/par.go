@@ -1,6 +1,7 @@
-// Package par provides the tiny fan-out helper the cmd harnesses use to
-// profile the 25 applications concurrently. Each application owns its own
-// device, context, and profile, so the work items are fully independent.
+// Package par provides the fan-out primitives the cmd harnesses and the
+// sweep pool use to run independent work items concurrently. Each item
+// (an application profile, a selection evaluation) owns its own device,
+// context, and profile, so items never share mutable state.
 package par
 
 import (
@@ -8,49 +9,112 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// ForEach runs f(0..n-1) across min(n, GOMAXPROCS) goroutines. Work items
-// that have started run to completion regardless of failures, so partial
-// results stay consistent; all their errors are aggregated (in index
-// order) with errors.Join rather than only the first being reported.
+// Workers resolves a worker-count request: n items shared by w workers.
+// w <= 0 means one worker per available CPU (GOMAXPROCS); the result is
+// never larger than n and never below 1.
+func Workers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEach runs f(0..n-1) across min(n, GOMAXPROCS) goroutines. See
+// ForEachN for the full contract.
+func ForEach(ctx context.Context, n int, f func(i int) error) error {
+	return ForEachN(ctx, n, 0, f)
+}
+
+// ForEachN runs f(0..n-1) across a bounded worker set (workers <= 0
+// means GOMAXPROCS). Work items that have started run to completion
+// regardless of failures, so partial results stay consistent; all their
+// errors are aggregated (in index order) with errors.Join rather than
+// only the first being reported.
 //
 // Once ctx is cancelled no new indices are dispatched; already-running
 // calls finish, undispatched indices never run, and ctx.Err() joins the
 // returned error. A nil ctx means never cancelled.
-func ForEach(ctx context.Context, n int, f func(i int) error) error {
+func ForEachN(ctx context.Context, n, workers int, f func(i int) error) error {
+	_, err := Map(ctx, n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, f(i)
+	})
+	return err
+}
+
+// Map runs f(0..n-1) across a bounded worker set and collects the
+// results in index order — the sharded-sweep primitive: shard execution
+// is scheduled dynamically (whichever worker is free claims the next
+// index), but the merged result slice depends only on the indices, so
+// downstream reports are byte-identical whatever the worker count or
+// interleaving.
+//
+// Scheduling is self-balancing: workers claim indices from a shared
+// atomic cursor, so a slow item never stalls the remaining work behind a
+// static partition. workers <= 0 uses GOMAXPROCS; workers == 1 degrades
+// to a strictly serial in-order loop.
+//
+// Failures follow the ForEach contract: every started item runs to
+// completion, per-item errors are aggregated in index order with
+// errors.Join, cancellation stops dispatch of new indices, and ctx.Err()
+// joins the returned error. The result slice always has length n;
+// indices that never ran hold T's zero value (their error entries are
+// nil too, so callers can distinguish "failed" from "not dispatched" by
+// cancellation).
+func Map[T any](ctx context.Context, n, workers int, f func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil
+		return nil, nil
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
+	out := make([]T, n)
 	errs := make([]error, n+1)
+	workers = Workers(workers, n)
+
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics — the baseline
+		// sharded runs are compared against.
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			out[i], errs[i] = f(i)
+		}
+		errs[n] = ctx.Err()
+		return out, errors.Join(errs...)
+	}
+
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
+	done := ctx.Done()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				errs[i] = f(i)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = f(i)
 			}
 		}()
 	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case next <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(next)
 	wg.Wait()
 	errs[n] = ctx.Err()
-	return errors.Join(errs...)
+	return out, errors.Join(errs...)
 }

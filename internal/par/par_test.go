@@ -97,6 +97,111 @@ func TestForEachStopsDispatchOnCancel(t *testing.T) {
 	}
 }
 
+func TestMapResultsInIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 0} {
+		got, err := Map(context.Background(), 64, workers, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 64 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: result[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapWorkerCountInvariant(t *testing.T) {
+	// The merged result must be byte-identical whatever the worker count:
+	// the sharded-report determinism guarantee.
+	run := func(workers int) []string {
+		out, err := Map(context.Background(), 40, workers, func(i int) (string, error) {
+			return string(rune('a'+i%26)) + "x", nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 0} {
+		got := run(w)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d diverges from serial at %d: %q != %q", w, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapAggregatesErrorsAndKeepsPartialResults(t *testing.T) {
+	errBad := errors.New("bad")
+	out, err := Map(context.Background(), 10, 3, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errBad
+		}
+		return i + 1, nil
+	})
+	if !errors.Is(err, errBad) {
+		t.Fatalf("err = %v, want errBad joined", err)
+	}
+	for i, v := range out {
+		want := i + 1
+		if i == 4 {
+			want = 0
+		}
+		if v != want {
+			t.Errorf("result[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMapStealsWork(t *testing.T) {
+	// One deliberately slow item must not serialize the rest behind a
+	// static partition: with 2 workers and item 0 blocked, the other
+	// worker must finish every remaining index.
+	release := make(chan struct{})
+	var others int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = Map(context.Background(), 20, 2, func(i int) (int, error) {
+			if i == 0 {
+				<-release
+				return 0, nil
+			}
+			atomic.AddInt64(&others, 1)
+			return i, nil
+		})
+	}()
+	for atomic.LoadInt64(&others) < 19 {
+		select {
+		case <-done:
+			t.Fatal("Map returned before all items ran")
+		default:
+		}
+	}
+	close(release)
+	<-done
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Errorf("Workers(4,100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8,3) = %d", got)
+	}
+	if got := Workers(0, 1); got != 1 {
+		t.Errorf("Workers(0,1) = %d", got)
+	}
+}
+
 func TestForEachPreCancelledRunsNothing(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,35 @@
+package workloads
+
+// Benchmarks for the sweep execution path: end-to-end pool runs at
+// several worker counts, feeding `make bench` and the regression
+// harness in cmd/bench.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkSweep times the full supervised sweep (the chaos roster at
+// tiny scale) serially, on two shards, and on NumCPU shards. The
+// determinism property test guarantees all three produce byte-identical
+// artifacts; this measures what the sharding buys in wall clock.
+func BenchmarkSweep(b *testing.B) {
+	units := poolUnits(b)
+	for _, w := range []int{1, 2, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outs, err := RunPool(context.Background(), units, PoolOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j := range outs {
+					if outs[j].Err != nil {
+						b.Fatal(outs[j].Err)
+					}
+				}
+			}
+		})
+	}
+}

@@ -88,6 +88,18 @@ type PoolOptions struct {
 	// OnOutcome, when set, observes each unit's outcome as it settles.
 	// It may be called concurrently from worker goroutines.
 	OnOutcome func(Outcome)
+	// Workers bounds the sweep shards executing concurrently; 0 uses
+	// GOMAXPROCS, 1 forces serial execution. Outcomes are always settled
+	// into unit-index order, so reports derived from them are
+	// byte-identical across worker counts.
+	Workers int
+	// ReplayCache shares instrumented-replay results across units that
+	// differ only by trial seed; nil creates a fresh per-pool cache.
+	ReplayCache *ReplayCache
+	// DisableReplayCache forces every unit to replay from scratch — the
+	// pre-optimization baseline the benchmark harness measures against.
+	// Artifacts are byte-identical either way.
+	DisableReplayCache bool
 }
 
 // poolTestHook, when non-nil, runs at the start of every execution
@@ -122,14 +134,21 @@ func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, er
 	if opts.Resume {
 		completed = opts.State.Recovered.Completed()
 	}
+	rc := opts.ReplayCache
+	if rc == nil && !opts.DisableReplayCache {
+		rc = NewReplayCache()
+	}
+	if opts.DisableReplayCache {
+		rc = nil
+	}
 
 	outcomes := make([]Outcome, len(units))
 	for i := range units {
 		outcomes[i].Unit = units[i]
 	}
-	err := par.ForEach(ctx, len(units), func(i int) error {
+	err := par.ForEachN(ctx, len(units), opts.Workers, func(i int) error {
 		o := &outcomes[i]
-		runUnit(ctx, o, completed, opts, maxRestarts)
+		runUnit(ctx, o, completed, opts, maxRestarts, rc)
 		if opts.OnOutcome != nil {
 			opts.OnOutcome(*o)
 		}
@@ -142,7 +161,7 @@ func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, er
 
 // runUnit drives one unit to a settled outcome: resume, or supervised
 // execution with journaling.
-func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Record, opts PoolOptions, maxRestarts int) {
+func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Record, opts PoolOptions, maxRestarts int, rc *ReplayCache) {
 	key := o.Unit.Key()
 
 	// Resume: a journaled completion with a digest-verified artifact
@@ -169,7 +188,7 @@ func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Reco
 	var res *Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = runSupervised(o.Unit, attempt)
+		res, err = runSupervised(o.Unit, attempt, rc)
 		o.Attempts = attempt + 1
 		if err == nil || !restartable(err) || attempt >= maxRestarts || ctx.Err() != nil {
 			break
@@ -232,7 +251,7 @@ func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Reco
 // runSupervised executes one attempt with panic isolation: a panicking
 // worker is converted into a typed, classified error carrying the panic
 // value and stack, so one bad unit can never take down the sweep.
-func runSupervised(u Unit, attempt int) (res *Result, err error) {
+func runSupervised(u Unit, attempt int, rc *ReplayCache) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("workloads: unit %s attempt %d: %w: %v\n%s",
@@ -242,7 +261,7 @@ func runSupervised(u Unit, attempt int) (res *Result, err error) {
 	if hook := poolTestHook; hook != nil {
 		hook(u, attempt)
 	}
-	return RunWithFaults(u.Spec, u.Scale, u.Cfg, u.TrialSeed, u.Faults)
+	return runPipeline(u.Spec, u.Scale, u.Cfg, u.TrialSeed, u.Faults, rc)
 }
 
 // restartable reports whether the supervision budget applies: recovered

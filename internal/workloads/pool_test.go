@@ -14,7 +14,7 @@ import (
 
 // poolUnits builds the tiny-scale sweep the pool tests run: the chaos
 // roster on the default device, one trial, no fault injection.
-func poolUnits(t *testing.T) []Unit {
+func poolUnits(t testing.TB) []Unit {
 	t.Helper()
 	units := make([]Unit, 0, len(chaosApps))
 	for _, name := range chaosApps {
@@ -28,7 +28,7 @@ func poolUnits(t *testing.T) []Unit {
 }
 
 // encodeArtifact marshals with a fatal on error.
-func encodeArtifact(t *testing.T, a *Artifact) []byte {
+func encodeArtifact(t testing.TB, a *Artifact) []byte {
 	t.Helper()
 	data, err := a.Encode()
 	if err != nil {

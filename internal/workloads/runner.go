@@ -105,49 +105,112 @@ func Run(spec *Spec, sc Scale, cfg device.Config, trialSeed int64) (*Result, err
 // fault injection, the kernel watchdog, and the resilience policy for
 // both pipeline phases. A nil fo is identical to Run.
 func RunWithFaults(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *FaultOptions) (*Result, error) {
-	app, err := spec.Build(sc)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: build %s: %w", spec.Name, err)
+	return runPipeline(spec, sc, cfg, trialSeed, fo, nil)
+}
+
+// runPipeline is the pipeline with an optional replay cache: when rc is
+// non-nil, the instrumented-replay phase is satisfied from the cache
+// for every unit after the first that shares this (app, scale, device,
+// fault model) configuration — see ReplayCache for why that is exact.
+func runPipeline(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *FaultOptions, rc *ReplayCache) (*Result, error) {
+	// Step 1: native timed run under CoFluent. jitter == nil records the
+	// unjittered base times for the memoized path.
+	native := func(jitter *device.TimingJitter) (*App, *cofluent.Recording, *cofluent.Tracer, *faults.Injector, error) {
+		app, err := spec.Build(sc)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("workloads: build %s: %w", spec.Name, err)
+		}
+		dev, err := device.New(cfg)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+		}
+		dev.SetJitter(jitter)
+		natInj, err := fo.arm(dev, spec.Name, "native")
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+		}
+		ctx := cl.NewContext(dev)
+		fo.apply(ctx)
+		tr := cofluent.Attach(ctx)
+		if err := app.Run(ctx); err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("workloads: run %s: %w", spec.Name, err)
+		}
+		rec, err := cofluent.Record(spec.Name, tr, app.Programs)
+		if err != nil {
+			return nil, nil, nil, nil, fmt.Errorf("workloads: record %s: %w", spec.Name, err)
+		}
+		return app, rec, tr, natInj, nil
 	}
 
-	// Step 1: native timed run under CoFluent.
-	dev, err := device.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
-	}
-	dev.SetJitter(device.NewTimingJitter(trialSeed, JitterSigma))
-	natInj, err := fo.arm(dev, spec.Name, "native")
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
-	}
-	ctx := cl.NewContext(dev)
-	fo.apply(ctx)
-	tr := cofluent.Attach(ctx)
-	if err := app.Run(ctx); err != nil {
-		return nil, fmt.Errorf("workloads: run %s: %w", spec.Name, err)
-	}
-	rec, err := cofluent.Record(spec.Name, tr, app.Programs)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: record %s: %w", spec.Name, err)
+	var (
+		app    *App
+		rec    *cofluent.Recording
+		tr     *cofluent.Tracer
+		natInj *faults.Injector
+	)
+	if rc != nil && fo == nil {
+		// Memoized native phase: trial seeds perturb only the reported
+		// timings (workloads never read the device timestamp), so one
+		// unjittered execution serves every trial and this trial's times
+		// are synthesized from it — bit-identically to a live jittered
+		// run, which TestPoolReplayCacheByteIdentical enforces. Fault
+		// models stay on the live path: their retries consume jitter
+		// draws the tracer never sees.
+		e, err := rc.doNative(replayKey(spec, sc, cfg, nil), func() (*nativeEntry, error) {
+			app, rec, base, _, err := native(nil)
+			if err != nil {
+				return nil, err
+			}
+			return &nativeEntry{app: app, rec: rec, tracer: base}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		app, rec = e.app, e.rec
+		tr = e.tracer.PerturbTimes(device.NewTimingJitter(trialSeed, JitterSigma))
+	} else {
+		var err error
+		app, rec, tr, natInj, err = native(device.NewTimingJitter(trialSeed, JitterSigma))
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	// Step 2: instrumented replay under GT-Pin.
-	idev, err := device.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	// Step 2: instrumented replay under GT-Pin. The replay device never
+	// gets the trial's timing jitter, so the phase is trial-independent
+	// and memoizable.
+	replay := func() (*gtpin.GTPin, faults.Stats, error) {
+		idev, err := device.New(cfg)
+		if err != nil {
+			return nil, faults.Stats{}, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+		}
+		repInj, err := fo.arm(idev, spec.Name, "replay")
+		if err != nil {
+			return nil, faults.Stats{}, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+		}
+		var g *gtpin.GTPin
+		if _, err := rec.Replay(idev, func(rctx *cl.Context) error {
+			fo.apply(rctx)
+			var aerr error
+			g, aerr = gtpin.Attach(rctx, gtpin.Options{})
+			return aerr
+		}); err != nil {
+			return nil, faults.Stats{}, fmt.Errorf("workloads: instrumented replay of %s: %w", spec.Name, err)
+		}
+		return g, repInj.Stats(), nil
 	}
-	repInj, err := fo.arm(idev, spec.Name, "replay")
-	if err != nil {
-		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	var (
+		g   *gtpin.GTPin
+		rst faults.Stats
+		err error
+	)
+	if rc != nil {
+		g, rst, err = rc.do(replayKey(spec, sc, cfg, fo), replay)
+	} else {
+		g, rst, err = replay()
 	}
-	var g *gtpin.GTPin
-	if _, err := rec.Replay(idev, func(rctx *cl.Context) error {
-		fo.apply(rctx)
-		var aerr error
-		g, aerr = gtpin.Attach(rctx, gtpin.Options{})
-		return aerr
-	}); err != nil {
-		return nil, fmt.Errorf("workloads: instrumented replay of %s: %w", spec.Name, err)
+	if err != nil {
+		return nil, err
 	}
 
 	// Step 3: join counts and timings.
@@ -156,7 +219,6 @@ func RunWithFaults(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo 
 		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
 	}
 	st := natInj.Stats()
-	rst := repInj.Stats()
 	st.Hangs += rst.Hangs
 	st.SendFaults += rst.SendFaults
 	st.JITFaults += rst.JITFaults

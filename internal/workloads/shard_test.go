@@ -1,0 +1,90 @@
+package workloads
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestPoolByteIdenticalAcrossWorkerCounts is the sharding determinism
+// property: the same sweep executed serially, on two shards, and on
+// NumCPU shards settles into byte-identical artifacts in unit order —
+// the invariant that makes every report derived from a sharded run
+// identical to a serial one.
+func TestPoolByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	units := poolUnits(t)
+	runAt := func(workers int) [][]byte {
+		t.Helper()
+		outs, err := RunPool(context.Background(), units, PoolOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := make([][]byte, len(outs))
+		for i, o := range outs {
+			if o.Err != nil || o.Artifact == nil {
+				t.Fatalf("workers=%d unit %s: %v", workers, units[i].Spec.Name, o.Err)
+			}
+			enc[i] = encodeArtifact(t, o.Artifact)
+		}
+		return enc
+	}
+
+	serial := runAt(1)
+	for _, w := range []int{2, runtime.NumCPU()} {
+		sharded := runAt(w)
+		for i := range serial {
+			if !bytes.Equal(serial[i], sharded[i]) {
+				t.Errorf("workers=%d: unit %s artifact differs from serial run", w, units[i].Spec.Name)
+			}
+		}
+	}
+}
+
+// TestPoolReplayCacheByteIdentical is the caching determinism property:
+// a multi-trial sweep satisfied from the replay cache (one native
+// execution plus synthesized per-trial timings, one shared instrumented
+// replay) must produce artifacts byte-identical to a sweep where every
+// unit executes both phases from scratch. This is what licenses the
+// memoization in runPipeline — trial seeds must never influence
+// anything but the reported timings.
+func TestPoolReplayCacheByteIdentical(t *testing.T) {
+	var units []Unit
+	for trial := int64(1); trial <= 3; trial++ {
+		for _, u := range poolUnits(t) {
+			u.TrialSeed = trial
+			units = append(units, u)
+		}
+	}
+	runWith := func(opts PoolOptions) [][]byte {
+		t.Helper()
+		outs, err := RunPool(context.Background(), units, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := make([][]byte, len(outs))
+		for i, o := range outs {
+			if o.Err != nil || o.Artifact == nil {
+				t.Fatalf("unit %s: %v", units[i].Key(), o.Err)
+			}
+			enc[i] = encodeArtifact(t, o.Artifact)
+		}
+		return enc
+	}
+
+	rc := NewReplayCache()
+	cached := runWith(PoolOptions{Workers: 1, ReplayCache: rc})
+	uncached := runWith(PoolOptions{Workers: 1, DisableReplayCache: true})
+	for i := range uncached {
+		if !bytes.Equal(uncached[i], cached[i]) {
+			t.Errorf("unit %s: cached artifact differs from uncached run", units[i].Key())
+		}
+	}
+	st := rc.Stats()
+	if st.Hits == 0 || st.NativeHits == 0 {
+		t.Errorf("cache never hit across trials: %+v", st)
+	}
+	if st.Misses != uint64(len(units))/3 || st.NativeMisses != uint64(len(units))/3 {
+		t.Errorf("expected one miss per app, got %+v", st)
+	}
+}
