@@ -40,23 +40,33 @@ check: vet build race crash smoke
 
 # bench runs the Go benchmark suites (instrumentation rewrite,
 # interpreters, end-to-end sweep) and then the benchmark-regression
-# harness: a multi-trial characterization sweep timed twice — the
-# pre-optimization baseline (serial, all caches off) against the
-# cached, sharded hot path — verified byte-identical and recorded in
-# BENCH_sweep.json. The harness fails below 2x wall-clock speedup.
+# harness: a multi-trial characterization sweep timed three ways — the
+# pre-optimization baseline (serial, all caches off), the cached,
+# sharded hot path, and the hot path again with the obs span tracer
+# installed — all verified byte-identical and recorded in
+# BENCH_sweep.json. The harness fails below 2x wall-clock speedup or
+# above 5% observability overhead.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -max-obs-overhead 1.05 -out BENCH_sweep.json
 
 # bench-smoke is the CI shape of bench: the edge-case regression tests
-# under -race, one-iteration benchmark runs (compile + execute checks),
-# and the regression harness without the speedup gate (shared CI boxes
-# make wall-clock ratios too noisy to fail a build on).
+# and the observability layer under -race, one-iteration benchmark runs
+# (compile + execute checks), the regression harness without the
+# wall-clock gates (shared CI boxes make those ratios too noisy to fail
+# a build on), and a tiny traced sweep whose -trace/-metrics artifacts
+# are schema-validated by cmd/obscheck.
 bench-smoke:
-	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads
+	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache|Speedup' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads ./cmd/bench
+	$(GO) test -race ./internal/obs/...
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
 	$(GO) run ./cmd/bench -scale tiny -trials 3 -out BENCH_sweep.json
+	rm -rf .obs-smoke
+	mkdir -p .obs-smoke
+	$(GO) run ./cmd/characterize -scale tiny -fig 3c -trace .obs-smoke/trace.json -metrics .obs-smoke/metrics.json > .obs-smoke/run.out 2> .obs-smoke/run.err
+	$(GO) run ./cmd/obscheck -trace .obs-smoke/trace.json -metrics .obs-smoke/metrics.json
+	rm -rf .obs-smoke
 
 clean:
 	$(GO) clean ./...
-	rm -rf .smoke
+	rm -rf .smoke .obs-smoke

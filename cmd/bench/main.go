@@ -1,10 +1,13 @@
 // Command bench is the benchmark-regression harness for the profiling
-// hot path: it runs one characterization sweep twice — first the
-// pre-optimization baseline (serial, rewrite cache disabled), then the
+// hot path: it runs one characterization sweep three times — the
+// pre-optimization baseline (serial, rewrite cache disabled), the
 // optimized path (sharded across -workers with the content-addressed
-// rewrite cache) — verifies the two runs settle into byte-identical
-// artifacts, and records the wall-clock comparison in a JSON report
-// written atomically so CI can trend it across commits.
+// rewrite cache), and an observed run (optimized options with the obs
+// tracer installed) — verifies all runs settle into byte-identical
+// artifacts, and records the wall-clock comparisons in a JSON report
+// written atomically so CI can trend it across commits. The observed
+// run is what enforces the observability layer's two invariants:
+// artifacts unchanged, wall-clock overhead bounded by -max-obs-overhead.
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 
 	"gtpin/internal/device"
 	"gtpin/internal/gtpin"
+	"gtpin/internal/obs"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/runstate"
 	"gtpin/internal/workloads"
 )
@@ -40,6 +45,24 @@ type report struct {
 	ReplayMisses  uint64  `json:"replay_cache_misses"`
 	NativeHits    uint64  `json:"native_cache_hits"`
 	NativeMisses  uint64  `json:"native_cache_misses"`
+
+	// Observed run: the optimized configuration with the span tracer
+	// installed. ObsOverhead is observed/optimized wall time; trace
+	// events count what the tracer captured.
+	ObservedNs       int64   `json:"observed_ns"`
+	ObsOverhead      float64 `json:"obs_overhead"`
+	ObsByteIdentical bool    `json:"obs_byte_identical"`
+	TraceEvents      int     `json:"trace_events"`
+}
+
+// speedup computes base/other, refusing degenerate timings: a zero or
+// negative denominator yields +Inf (or NaN), which compares greater
+// than any -min-speedup threshold and would silently pass the gate.
+func speedup(base, other time.Duration) (float64, error) {
+	if base <= 0 || other <= 0 {
+		return 0, fmt.Errorf("degenerate sweep timings (%v vs %v); refusing to compute a ratio", base, other)
+	}
+	return float64(base) / float64(other), nil
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -94,18 +117,29 @@ func sweep(ctx context.Context, units []workloads.Unit, opts workloads.PoolOptio
 	return elapsed, enc, nil
 }
 
-func run() error {
+func run() (retErr error) {
 	scale := flag.String("scale", "tiny", "workload scale: full, small, or tiny")
 	workers := flag.Int("workers", 0, "shard count for the optimized run (0 = GOMAXPROCS)")
 	trials := flag.Int("trials", 3, "trial seeds per workload (re-instrumentation pressure)")
 	out := flag.String("out", "BENCH_sweep.json", "report path (written atomically)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless optimized/baseline speedup reaches this factor")
+	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if the traced run exceeds this multiple of the optimized wall time (0 = report only)")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return err
 	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -147,6 +181,8 @@ func run() error {
 		identical = bytes.Equal(baseArt[i], optArt[i])
 	}
 
+	// Cache counters snapshot now, before the observed sweep adds its own
+	// traffic to the process-wide rewrite cache.
 	rep := report{
 		Scale:         sc.Name,
 		Trials:        *trials,
@@ -155,8 +191,11 @@ func run() error {
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		BaselineNs:    baseNs.Nanoseconds(),
 		OptimizedNs:   optNs.Nanoseconds(),
-		Speedup:       float64(baseNs) / float64(optNs),
 		ByteIdentical: identical,
+	}
+	rep.Speedup, err = speedup(baseNs, optNs)
+	if err != nil {
+		return err
 	}
 	if rc := gtpin.DefaultRewriteCache(); rc != nil {
 		st := rc.Stats()
@@ -165,6 +204,32 @@ func run() error {
 	rst := replays.Stats()
 	rep.ReplayHits, rep.ReplayMisses = rst.Hits, rst.Misses
 	rep.NativeHits, rep.NativeMisses = rst.NativeHits, rst.NativeMisses
+
+	// Observed: the optimized configuration again, with the span tracer
+	// installed — the run that proves observation changes neither the
+	// artifact bytes nor (within -max-obs-overhead) the wall clock.
+	gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
+	prevTracer := obs.ActiveTracer()
+	tracer := obs.NewTracer()
+	obs.SetTracer(tracer)
+	obsNs, obsArt, err := sweep(ctx, units, workloads.PoolOptions{
+		Workers: w, ReplayCache: workloads.NewReplayCache(),
+	})
+	obs.SetTracer(prevTracer)
+	if err != nil {
+		return fmt.Errorf("observed sweep: %w", err)
+	}
+	obsIdentical := len(baseArt) == len(obsArt)
+	for i := 0; obsIdentical && i < len(baseArt); i++ {
+		obsIdentical = bytes.Equal(baseArt[i], obsArt[i])
+	}
+	rep.ObservedNs = obsNs.Nanoseconds()
+	rep.ObsByteIdentical = obsIdentical
+	rep.TraceEvents = tracer.Len()
+	rep.ObsOverhead, err = speedup(obsNs, optNs)
+	if err != nil {
+		return err
+	}
 
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -176,12 +241,23 @@ func run() error {
 	fmt.Printf("bench: %d units @ %s, %d workers: baseline %v, optimized %v (%.2fx), byte-identical=%v -> %s\n",
 		rep.Units, rep.Scale, rep.Workers, baseNs.Round(time.Millisecond),
 		optNs.Round(time.Millisecond), rep.Speedup, identical, *out)
+	fmt.Printf("bench: observed (traced) %v, overhead %.3fx, %d trace events, byte-identical=%v\n",
+		obsNs.Round(time.Millisecond), rep.ObsOverhead, rep.TraceEvents, obsIdentical)
 
 	if !identical {
 		return fmt.Errorf("optimized sweep artifacts diverge from the serial baseline")
 	}
+	if !obsIdentical {
+		return fmt.Errorf("observed (traced) sweep artifacts diverge from the serial baseline")
+	}
+	if rep.TraceEvents == 0 {
+		return fmt.Errorf("observed sweep recorded no trace events; tracer not wired through the pipeline")
+	}
 	if *minSpeedup > 0 && rep.Speedup < *minSpeedup {
 		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, *minSpeedup)
+	}
+	if *maxObsOverhead > 0 && rep.ObsOverhead > *maxObsOverhead {
+		return fmt.Errorf("observability overhead %.3fx above allowed %.3fx", rep.ObsOverhead, *maxObsOverhead)
 	}
 	return nil
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Regression test for the -min-speedup gate: a degenerate (zero or
+// negative) optimized duration used to produce +Inf, which compares
+// greater than any threshold and silently passed the gate.
+func TestSpeedupRejectsDegenerateTimings(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		base, opt time.Duration
+	}{
+		{"zero optimized", time.Second, 0},
+		{"negative optimized", time.Second, -time.Millisecond},
+		{"zero baseline", 0, time.Second},
+		{"both zero", 0, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := speedup(tc.base, tc.opt)
+			if err == nil {
+				t.Fatalf("speedup(%v, %v) = %v, want error", tc.base, tc.opt, s)
+			}
+			if s != 0 {
+				t.Fatalf("speedup(%v, %v) returned %v with error; want 0", tc.base, tc.opt, s)
+			}
+		})
+	}
+}
+
+func TestSpeedupComputesRatio(t *testing.T) {
+	s, err := speedup(4*time.Second, 2*time.Second)
+	if err != nil {
+		t.Fatalf("speedup: %v", err)
+	}
+	if math.Abs(s-2.0) > 1e-12 {
+		t.Fatalf("speedup = %v, want 2.0", s)
+	}
+	if math.IsInf(s, 0) || math.IsNaN(s) {
+		t.Fatalf("speedup = %v, want finite", s)
+	}
+}

@@ -32,11 +32,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
 	"gtpin/internal/isa"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/profile"
 	"gtpin/internal/report"
 	"gtpin/internal/runstate"
@@ -44,7 +46,17 @@ import (
 	"gtpin/internal/workloads"
 )
 
+// main delegates to run so that every error path unwinds through the
+// deferred cleanups (journal close, signal stop, observability export)
+// instead of os.Exit skipping them.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -57,23 +69,24 @@ func main() {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each unit and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed units, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	specs := workloads.All()
 	if *appFlag != "" {
 		spec, err := workloads.ByName(*appFlag)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		specs = []*workloads.Spec{spec}
 	}
 	if *faultRate < 0 || *faultRate > 1 {
-		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+		return fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate)
 	}
 	var fo *workloads.FaultOptions
 	if *faultRate > 0 || *watchdog > 0 {
@@ -86,10 +99,23 @@ func main() {
 
 	state, err := runstate.OpenSweep(*stateDir, *resume, "characterize", os.Stderr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if state != nil {
 		defer state.Close()
+	}
+
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if *stateDir != "" {
+		obsSess.SetDefaultMetricsPath(filepath.Join(*stateDir, "metrics.json"))
 	}
 
 	if show(*figFlag, "table1") {
@@ -108,7 +134,7 @@ func main() {
 	})
 	if perr != nil {
 		if !errors.Is(perr, context.Canceled) {
-			fatal(perr)
+			return perr
 		}
 		fmt.Fprintln(os.Stderr, "characterize: interrupted; reporting completed applications")
 		if state != nil {
@@ -130,7 +156,7 @@ func main() {
 		case o.Artifact != nil:
 			p, err := o.Artifact.Profile()
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			rows = append(rows, row{spec: specs[i], art: o.Artifact, prof: p})
 		}
@@ -155,7 +181,7 @@ func main() {
 		t.Write(os.Stdout)
 	}
 	if len(rows) == 0 {
-		fatal(fmt.Errorf("all %d applications failed", len(outs)))
+		return fmt.Errorf("all %d applications failed", len(outs))
 	}
 
 	if show(*figFlag, "3a") {
@@ -262,6 +288,7 @@ func main() {
 		t.Row("AVERAGE", report.HumanBytes(stats.Mean(rd)), report.HumanBytes(stats.Mean(wr)), "")
 		t.Write(os.Stdout)
 	}
+	return nil
 }
 
 // progressLine reports one settled unit on stderr.
@@ -304,8 +331,3 @@ func parseScale(s string) (workloads.Scale, error) {
 }
 
 func show(figFlag, name string) bool { return figFlag == "all" || figFlag == name }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "characterize:", err)
-	os.Exit(1)
-}

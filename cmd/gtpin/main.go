@@ -26,13 +26,23 @@ import (
 	"gtpin/internal/export"
 	"gtpin/internal/gtpin"
 	"gtpin/internal/isa"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/profile"
 	"gtpin/internal/report"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
 )
 
+// main delegates to run so error exits unwind through deferred cleanup
+// (observability export) instead of os.Exit skipping it.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gtpin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	appFlag := flag.String("app", "", "benchmark to profile (required; see -list)")
 	listFlag := flag.Bool("list", false, "list available benchmarks")
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
@@ -44,20 +54,30 @@ func main() {
 	recordPath := flag.String("record", "", "save a CoFluent recording of the run to this file")
 	replayPath := flag.String("replay", "", "profile a saved recording instead of running a benchmark")
 	noCache := flag.Bool("no-cache", false, "disable the rewrite cache: instrument every binary from scratch")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *listFlag {
 		for _, s := range workloads.All() {
 			fmt.Printf("%-28s %s\n", s.Name, s.Suite)
 		}
-		return
+		return nil
 	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	if *appFlag == "" && *replayPath == "" {
-		fatal(fmt.Errorf("-app or -replay is required (use -list to see benchmarks)"))
+		return fmt.Errorf("-app or -replay is required (use -list to see benchmarks)")
 	}
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var opts gtpin.Options
 	opts.DisableCache = *noCache
@@ -71,12 +91,12 @@ func main() {
 		opts.MemTrace = true
 		opts.Latency = true
 	default:
-		fatal(fmt.Errorf("unknown tools %q", *toolsFlag))
+		return fmt.Errorf("unknown tools %q", *toolsFlag)
 	}
 
 	dev, err := device.New(device.IvyBridgeHD4000())
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var (
 		g    *gtpin.GTPin
@@ -86,7 +106,7 @@ func main() {
 	if *replayPath != "" {
 		rec, err := cofluent.LoadFile(*replayPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		name = rec.App
 		tr, err = rec.Replay(dev, func(rctx *cl.Context) error {
@@ -95,34 +115,34 @@ func main() {
 			return aerr
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
 		spec, err := workloads.ByName(*appFlag)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		name = spec.Name
 		app, err := spec.Build(sc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ctx := cl.NewContext(dev)
 		g, err = gtpin.Attach(ctx, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		tr = cofluent.Attach(ctx)
 		if err := app.Run(ctx); err != nil {
-			fatal(err)
+			return err
 		}
 		if *recordPath != "" {
 			rec, err := cofluent.Record(spec.Name, tr, app.Programs)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			if err := rec.SaveFile(*recordPath); err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Fprintf(os.Stderr, "recording saved to %s\n", *recordPath)
 		}
@@ -213,10 +233,10 @@ func main() {
 	if *jsonOut != "" {
 		p, err := profile.Build(name, g, tr.TimesNs())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := export.ProfileJSONFile(*jsonOut, p); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("profile summary written to %s\n", *jsonOut)
 	}
@@ -248,6 +268,7 @@ func main() {
 		fmt.Printf("Memory latency: %.1f cycles mean, %.1f median across %d site samples\n",
 			stats.Mean(lat), stats.Median(lat), len(lat))
 	}
+	return nil
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -260,9 +281,4 @@ func parseScale(s string) (workloads.Scale, error) {
 		return workloads.ScaleTiny, nil
 	}
 	return workloads.Scale{}, fmt.Errorf("unknown scale %q (want full, small, or tiny)", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gtpin:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,56 @@
+// Command obscheck validates observability artifacts against their
+// schemas: a Chrome trace-event JSON written by -trace and/or a
+// metrics.json snapshot written by -metrics. CI's bench-smoke target
+// runs it on the artifacts of a tiny traced sweep, so a schema
+// regression fails the build instead of producing files chrome://tracing
+// or a dashboard cannot load.
+//
+// Usage:
+//
+//	obscheck [-trace trace.json] [-metrics metrics.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gtpin/internal/obs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obscheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON artifact to validate")
+	metricsPath := flag.String("metrics", "", "metrics.json artifact to validate")
+	flag.Parse()
+	if *tracePath == "" && *metricsPath == "" {
+		return fmt.Errorf("nothing to check: pass -trace and/or -metrics")
+	}
+	if *tracePath != "" {
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateTrace(data); err != nil {
+			return err
+		}
+		fmt.Printf("obscheck: %s: valid %s artifact (%d bytes)\n", *tracePath, obs.TraceSchema, len(data))
+	}
+	if *metricsPath != "" {
+		data, err := os.ReadFile(*metricsPath)
+		if err != nil {
+			return err
+		}
+		if err := obs.ValidateMetrics(data); err != nil {
+			return err
+		}
+		fmt.Printf("obscheck: %s: valid %s artifact (%d bytes)\n", *metricsPath, obs.MetricsSchema, len(data))
+	}
+	return nil
+}

@@ -38,12 +38,22 @@ import (
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
 	"gtpin/internal/gtpin"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/report"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
 )
 
+// main delegates to run so error exits unwind through deferred cleanup
+// (observability export) instead of os.Exit skipping it.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "overhead:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
 	appsFlag := flag.Int("apps", 6, "number of applications to measure (0 = all 25)")
 	detailedFlag := flag.Bool("detailed", true, "also run full detailed simulation")
@@ -51,17 +61,27 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	noCache := flag.Bool("no-cache", false, "disable the rewrite cache so every phase pays full instrumentation cost")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 	if *noCache {
 		gtpin.SetDefaultRewriteCache(nil)
 	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *faultRate < 0 || *faultRate > 1 {
-		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+		return fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate)
 	}
 	var fo *workloads.FaultOptions
 	if *faultRate > 0 || *watchdog > 0 {
@@ -82,38 +102,38 @@ func main() {
 	for _, spec := range specs {
 		app, err := spec.Build(sc)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 
 		// Native run (uninstrumented), recorded for replays.
 		dev, err := device.New(device.IvyBridgeHD4000())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := fo.Arm(dev, spec.Name, "native"); err != nil {
-			fatal(err)
+			return err
 		}
 		ctx := cl.NewContext(dev)
 		fo.Apply(ctx)
 		tr := cofluent.Attach(ctx)
 		t0 := time.Now()
 		if err := app.Run(ctx); err != nil {
-			fatal(err)
+			return err
 		}
 		nativeMs := ms(time.Since(t0))
 		rec, err := cofluent.Record(spec.Name, tr, app.Programs)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		nativeInstrs := deviceInstrs(tr)
 
 		// GT-Pin instrumented replay.
 		idev, err := device.New(device.IvyBridgeHD4000())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := fo.Arm(idev, spec.Name, "replay"); err != nil {
-			fatal(err)
+			return err
 		}
 		t1 := time.Now()
 		var g *gtpin.GTPin
@@ -124,7 +144,7 @@ func main() {
 			return aerr
 		})
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		pinMs := ms(time.Since(t1))
 		instrX := float64(deviceInstrs(itr)) / float64(nativeInstrs)
@@ -134,10 +154,10 @@ func main() {
 		// profiling) — the top of the paper's 2-10X overhead band.
 		hdev, err := device.New(device.IvyBridgeHD4000())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if _, err := fo.Arm(hdev, spec.Name, "heavy"); err != nil {
-			fatal(err)
+			return err
 		}
 		t1h := time.Now()
 		if _, err := rec.Replay(hdev, func(rctx *cl.Context) error {
@@ -145,7 +165,7 @@ func main() {
 			_, aerr := gtpin.Attach(rctx, gtpin.Options{MemTrace: true, Latency: true})
 			return aerr
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 		pinHeavyMs := ms(time.Since(t1h))
 
@@ -153,11 +173,11 @@ func main() {
 		if *detailedFlag {
 			sim, err := detsim.New(detsim.DefaultConfig())
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			t2 := time.Now()
 			if _, err := sim.Run(rec, []detsim.Range{{From: 0, To: len(tr.Timings())}}); err != nil {
-				fatal(err)
+				return err
 			}
 			detMs = ms(time.Since(t2))
 		}
@@ -190,6 +210,7 @@ func main() {
 			stats.Mean(detX), stats.Mean(gpuX))
 	}
 	fmt.Println()
+	return nil
 }
 
 // deviceInstrs sums the dynamic instructions the device executed across
@@ -214,9 +235,4 @@ func parseScale(s string) (workloads.Scale, error) {
 		return workloads.ScaleTiny, nil
 	}
 	return workloads.Scale{}, fmt.Errorf("unknown scale %q (want full, small, or tiny)", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "overhead:", err)
-	os.Exit(1)
 }

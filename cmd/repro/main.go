@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
 	"gtpin/internal/intervals"
 	"gtpin/internal/isa"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/par"
 	"gtpin/internal/profile"
 	"gtpin/internal/report"
@@ -46,7 +48,17 @@ type check struct {
 	ok       bool
 }
 
+// main delegates to run so error exits unwind through deferred cleanup
+// (journal close, signal handler release, observability export) instead
+// of os.Exit skipping it.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -55,21 +67,34 @@ func main() {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles and recordings atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := selection.Options{ApproxTarget: workloads.ApproxTarget(sc), Seed: 42}
 	base := device.IvyBridgeHD4000()
 
 	state, err := runstate.OpenSweep(*stateDir, *resume, "repro", os.Stderr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if state != nil {
 		defer state.Close()
+	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if *stateDir != "" {
+		obsSess.SetDefaultMetricsPath(filepath.Join(*stateDir, "metrics.json"))
 	}
 
 	var checks []check
@@ -114,22 +139,22 @@ func main() {
 		if state != nil {
 			fmt.Fprintf(os.Stderr, "repro: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)
 		}
-		fatal(perr)
+		return perr
 	}
 	apps := make([]appRun, len(specs))
 	for i, o := range outs {
 		if o.Err != nil {
 			// The reproduction needs every application; a journaled run
 			// can be continued after the failure is addressed.
-			fatal(fmt.Errorf("%s: %w", specs[i].Name, o.Err))
+			return fmt.Errorf("%s: %w", specs[i].Name, o.Err)
 		}
 		prof, err := o.Artifact.Profile()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		evals, err := selection.EvaluateAll(prof, opts)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		apps[i] = appRun{spec: specs[i], art: o.Artifact, prof: prof, evals: evals, recording: recordingSource(o, state)}
 	}
@@ -177,7 +202,7 @@ func main() {
 		for _, a := range apps {
 			ivs, err := intervals.Divide(a.prof, s, opts.ApproxTarget)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			counts = append(counts, float64(len(ivs)))
 		}
@@ -241,7 +266,7 @@ func main() {
 
 	// ---- Figure 8: validations. ----
 	if !*skipValidate {
-		crossErrs := func(cfg device.Config, seed int64) []float64 {
+		crossErrs := func(cfg device.Config, seed int64) ([]float64, error) {
 			out := make([]float64, len(apps))
 			if err := par.ForEachN(ctx, len(apps), *workers, func(i int) error {
 				best := selection.MinError(apps[i].evals)
@@ -260,12 +285,15 @@ func main() {
 				out[i] = e
 				return nil
 			}); err != nil {
-				fatal(err)
+				return nil, err
 			}
-			return out
+			return out, nil
 		}
 		fmt.Fprintln(os.Stderr, "validating trials / frequencies / Haswell ...")
-		trial := crossErrs(base, 2)
+		trial, err := crossErrs(base, 2)
+		if err != nil {
+			return err
+		}
 		under3 := 0
 		for _, e := range trial {
 			if e < 3 {
@@ -273,7 +301,10 @@ func main() {
 			}
 		}
 		add("Fig 8: cross-trial errors below 3%", "most", fmt.Sprintf("%d/25", under3), under3 >= 20)
-		freq := crossErrs(base.WithFrequency(350), 1)
+		freq, err := crossErrs(base.WithFrequency(350), 1)
+		if err != nil {
+			return err
+		}
 		under3 = 0
 		for _, e := range freq {
 			if e < 3 {
@@ -281,7 +312,10 @@ func main() {
 			}
 		}
 		add("Fig 8: 350MHz errors below 3%", "most", fmt.Sprintf("%d/25", under3), under3 >= 20)
-		hsw := crossErrs(device.HaswellHD4600(), 1)
+		hsw, err := crossErrs(device.HaswellHD4600(), 1)
+		if err != nil {
+			return err
+		}
 		under3 = 0
 		for _, e := range hsw {
 			if e < 3 {
@@ -292,11 +326,11 @@ func main() {
 
 		ivb, err := workloads.LuxMarkScore(base)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		hswScore, err := workloads.LuxMarkScore(device.HaswellHD4600())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		ratio := hswScore / ivb
 		add("Fig 8: LuxMark HD4600/HD4000 ratio", "1.30x (351/269)",
@@ -319,8 +353,9 @@ func main() {
 	t.Write(os.Stdout)
 	fmt.Printf("%d/%d checks in band\n", passed, len(checks))
 	if passed < len(checks) {
-		os.Exit(1)
+		return fmt.Errorf("%d of %d checks out of band", len(checks)-passed, len(checks))
 	}
+	return nil
 }
 
 // recordingSource returns the replay-validation recording for one
@@ -359,9 +394,4 @@ func parseScale(s string) (workloads.Scale, error) {
 		return workloads.ScaleTiny, nil
 	}
 	return workloads.Scale{}, fmt.Errorf("unknown scale %q (want full, small, or tiny)", s)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "repro:", err)
-	os.Exit(1)
 }

@@ -31,6 +31,7 @@ import (
 	"gtpin/internal/export"
 	"gtpin/internal/features"
 	"gtpin/internal/intervals"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/par"
 	"gtpin/internal/profile"
 	"gtpin/internal/report"
@@ -43,7 +44,17 @@ import (
 // fig5Apps are the three sample applications shown in Figure 5.
 var fig5Apps = []string{"cb-physics-ocean-surf", "sandra-crypt-aes128", "sonyvegas-proj-r3"}
 
+// main delegates to run so error exits unwind through deferred cleanup
+// (journal close, signal handler release, observability export) instead
+// of os.Exit skipping it.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "subsets:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -53,20 +64,33 @@ func main() {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	opts := selection.Options{ApproxTarget: workloads.ApproxTarget(sc), Seed: 42}
 
 	state, err := runstate.OpenSweep(*stateDir, *resume, "subsets", os.Stderr)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if state != nil {
 		defer state.Close()
+	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
+	if *stateDir != "" {
+		obsSess.SetDefaultMetricsPath(filepath.Join(*stateDir, "metrics.json"))
 	}
 
 	if show(*figFlag, "table3") {
@@ -103,24 +127,26 @@ func main() {
 		if state != nil {
 			fmt.Fprintf(os.Stderr, "subsets: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)
 		}
-		fatal(perr)
+		return perr
 	}
 	profiles := make(map[string]*profile.Profile)
 	var order []string
 	for i, o := range outs {
 		if o.Err != nil {
-			fatal(fmt.Errorf("%s: %w", specs[i].Name, o.Err))
+			return fmt.Errorf("%s: %w", specs[i].Name, o.Err)
 		}
 		p, err := o.Artifact.Profile()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		profiles[specs[i].Name] = p
 		order = append(order, specs[i].Name)
 	}
 
 	if show(*figFlag, "table2") {
-		printTableII(order, profiles, opts)
+		if err := printTableII(order, profiles, opts); err != nil {
+			return err
+		}
 	}
 
 	// The 30-combination evaluation per application.
@@ -137,7 +163,7 @@ func main() {
 			all[i] = evs
 			return nil
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 		for i, name := range order {
 			evals[name] = all[i]
@@ -146,7 +172,7 @@ func main() {
 
 	if *csvDir != "" && needEvals {
 		if err := writeCSVs(*csvDir, order, evals); err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
@@ -162,9 +188,10 @@ func main() {
 	if show(*figFlag, "7") {
 		printFig7(order, evals)
 	}
+	return nil
 }
 
-func printTableII(order []string, profiles map[string]*profile.Profile, opts selection.Options) {
+func printTableII(order []string, profiles map[string]*profile.Profile, opts selection.Options) error {
 	report.Section(os.Stdout, "Table II: the program interval space (intervals per program)")
 	t := report.NewTable("", "Interval Bound", "Relative Size", "Min", "Avg", "Max")
 	sizes := map[intervals.Scheme]string{
@@ -175,13 +202,14 @@ func printTableII(order []string, profiles map[string]*profile.Profile, opts sel
 		for _, name := range order {
 			ivs, err := intervals.Divide(profiles[name], s, opts.ApproxTarget)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			counts = append(counts, float64(len(ivs)))
 		}
 		t.Row(s.String(), sizes[s], stats.Min(counts), stats.Mean(counts), stats.Max(counts))
 	}
 	t.Write(os.Stdout)
+	return nil
 }
 
 func printTableIII() {
@@ -344,8 +372,3 @@ func parseScale(s string) (workloads.Scale, error) {
 }
 
 func show(figFlag, name string) bool { return figFlag == "all" || figFlag == name }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "subsets:", err)
-	os.Exit(1)
-}

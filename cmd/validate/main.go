@@ -32,6 +32,7 @@ import (
 
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
+	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/par"
 	"gtpin/internal/report"
 	"gtpin/internal/selection"
@@ -41,7 +42,17 @@ import (
 
 var freqsMHz = []int{1000, 850, 700, 550, 350}
 
+// main delegates to run so error exits unwind through deferred cleanup
+// (signal handler release, observability export) instead of os.Exit
+// skipping it.
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "validate:", err)
+		os.Exit(1)
+	}
+}
+
+func run() (retErr error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -52,14 +63,24 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent validation shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
-		fatal(err)
+		return err
 	}
+	obsSess, err := obsflag.Start(obsFlags)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := obsSess.Close(); cerr != nil && retErr == nil {
+			retErr = cerr
+		}
+	}()
 	if *faultRate < 0 || *faultRate > 1 {
-		fatal(fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate))
+		return fmt.Errorf("-fault-rate %v outside [0,1]", *faultRate)
 	}
 	var fo *workloads.FaultOptions
 	if *faultRate > 0 || *watchdog > 0 {
@@ -92,7 +113,7 @@ func main() {
 		apps[i] = appState{spec: specs[i], res: res, best: selection.MinError(evals)}
 		return nil
 	}); err != nil {
-		fatal(err)
+		return err
 	}
 
 	crossErr := func(a appState, cfg device.Config, seed int64) (float64, error) {
@@ -122,7 +143,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "trials done for %-28s\n", apps[i].spec.Name)
 			return nil
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 		var all []float64
 		under3, total := 0, 0
@@ -160,7 +181,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "frequencies done for %-28s\n", apps[i].spec.Name)
 			return nil
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 		var all []float64
 		under3, total := 0, 0
@@ -186,11 +207,11 @@ func main() {
 		// comparing LuxMark scores (HD4000: 269, HD4600: 351).
 		ivb, err := workloads.LuxMarkScore(device.IvyBridgeHD4000())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		hswScore, err := workloads.LuxMarkScore(device.HaswellHD4600())
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("\nLuxMark-style scores: HD4000 %.0f, HD4600 %.0f (%.2fx; paper: 269 vs 351, 1.30x)\n",
 			ivb, hswScore, hswScore/ivb)
@@ -207,7 +228,7 @@ func main() {
 			errsArch[i] = e
 			return nil
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 		var all []float64
 		under3 := 0
@@ -223,6 +244,7 @@ func main() {
 		fmt.Printf("Cross-architecture: mean %.2f%%, max %.2f%%, %d/%d below 3%% (paper: most below 3%%, worst gaussian-image ~11%%)\n",
 			stats.Mean(all), stats.Max(all), under3, len(apps))
 	}
+	return nil
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -238,8 +260,3 @@ func parseScale(s string) (workloads.Scale, error) {
 }
 
 func show(partFlag, name string) bool { return partFlag == "all" || partFlag == name }
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "validate:", err)
-	os.Exit(1)
-}

@@ -75,6 +75,7 @@ func (ctx *Context) emit(call *APICall) {
 	call.Seq = ctx.seq
 	ctx.seq++
 	call.Kind = KindOf(call.Name)
+	observeAPICall(call.Kind)
 	for _, i := range ctx.interceptors {
 		i.OnAPICall(call)
 	}

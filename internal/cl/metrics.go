@@ -1,0 +1,33 @@
+package cl
+
+// Observability: API-call traffic by Figure-3a kind, completions, and
+// the resilience policy's retry/degradation activity. All counters, all
+// at API-call granularity.
+
+import "gtpin/internal/obs"
+
+var (
+	mCallsKernel = obs.DefaultCounter("cl_api_calls_kernel_total",
+		"EnqueueNDRangeKernel API calls emitted")
+	mCallsSync = obs.DefaultCounter("cl_api_calls_sync_total",
+		"synchronization API calls emitted")
+	mCallsOther = obs.DefaultCounter("cl_api_calls_other_total",
+		"other API calls emitted (setup, argument supply, cleanup)")
+	mCompletions = obs.DefaultCounter("cl_kernel_completions_total",
+		"kernel invocations completed by queue drains")
+	mRetries = obs.DefaultCounter("cl_retries_total",
+		"transient-fault retry attempts consumed by the resilience policy")
+	mDegradedRuns = obs.DefaultCounter("cl_degraded_runs_total",
+		"kernel invocations re-executed on the degraded device configuration")
+)
+
+func observeAPICall(kind APIKind) {
+	switch kind {
+	case KindKernel:
+		mCallsKernel.Inc()
+	case KindSync:
+		mCallsSync.Inc()
+	default:
+		mCallsOther.Inc()
+	}
+}

@@ -146,6 +146,7 @@ func (q *Queue) drain() error {
 			Stats:         st,
 		}
 		q.ctx.invocations++
+		mCompletions.Inc()
 		for _, i := range q.ctx.interceptors {
 			i.OnKernelComplete(comp)
 		}

@@ -144,6 +144,7 @@ func (q *Queue) executeResilient(p *pendingExec) (device.ExecStats, error) {
 		switch {
 		case snap != nil && transient && retries < pol.MaxRetries:
 			retries++
+			mRetries.Inc()
 			backoffNs += backoff
 			if backoff *= 2; backoff > pol.BackoffCapNs && pol.BackoffCapNs > 0 {
 				backoff = pol.BackoffCapNs
@@ -156,6 +157,7 @@ func (q *Queue) executeResilient(p *pendingExec) (device.ExecStats, error) {
 			}
 			dev = ddev
 			degraded = true
+			mDegradedRuns.Inc()
 			retries = 0
 			backoff = pol.BackoffBaseNs
 			restore()

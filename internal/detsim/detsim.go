@@ -292,6 +292,7 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 		rep.Cache = append(rep.Cache, c.Stats())
 	}
 	rep.MemAccesses = s.caches.MemAccesses
+	observeReport(rep)
 	return rep, nil
 }
 

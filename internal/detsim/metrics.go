@@ -1,0 +1,52 @@
+package detsim
+
+import "gtpin/internal/obs"
+
+// Observability for the detailed simulator — invocation granularity,
+// recorded once per Run from the finished report so the per-lane step
+// loops stay untouched.
+var (
+	mDetailedInvocations = obs.DefaultCounter("detsim_detailed_invocations_total",
+		"invocations simulated with the cycle-level model")
+	mFastForwardInvocations = obs.DefaultCounter("detsim_fastforward_invocations_total",
+		"invocations executed functionally only")
+	mWarmedInvocations = obs.DefaultCounter("detsim_warmed_invocations_total",
+		"invocations run in cache-warming mode")
+	mDetailedInstrs = obs.DefaultCounter("detsim_detailed_instrs_total",
+		"dynamic instructions simulated in detail")
+	mLaneOps = obs.DefaultCounter("detsim_lane_ops_total",
+		"per-lane operations evaluated by the detailed model")
+	mSimCacheHits = obs.DefaultCounter("detsim_cache_hits_total",
+		"simulated cache hits across all levels")
+	mSimCacheMisses = obs.DefaultCounter("detsim_cache_misses_total",
+		"simulated cache misses across all levels")
+)
+
+// observeReport folds one finished simulation into the counters and —
+// when a tracer is installed — records the detailed ranges as spans on
+// the virtual timeline, positioned by modeled simulation time.
+func observeReport(rep *Report) {
+	mDetailedInvocations.Add(uint64(rep.Detailed))
+	mFastForwardInvocations.Add(uint64(rep.FastForwarded))
+	mWarmedInvocations.Add(uint64(rep.Warmed))
+	mDetailedInstrs.Add(rep.DetailedInstrs)
+	mLaneOps.Add(rep.LaneOps)
+	for _, c := range rep.Cache {
+		mSimCacheHits.Add(c.Hits)
+		mSimCacheMisses.Add(c.Misses)
+	}
+	t := obs.ActiveTracer()
+	if t == nil {
+		return
+	}
+	startNs := 0.0
+	for i := range rep.Ranges {
+		rr := &rep.Ranges[i]
+		t.SpanVirtual("detsim", "detailed range", "detsim", startNs, rr.DetailedTimeNs,
+			obs.A("from", rr.Range.From),
+			obs.A("to", rr.Range.To),
+			obs.A("invocations", rr.Invocations),
+			obs.A("instrs", rr.DetailedInstrs))
+		startNs += rr.DetailedTimeNs
+	}
+}

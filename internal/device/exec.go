@@ -105,6 +105,13 @@ type Device struct {
 	dispatches uint64 // dispatches completed, drives thermal drift
 	jitter     *TimingJitter
 
+	// Observability bookkeeping (metrics.go). id distinguishes trace
+	// lanes between concurrent workers' devices; virtNs accumulates
+	// modeled time so dispatch spans line up on a virtual timeline.
+	// Neither feeds back into the timing model.
+	id     uint64
+	virtNs float64
+
 	// watchdog is the per-enqueue dynamic-instruction budget; 0 keeps
 	// only the per-group runaway backstop.
 	watchdog uint64
@@ -133,6 +140,7 @@ func New(cfg Config) (*Device, error) {
 	}
 	return &Device{
 		cfg:            cfg,
+		id:             deviceIDs.Add(1) - 1,
 		decoded:        make(map[*jit.Binary]*kernel.Kernel),
 		memStallCycles: uint64(cfg.MemLatencyNs * cfg.freqGHz() / float64(cfg.ThreadsPerEU)),
 	}, nil
@@ -217,8 +225,10 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 	if d.curInv.Hang() {
 		// The kernel stops making forward progress; the watchdog detects
 		// the hang once the enqueue's instruction budget is consumed.
-		return st, fmt.Errorf("device: kernel %s: %w: no forward progress after %d instructions: %w",
+		err := fmt.Errorf("device: kernel %s: %w: no forward progress after %d instructions: %w",
 			k.Name, faults.ErrWatchdogTimeout, d.budget(), faults.ErrKernelHang)
+		observeRunError(err)
+		return st, err
 	}
 
 	width := int(k.SIMD)
@@ -229,7 +239,9 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 			active = width
 		}
 		if err := d.runGroup(k, disp, g, active, &st); err != nil {
-			return st, fmt.Errorf("device: kernel %s group %d: %w", k.Name, g, err)
+			err = fmt.Errorf("device: kernel %s group %d: %w", k.Name, g, err)
+			observeRunError(err)
+			return st, err
 		}
 	}
 	if d.curInv.CorruptResult() {
@@ -241,6 +253,7 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 	st.TimeNs = d.jitter.Perturb(d.cfg.dispatchTimeNs(&st) * d.thermalDrift())
 	d.dispatches++
 	d.cycles += uint64(st.TimeNs * d.cfg.freqGHz())
+	d.observeDispatch(k.Name, &st)
 	return st, nil
 }
 

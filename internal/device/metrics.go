@@ -1,0 +1,92 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"gtpin/internal/faults"
+	"gtpin/internal/obs"
+)
+
+// Observability. Metric pointers are resolved once here, so recording
+// is a single atomic add; everything is at dispatch granularity — the
+// interpreter's per-instruction loop is never touched. Tracing is
+// consulted through obs.ActiveTracer and costs one atomic load when
+// disabled.
+var (
+	mDispatches = obs.DefaultCounter("device_dispatches_total",
+		"kernel dispatches completed by the modeled device")
+	mInstrs = obs.DefaultCounter("device_instructions_total",
+		"dynamic instructions executed across all dispatches")
+	mSends = obs.DefaultCounter("device_sends_total",
+		"send (memory) instructions executed")
+	mBytesRead = obs.DefaultCounter("device_bytes_read_total",
+		"bytes read from surfaces")
+	mBytesWritten = obs.DefaultCounter("device_bytes_written_total",
+		"bytes written to surfaces")
+	mModeledNs = obs.DefaultCounter("device_modeled_time_ns_total",
+		"accumulated modeled dispatch time in nanoseconds")
+	mWatchdogTrips = obs.DefaultCounter("device_watchdog_trips_total",
+		"dispatches killed by the watchdog instruction budget")
+	mDispatchNs = obs.DefaultHistogram("device_dispatch_time_ns",
+		"modeled per-dispatch time in nanoseconds")
+)
+
+// deviceIDs hands each Device a stable id so concurrent sweep workers'
+// devices land on distinct trace lanes.
+var deviceIDs atomic.Uint64
+
+// observeDispatch records a completed dispatch: counters always, and —
+// when a tracer is installed — a kernel span on the device's queue lane
+// plus busy spans on per-EU lanes, both on the virtual (modeled-ns)
+// timeline. The EU lanes approximate the hardware walk: channel-groups
+// distribute round-robin over EUs, and each EU's busy time is its group
+// share of the dispatch's execution window (the fullest EU spans the
+// whole window). Pure observation: nothing here feeds back into timing.
+func (d *Device) observeDispatch(kernelName string, st *ExecStats) {
+	start := d.virtNs
+	d.virtNs += st.TimeNs
+
+	mDispatches.Inc()
+	mInstrs.Add(st.Instrs)
+	mSends.Add(st.Sends)
+	mBytesRead.Add(st.BytesRead)
+	mBytesWritten.Add(st.BytesWritten)
+	mModeledNs.Add(uint64(st.TimeNs))
+	mDispatchNs.Observe(uint64(st.TimeNs))
+
+	t := obs.ActiveTracer()
+	if t == nil {
+		return
+	}
+	t.SpanVirtual("dispatch", kernelName, fmt.Sprintf("dev%d queue", d.id), start, st.TimeNs,
+		obs.A("groups", st.Groups),
+		obs.A("instrs", st.Instrs),
+		obs.A("sends", st.Sends),
+		obs.A("bytes_read", st.BytesRead),
+		obs.A("bytes_written", st.BytesWritten))
+
+	execNs := st.TimeNs - d.cfg.DispatchNs
+	if execNs <= 0 || st.Groups <= 0 {
+		return
+	}
+	eus := d.cfg.EUs
+	fullest := (st.Groups + eus - 1) / eus
+	for e := 0; e < eus && e < st.Groups; e++ {
+		ge := st.Groups / eus
+		if e < st.Groups%eus {
+			ge++
+		}
+		dur := execNs * float64(ge) / float64(fullest)
+		t.SpanVirtual("eu", kernelName, fmt.Sprintf("dev%d eu%02d", d.id, e),
+			start+d.cfg.DispatchNs, dur, obs.A("groups", ge))
+	}
+}
+
+// observeRunError records dispatch failures the taxonomy distinguishes.
+func observeRunError(err error) {
+	if errors.Is(err, faults.ErrWatchdogTimeout) {
+		mWatchdogTrips.Inc()
+	}
+}

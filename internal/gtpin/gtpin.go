@@ -274,7 +274,9 @@ func (g *GTPin) drainRing(ik *instrKernel) {
 	n := pos - g.lastRing
 	start := g.lastRing
 	if n > uint64(g.ringEntries) {
-		g.ringDrops += (n - uint64(g.ringEntries)) / ringChunkSlots
+		dropped := (n - uint64(g.ringEntries)) / ringChunkSlots
+		g.ringDrops += dropped
+		mRingDrops.Add(dropped)
 		start = pos - uint64(g.ringEntries)
 	}
 	for i := start; i < pos; i += ringChunkSlots {

@@ -149,7 +149,7 @@ func counterBump(slot int, delta uint32, traceSurf uint8) []isa.Instruction {
 // output (see cacheKey), so a hit is byte-identical to a fresh rewrite.
 func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
 	if g.cache == nil {
-		return g.instrument(bin)
+		return g.instrumentObserved(bin)
 	}
 	key := g.cacheKey(bin)
 	if e, ok := g.cache.c.Get(key); ok {
@@ -163,7 +163,7 @@ func (g *GTPin) rewrite(bin *jit.Binary) (*jit.Binary, error) {
 		g.nextSlot = m.nextSlot
 		return e.Bin, nil
 	}
-	out, err := g.instrument(bin)
+	out, err := g.instrumentObserved(bin)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,15 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"sync"
+
+	"gtpin/internal/obs"
+)
+
+var (
+	mCacheHits = obs.DefaultCounter("jit_cache_hits_total",
+		"binary-cache lookups that found an entry")
+	mCacheMisses = obs.DefaultCounter("jit_cache_misses_total",
+		"binary-cache lookups that missed")
 )
 
 // Cache is a content-addressed store of device binaries plus arbitrary
@@ -66,8 +75,10 @@ func (c *Cache) Get(key string) (CacheEntry, bool) {
 	c.mu.Lock()
 	if ok {
 		c.hits++
+		mCacheHits.Inc()
 	} else {
 		c.misses++
+		mCacheMisses.Inc()
 	}
 	c.mu.Unlock()
 	return e, ok

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is the optional observability HTTP listener for long
+// sweeps, started by the -debug-addr flag on every harness. It serves:
+//
+//	/metrics       Prometheus text exposition of the default registry
+//	/metrics.json  the same registry as a metrics.json snapshot
+//	/debug/pprof/  the standard Go profiling endpoints
+//	/debug/vars    expvar (Go runtime memstats + the obs snapshot)
+//
+// The listener is deliberately pull-only and read-only: it observes the
+// sweep, it cannot perturb it.
+type DebugServer struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+func init() {
+	// Expose the default registry through expvar, so /debug/vars carries
+	// the sweep's counters next to the runtime's memstats.
+	expvar.Publish("gtpin_obs", expvar.Func(func() any { return Default().Snapshot() }))
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "localhost:6060").
+// It returns once the listener is bound; serving happens on a
+// background goroutine. Close releases the listener.
+func ServeDebug(addr string) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(Default().Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "gtpin observability\n\n/metrics\n/metrics.json\n/debug/pprof/\n/debug/vars\n\n")
+		_ = Default().WriteText(w)
+	})
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener on %s: %w", addr, err)
+	}
+	ds := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	go func() { _ = ds.srv.Serve(lis) }()
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0" listeners).
+func (ds *DebugServer) Addr() string { return ds.lis.Addr().String() }
+
+// Close shuts the listener down.
+func (ds *DebugServer) Close() error { return ds.srv.Close() }

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gtpin/internal/par"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.NewCounter("x_total", "help")
+	c2 := r.NewCounter("x_total", "help")
+	if c1 != c2 {
+		t.Fatal("re-registering a counter returned a different pointer")
+	}
+	g1 := r.NewGauge("g", "help")
+	if g2 := r.NewGauge("g", "help"); g1 != g2 {
+		t.Fatal("re-registering a gauge returned a different pointer")
+	}
+	h1 := r.NewHistogram("h_ns", "help")
+	if h2 := r.NewHistogram("h_ns", "help"); h1 != h2 {
+		t.Fatal("re-registering a histogram returned a different pointer")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dual", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.NewGauge("dual", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_ns", "help")
+	obsd := []uint64{0, 1, 2, 3, 4, 100, 1 << 40}
+	var sum uint64
+	for _, v := range obsd {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.snapshot()
+	if s.Count != uint64(len(obsd)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(obsd))
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum = %d, want %d", s.Sum, sum)
+	}
+	var inBuckets uint64
+	prev := -1
+	for _, b := range s.Buckets {
+		if b.N == 0 {
+			t.Fatalf("empty bucket le=%d exported", b.Le)
+		}
+		if int(b.Le) <= prev {
+			t.Fatalf("buckets not ascending: le=%d after %d", b.Le, prev)
+		}
+		prev = int(b.Le)
+		inBuckets += b.N
+	}
+	if inBuckets != s.Count {
+		t.Fatalf("bucket total %d != count %d", inBuckets, s.Count)
+	}
+}
+
+// TestSnapshotDeterministic is the property metrics.json diffing relies
+// on: identical metric values marshal to identical bytes.
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() []byte {
+		r := NewRegistry()
+		r.NewCounter("b_total", "help").Add(7)
+		r.NewCounter("a_total", "help").Add(3)
+		r.NewGauge("inflight", "help").Set(-2)
+		r.NewHistogram("ns", "help").Observe(1024)
+		data, err := json.Marshal(r.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := mk(), mk(); !bytes.Equal(a, b) {
+		t.Fatalf("snapshots differ:\n%s\n%s", a, b)
+	}
+}
+
+// TestConcurrentRecording exercises the registry and tracer from the
+// same par worker pool the sweep harnesses use; run under -race this is
+// the layer's central safety claim.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("units_total", "help")
+	g := r.NewGauge("inflight", "help")
+	h := r.NewHistogram("wall_ns", "help")
+	tr := NewTracer()
+
+	const n, perWorker = 64, 100
+	err := par.ForEachN(context.Background(), n, 8, func(i int) error {
+		for j := 0; j < perWorker; j++ {
+			g.Inc()
+			c.Inc()
+			h.Observe(uint64(i*perWorker + j))
+			tr.SpanVirtual("test", "span", "lane", float64(j), 1)
+			g.Dec()
+		}
+		// Registration must also be safe concurrently with recording.
+		r.NewCounter("units_total", "help").Add(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Load(); got != n*perWorker {
+		t.Fatalf("counter = %d, want %d", got, n*perWorker)
+	}
+	if got := g.Load(); got != 0 {
+		t.Fatalf("gauge = %d, want 0", got)
+	}
+	if s := h.snapshot(); s.Count != n*perWorker {
+		t.Fatalf("histogram count = %d, want %d", s.Count, n*perWorker)
+	}
+	if got := tr.Len(); got != n*perWorker {
+		t.Fatalf("tracer len = %d, want %d", got, n*perWorker)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("concurrent trace fails validation: %v", err)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("sweep_units_total", "Units completed.").Add(5)
+	r.NewHistogram("unit_ns", "Unit wall time.").Observe(3) // bucket le=3
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP sweep_units_total Units completed.",
+		"# TYPE sweep_units_total counter",
+		"sweep_units_total 5",
+		"# TYPE unit_ns histogram",
+		`unit_ns_bucket{le="3"} 1`,
+		`unit_ns_bucket{le="+Inf"} 1`,
+		"unit_ns_sum 3",
+		"unit_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

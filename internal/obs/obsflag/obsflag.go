@@ -1,0 +1,130 @@
+// Package obsflag wires the observability layer into the cmd/
+// harnesses: it registers the shared -trace / -metrics / -debug-addr
+// flags, installs the process-wide tracer and debug listener for the
+// run, and on shutdown validates and atomically writes the requested
+// artifacts. It is the only glue between obs and runstate — obs itself
+// imports nothing from the module.
+package obsflag
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"gtpin/internal/obs"
+	"gtpin/internal/runstate"
+)
+
+// Flags holds the parsed observability flags of one harness.
+type Flags struct {
+	TracePath   string
+	MetricsPath string
+	DebugAddr   string
+}
+
+// Register declares the shared observability flags on fs (the harness's
+// flag set). Call before fs.Parse.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.TracePath, "trace", "", "write a Chrome trace-event JSON file (load in chrome://tracing)")
+	fs.StringVar(&f.MetricsPath, "metrics", "", "write a metrics.json snapshot of all counters on exit")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address")
+	return f
+}
+
+// Session is one harness run's observability state: the installed
+// tracer (if -trace was given) and the debug listener (if -debug-addr
+// was). Close exports the artifacts and tears both down.
+type Session struct {
+	flags  *Flags
+	tracer *obs.Tracer
+	prev   *obs.Tracer
+	server *obs.DebugServer
+}
+
+// Start brings the requested observability up: installs a fresh
+// process-wide tracer when -trace is set and binds the debug listener
+// when -debug-addr is. With all flags empty it returns an inert session
+// whose Close is a no-op, so harnesses call Start/Close unconditionally.
+func Start(f *Flags) (*Session, error) {
+	s := &Session{flags: f}
+	if f.TracePath != "" {
+		s.tracer = obs.NewTracer()
+		s.prev = obs.SetTracer(s.tracer)
+	}
+	if f.DebugAddr != "" {
+		srv, err := obs.ServeDebug(f.DebugAddr)
+		if err != nil {
+			if s.tracer != nil {
+				obs.SetTracer(s.prev)
+			}
+			return nil, err
+		}
+		s.server = srv
+		fmt.Fprintf(os.Stderr, "obs: debug listener on http://%s/\n", srv.Addr())
+	}
+	return s, nil
+}
+
+// SetDefaultMetricsPath fills in the metrics path when the user gave a
+// state dir but no explicit -metrics: sweeps then always leave a
+// metrics.json artifact next to their other results.
+func (s *Session) SetDefaultMetricsPath(path string) {
+	if s.flags.MetricsPath == "" {
+		s.flags.MetricsPath = path
+	}
+}
+
+// Tracing reports whether this session installed a tracer.
+func (s *Session) Tracing() bool { return s.tracer != nil }
+
+// Close exports the requested artifacts — each validated against its
+// schema before a byte hits disk, and written through runstate's atomic
+// writer — then uninstalls the tracer and stops the debug listener.
+func (s *Session) Close() error {
+	var firstErr error
+	keep := func(err error) {
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+	}
+	if s.tracer != nil {
+		obs.SetTracer(s.prev)
+		keep(writeTrace(s.flags.TracePath, s.tracer))
+	}
+	if s.flags.MetricsPath != "" {
+		keep(writeMetrics(s.flags.MetricsPath))
+	}
+	if s.server != nil {
+		keep(s.server.Close())
+	}
+	return firstErr
+}
+
+func writeTrace(path string, t *obs.Tracer) error {
+	var buf bytes.Buffer
+	if err := t.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if err := obs.ValidateTrace(buf.Bytes()); err != nil {
+		return fmt.Errorf("obsflag: refusing to write %s: %w", path, err)
+	}
+	if d := t.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "obs: trace hit the %d-event cap; %d events dropped\n", t.Len(), d)
+	}
+	return runstate.WriteFileAtomic(path, buf.Bytes())
+}
+
+func writeMetrics(path string) error {
+	buf, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obsflag: marshal metrics: %w", err)
+	}
+	buf = append(buf, '\n')
+	if err := obs.ValidateMetrics(buf); err != nil {
+		return fmt.Errorf("obsflag: refusing to write %s: %w", path, err)
+	}
+	return runstate.WriteFileAtomic(path, buf)
+}

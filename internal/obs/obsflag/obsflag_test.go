@@ -1,0 +1,155 @@
+package obsflag
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"gtpin/internal/obs"
+)
+
+// TestSessionExportsArtifacts runs the full harness glue end to end:
+// parse flags, start a session, record through the process-wide tracer,
+// close, and validate the files the session wrote.
+func TestSessionExportsArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-trace", tracePath, "-metrics", metricsPath}); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Start(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Tracing() {
+		t.Fatal("session with -trace reports Tracing() == false")
+	}
+	tr := obs.ActiveTracer()
+	if tr == nil {
+		t.Fatal("Start did not install the process-wide tracer")
+	}
+	tr.SpanWall("test", "span", "lane", time.Now())
+	tr.SpanVirtual("test", "vspan", "dev0 queue", 100, 50)
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveTracer() != nil {
+		t.Fatal("Close did not uninstall the tracer")
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateTrace(trace); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidateMetrics(metrics); err != nil {
+		t.Fatalf("exported metrics invalid: %v", err)
+	}
+}
+
+// TestInertSession is the disabled path every harness takes by default:
+// no flags, no tracer, no files, no errors.
+func TestInertSession(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tracing() {
+		t.Fatal("inert session claims to be tracing")
+	}
+	if obs.ActiveTracer() != nil {
+		t.Fatal("inert session installed a tracer")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetDefaultMetricsPath(t *testing.T) {
+	dir := t.TempDir()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deflt := filepath.Join(dir, "metrics.json")
+	s.SetDefaultMetricsPath(deflt)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(deflt)
+	if err != nil {
+		t.Fatalf("default metrics path not written: %v", err)
+	}
+	if err := obs.ValidateMetrics(data); err != nil {
+		t.Fatalf("default metrics invalid: %v", err)
+	}
+
+	// An explicit -metrics wins over the default.
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := Register(fs2)
+	explicit := filepath.Join(dir, "explicit.json")
+	if err := fs2.Parse([]string{"-metrics", explicit}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Start(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.SetDefaultMetricsPath(filepath.Join(dir, "ignored.json"))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(explicit); err != nil {
+		t.Fatalf("explicit metrics path not written: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ignored.json")); !os.IsNotExist(err) {
+		t.Fatal("default path written despite explicit -metrics")
+	}
+}
+
+// TestDebugListener binds the debug server on a loopback port and
+// checks Close tears it down.
+func TestDebugListener(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse([]string{"-debug-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Start(f)
+	if err != nil {
+		t.Skipf("loopback listener unavailable: %v", err)
+	}
+	if s.server == nil {
+		t.Fatal("session with -debug-addr has no server")
+	}
+	if addr := s.server.Addr(); addr == "" {
+		t.Fatal("debug server reports empty address")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

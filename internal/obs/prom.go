@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): HELP/TYPE comment pairs followed by sample
+// lines, metrics in sorted-name order. Histograms use the standard
+// cumulative _bucket/_sum/_count triple with power-of-two le bounds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(name, help string, m metric) {
+		switch {
+		case m.c != nil:
+			p("# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, m.c.Load())
+		case m.g != nil:
+			p("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, m.g.Load())
+		case m.h != nil:
+			s := m.h.snapshot()
+			p("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			cum := uint64(0)
+			for _, b := range s.Buckets {
+				cum += b.N
+				p("%s_bucket{le=\"%d\"} %d\n", name, b.Le, cum)
+			}
+			p("%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+			p("%s_sum %d\n%s_count %d\n", name, s.Sum, name, s.Count)
+		}
+	})
+	return err
+}
+
+// WriteText renders a compact human-readable dump (the debug listener's
+// index page and the -v sweeps' end-of-run summary): one line per
+// non-zero metric, sorted by name.
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	type line struct {
+		name string
+		text string
+	}
+	var lines []line
+	for n, v := range s.Counters {
+		if v != 0 {
+			lines = append(lines, line{n, fmt.Sprintf("%-44s %d", n, v)})
+		}
+	}
+	for n, v := range s.Gauges {
+		if v != 0 {
+			lines = append(lines, line{n, fmt.Sprintf("%-44s %d", n, v)})
+		}
+	}
+	for n, h := range s.Histograms {
+		if h.Count != 0 {
+			mean := float64(h.Sum) / float64(h.Count)
+			lines = append(lines, line{n, fmt.Sprintf("%-44s count=%d sum=%d mean=%.1f", n, h.Count, h.Sum, mean)})
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(w, l.text); err != nil {
+			return err
+		}
+	}
+	return nil
+}

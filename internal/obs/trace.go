@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The tracer records spans in two clock domains, exported as two Chrome
+// trace "processes" so both timelines are visible side by side:
+//
+//   - DomainWall: host wall-clock time, measured with time.Now relative
+//     to the tracer's start — where the process actually spent its time
+//     (rewrites, unit execution, journal writes).
+//   - DomainVirtual: modeled device nanoseconds — where the *modeled
+//     GPU* spent its time (dispatches on per-EU lanes, kernel timelines
+//     on per-queue lanes, detailed-simulation invocations).
+//
+// Within a domain, spans land on named lanes (Chrome "threads"): one
+// lane per device queue, one per EU, one per sweep worker, and so on.
+const (
+	DomainWall    = 1 // Chrome pid 1
+	DomainVirtual = 2 // Chrome pid 2
+)
+
+// TraceSchema identifies the trace artifact format (the Chrome
+// trace-event JSON object form).
+const TraceSchema = "gtpin-trace/1"
+
+// maxTraceEvents bounds tracer memory: past the cap new events are
+// counted as dropped instead of stored, so tracing a long sweep
+// degrades rather than OOMs. At ~100 bytes/event the cap is ~100 MB.
+const maxTraceEvents = 1 << 20
+
+// Arg is one key/value annotation on a span.
+type Arg struct {
+	Key string
+	Val any
+}
+
+// A constructs an Arg; instrumentation sites use it to keep span
+// recording calls to one line.
+func A(key string, val any) Arg { return Arg{Key: key, Val: val} }
+
+// traceEvent is one Chrome trace event (the "X" complete-span form, or
+// "M" metadata rows emitted at export time).
+type traceEvent struct {
+	name  string
+	cat   string
+	pid   int
+	tid   int
+	tsUs  float64
+	durUs float64
+	args  []Arg
+}
+
+// Tracer is a race-safe in-memory span recorder. The zero value is not
+// usable; create with NewTracer. One tracer serves all goroutines of a
+// sweep — appends take a mutex, which at dispatch/unit granularity is
+// far off any hot loop.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []traceEvent
+	lanes  map[laneKey]int // lane name -> Chrome tid, per domain
+	order  []laneKey       // tid allocation order
+	drops  uint64
+
+	// now is the wall clock; tests override it to produce deterministic
+	// golden traces.
+	now func() time.Time
+}
+
+type laneKey struct {
+	domain int
+	lane   string
+}
+
+// NewTracer creates an empty tracer whose wall clock starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{lanes: make(map[laneKey]int), now: time.Now}
+	t.start = t.now()
+	return t
+}
+
+// setClock installs a fake wall clock (tests only) and resets the
+// tracer's start to its current reading.
+func (t *Tracer) setClock(now func() time.Time) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.start = now()
+}
+
+// tidLocked returns the Chrome thread id for a lane, allocating on
+// first use. Caller holds t.mu.
+func (t *Tracer) tidLocked(domain int, lane string) int {
+	k := laneKey{domain, lane}
+	if tid, ok := t.lanes[k]; ok {
+		return tid
+	}
+	tid := len(t.order) + 1
+	t.lanes[k] = tid
+	t.order = append(t.order, k)
+	return tid
+}
+
+// SpanWall records a completed wall-clock span that started at start
+// and just ended (per the tracer's clock).
+func (t *Tracer) SpanWall(cat, name, lane string, start time.Time, args ...Arg) {
+	t.mu.Lock()
+	end := t.now()
+	ev := traceEvent{
+		name: name, cat: cat, pid: DomainWall,
+		tid:   t.tidLocked(DomainWall, lane),
+		tsUs:  float64(start.Sub(t.start).Nanoseconds()) / 1e3,
+		durUs: float64(end.Sub(start).Nanoseconds()) / 1e3,
+		args:  args,
+	}
+	t.pushLocked(ev)
+	t.mu.Unlock()
+}
+
+// SpanVirtual records a span on the modeled-time axis: startNs and
+// durNs are virtual nanoseconds (e.g. the device's accumulated modeled
+// time before the dispatch, and the dispatch's modeled duration).
+func (t *Tracer) SpanVirtual(cat, name, lane string, startNs, durNs float64, args ...Arg) {
+	t.mu.Lock()
+	ev := traceEvent{
+		name: name, cat: cat, pid: DomainVirtual,
+		tid:   t.tidLocked(DomainVirtual, lane),
+		tsUs:  startNs / 1e3,
+		durUs: durNs / 1e3,
+		args:  args,
+	}
+	t.pushLocked(ev)
+	t.mu.Unlock()
+}
+
+// InstantWall records a zero-duration wall-clock marker.
+func (t *Tracer) InstantWall(cat, name, lane string, args ...Arg) {
+	t.mu.Lock()
+	ev := traceEvent{
+		name: name, cat: cat, pid: DomainWall,
+		tid:  t.tidLocked(DomainWall, lane),
+		tsUs: float64(t.now().Sub(t.start).Nanoseconds()) / 1e3,
+	}
+	ev.args = args
+	t.pushLocked(ev)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) pushLocked(ev traceEvent) {
+	if len(t.events) >= maxTraceEvents {
+		t.drops++
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped returns how many events were discarded past the memory cap.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.drops
+}
+
+// chromeEvent is the JSON wire form of one trace event.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	OtherData       map[string]string `json:"otherData"`
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+}
+
+// WriteJSON exports the trace as Chrome trace-event JSON (the object
+// form with a traceEvents array), loadable in chrome://tracing and
+// Perfetto. Metadata rows name the two clock-domain processes and every
+// lane, then spans follow in recording order.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	order := append([]laneKey(nil), t.order...)
+	lanes := make(map[laneKey]int, len(t.lanes))
+	for k, v := range t.lanes {
+		lanes[k] = v
+	}
+	t.mu.Unlock()
+
+	out := chromeTrace{
+		OtherData:       map[string]string{"schema": TraceSchema},
+		DisplayTimeUnit: "ns",
+	}
+	meta := func(pid, tid int, kind, name string) {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(DomainWall, 0, "process_name", "wall clock")
+	meta(DomainVirtual, 0, "process_name", "virtual time (modeled ns)")
+	for _, k := range order {
+		meta(k.domain, lanes[k], "thread_name", k.lane)
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.name, Cat: ev.cat, Ph: "X",
+			Pid: ev.pid, Tid: ev.tid, Ts: ev.tsUs,
+		}
+		dur := ev.durUs
+		ce.Dur = &dur
+		if len(ev.args) > 0 {
+			ce.Args = make(map[string]any, len(ev.args))
+			for _, a := range ev.args {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("obs: encode trace: %w", err)
+	}
+	return nil
+}
+
+// active is the process-wide tracer; nil means tracing is disabled and
+// every instrumentation site short-circuits on a single atomic load.
+var active atomic.Pointer[Tracer]
+
+// SetTracer installs (or, with nil, uninstalls) the process-wide
+// tracer, returning the previous one.
+func SetTracer(t *Tracer) *Tracer { return active.Swap(t) }
+
+// ActiveTracer returns the installed tracer, or nil when tracing is
+// disabled. Instrumentation sites call this first and skip all span
+// bookkeeping — lane names, argument slices, timestamps — on nil.
+func ActiveTracer() *Tracer { return active.Load() }

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestGoldenChromeTrace pins the exported Chrome trace-event JSON: a
+// scripted tracer with a fake wall clock must reproduce the committed
+// golden file byte for byte. Run with -update after a deliberate format
+// change.
+func TestGoldenChromeTrace(t *testing.T) {
+	tr := NewTracer()
+	t0 := time.Unix(0, 0)
+	tick := 0
+	tr.setClock(func() time.Time {
+		tick++
+		return t0.Add(time.Duration(tick) * 100 * time.Microsecond)
+	})
+	// setClock consumed tick 1, so the tracer's epoch is t0+100µs.
+	tr.SpanWall("unit", "cb-throughput-juliaset", "pool",
+		t0.Add(150*time.Microsecond), A("attempts", 1), A("status", "ok"))
+	tr.SpanVirtual("dispatch", "juliaset_kernel", "dev0 queue",
+		12000, 3500, A("groups", 64))
+	tr.SpanVirtual("dispatch", "juliaset_kernel", "dev0 eu00", 12500, 3000)
+	tr.InstantWall("sweep", "checkpoint", "pool")
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("golden trace fails its own validator: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON diverges from golden file:\ngot:  %s\nwant: %s", buf.Bytes(), want)
+	}
+}
+
+func TestTracerLanesAndDomains(t *testing.T) {
+	tr := NewTracer()
+	tr.SpanVirtual("a", "x", "lane1", 0, 1)
+	tr.SpanVirtual("a", "y", "lane2", 1, 1)
+	tr.SpanWall("b", "z", "lane1", time.Now()) // same name, wall domain: distinct lane
+	if got := len(tr.lanes); got != 3 {
+		t.Fatalf("lane count = %d, want 3", got)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("event count = %d, want 3", tr.Len())
+	}
+}
+
+func TestSetTracerSwapsActive(t *testing.T) {
+	if prev := ActiveTracer(); prev != nil {
+		t.Fatalf("active tracer not nil at test start: %v", prev)
+	}
+	tr := NewTracer()
+	if old := SetTracer(tr); old != nil {
+		t.Fatalf("SetTracer returned %v, want nil", old)
+	}
+	if ActiveTracer() != tr {
+		t.Fatal("ActiveTracer did not return the installed tracer")
+	}
+	if old := SetTracer(nil); old != tr {
+		t.Fatal("SetTracer(nil) did not return the previous tracer")
+	}
+	if ActiveTracer() != nil {
+		t.Fatal("tracer still active after uninstall")
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact schema validators. The harness glue validates every trace
+// and metrics artifact against these before writing it, and the CI
+// bench-smoke target re-validates the emitted files — so a schema
+// regression fails the build instead of silently producing artifacts
+// chrome://tracing or a dashboard cannot load.
+
+// ValidateMetrics checks that data is a well-formed metrics.json
+// artifact: the current schema tag, and the three metric sections with
+// the right value shapes.
+func ValidateMetrics(data []byte) error {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("obs: metrics artifact: %w", err)
+	}
+	if s.Schema != MetricsSchema {
+		return fmt.Errorf("obs: metrics artifact: schema %q, want %q", s.Schema, MetricsSchema)
+	}
+	if s.Counters == nil || s.Gauges == nil || s.Histograms == nil {
+		return fmt.Errorf("obs: metrics artifact: missing counters/gauges/histograms section")
+	}
+	for name, h := range s.Histograms {
+		var n uint64
+		for _, b := range h.Buckets {
+			n += b.N
+		}
+		if n != h.Count {
+			return fmt.Errorf("obs: metrics artifact: histogram %s: bucket sum %d != count %d", name, n, h.Count)
+		}
+	}
+	return nil
+}
+
+// ValidateTrace checks that data is well-formed Chrome trace-event JSON
+// of the shape WriteJSON emits: an object with a traceEvents array in
+// which every event has a known phase, a positive pid, and — for
+// complete ("X") spans — a non-negative timestamp and duration.
+func ValidateTrace(data []byte) error {
+	var tr struct {
+		OtherData   map[string]string `json:"otherData"`
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Ts   *float64       `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("obs: trace artifact: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return fmt.Errorf("obs: trace artifact: no traceEvents array")
+	}
+	if got := tr.OtherData["schema"]; got != TraceSchema {
+		return fmt.Errorf("obs: trace artifact: schema %q, want %q", got, TraceSchema)
+	}
+	for i, ev := range tr.TraceEvents {
+		if ev.Name == "" {
+			return fmt.Errorf("obs: trace artifact: event %d: empty name", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("obs: trace artifact: event %d (%s): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Ph {
+		case "M":
+			if _, ok := ev.Args["name"]; !ok {
+				return fmt.Errorf("obs: trace artifact: event %d: metadata without args.name", i)
+			}
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("obs: trace artifact: event %d (%s): missing or negative ts", i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("obs: trace artifact: event %d (%s): missing or negative dur", i, ev.Name)
+			}
+		default:
+			return fmt.Errorf("obs: trace artifact: event %d (%s): unknown phase %q", i, ev.Name, ev.Ph)
+		}
+	}
+	return nil
+}

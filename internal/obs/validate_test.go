@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestValidateMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "help").Add(3)
+	r.NewHistogram("ns", "help").Observe(9)
+	good, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateMetrics(good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", "{", "metrics artifact"},
+		{"wrong schema", `{"schema":"other/9","counters":{},"gauges":{},"histograms":{}}`, "schema"},
+		{"missing section", `{"schema":"gtpin-metrics/1","counters":{},"gauges":{}}`, "missing"},
+		{"bucket sum mismatch", `{"schema":"gtpin-metrics/1","counters":{},"gauges":{},` +
+			`"histograms":{"ns":{"count":2,"sum":9,"buckets":[{"le":15,"n":1}]}}}`, "bucket sum"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateMetrics([]byte(tc.data))
+			if err == nil {
+				t.Fatal("invalid artifact accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateTrace(t *testing.T) {
+	tr := NewTracer()
+	tr.SpanVirtual("cat", "span", "lane", 10, 5)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(buf.Bytes()); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// An empty tracer still exports valid (metadata-only) JSON.
+	var empty bytes.Buffer
+	if err := NewTracer().WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTrace(empty.Bytes()); err != nil {
+		t.Fatalf("empty trace rejected: %v", err)
+	}
+
+	const head = `{"otherData":{"schema":"gtpin-trace/1"},"traceEvents":`
+	for _, tc := range []struct {
+		name string
+		data string
+		want string
+	}{
+		{"not json", "[1,", "trace artifact"},
+		{"no events array", `{"otherData":{"schema":"gtpin-trace/1"}}`, "no traceEvents"},
+		{"wrong schema", `{"otherData":{"schema":"x"},"traceEvents":[]}`, "schema"},
+		{"empty name", head + `[{"name":"","ph":"X","pid":1,"tid":1,"ts":0,"dur":1}]}`, "empty name"},
+		{"missing pid", head + `[{"name":"s","ph":"X","ts":0,"dur":1}]}`, "missing pid"},
+		{"missing dur", head + `[{"name":"s","ph":"X","pid":1,"tid":1,"ts":0}]}`, "dur"},
+		{"negative ts", head + `[{"name":"s","ph":"X","pid":1,"tid":1,"ts":-1,"dur":1}]}`, "ts"},
+		{"unknown phase", head + `[{"name":"s","ph":"Q","pid":1,"tid":1}]}`, "unknown phase"},
+		{"metadata without name", head + `[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{}}]}`, "args.name"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateTrace([]byte(tc.data))
+			if err == nil {
+				t.Fatal("invalid artifact accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -73,6 +73,8 @@ func (d *Dir) WriteArtifact(unit string, data []byte) (string, error) {
 	if err := WriteFileAtomic(d.UnitFile(unit, ".json"), data); err != nil {
 		return "", err
 	}
+	mArtifactsWritten.Inc()
+	mArtifactBytes.Add(uint64(len(data)))
 	return Digest(data), nil
 }
 

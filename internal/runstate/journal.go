@@ -78,6 +78,7 @@ func (j *Journal) Append(r Record) error {
 		return fmt.Errorf("runstate: sync journal: %w", err)
 	}
 	j.seq = r.Seq
+	mJournalRecords.Inc()
 	return nil
 }
 

@@ -1,0 +1,15 @@
+package runstate
+
+import "gtpin/internal/obs"
+
+// Observability for the persistence layer: WAL traffic and artifact
+// volume. Journal appends each carry an fsync, so these counters are
+// also a proxy for the sweep's durability cost.
+var (
+	mJournalRecords = obs.DefaultCounter("runstate_journal_records_total",
+		"records durably appended to sweep journals")
+	mArtifactsWritten = obs.DefaultCounter("runstate_artifacts_written_total",
+		"unit artifacts atomically persisted")
+	mArtifactBytes = obs.DefaultCounter("runstate_artifact_bytes_total",
+		"bytes of unit artifacts atomically persisted")
+)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
@@ -148,7 +149,11 @@ func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, er
 	}
 	err := par.ForEachN(ctx, len(units), opts.Workers, func(i int) error {
 		o := &outcomes[i]
+		start := time.Now()
+		mUnitsInflight.Inc()
 		runUnit(ctx, o, completed, opts, maxRestarts, rc)
+		mUnitsInflight.Dec()
+		observeOutcome(o, start)
 		if opts.OnOutcome != nil {
 			opts.OnOutcome(*o)
 		}

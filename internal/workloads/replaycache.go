@@ -97,10 +97,12 @@ func (rc *ReplayCache) do(key string, f func() (*gtpin.GTPin, faults.Stats, erro
 	rc.mu.Lock()
 	if e, ok := rc.entries[key]; ok {
 		rc.hits++
+		mReplayHits.Inc()
 		rc.mu.Unlock()
 		return e.g, e.stats, nil
 	}
 	rc.misses++
+	mReplayMisses.Inc()
 	rc.mu.Unlock()
 
 	g, st, err := f()
@@ -122,10 +124,12 @@ func (rc *ReplayCache) doNative(key string, f func() (*nativeEntry, error)) (*na
 	rc.mu.Lock()
 	if e, ok := rc.natives[key]; ok {
 		rc.natHits++
+		mNativeHits.Inc()
 		rc.mu.Unlock()
 		return e, nil
 	}
 	rc.natMisses++
+	mNativeMisses.Inc()
 	rc.mu.Unlock()
 
 	e, err := f()

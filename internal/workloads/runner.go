@@ -2,12 +2,14 @@ package workloads
 
 import (
 	"fmt"
+	"time"
 
 	"gtpin/internal/cl"
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
 	"gtpin/internal/gtpin"
+	"gtpin/internal/obs"
 	"gtpin/internal/profile"
 )
 
@@ -113,6 +115,12 @@ func RunWithFaults(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo 
 // for every unit after the first that shares this (app, scale, device,
 // fault model) configuration — see ReplayCache for why that is exact.
 func runPipeline(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *FaultOptions, rc *ReplayCache) (*Result, error) {
+	tracer := obs.ActiveTracer()
+	var phaseStart time.Time
+	if tracer != nil {
+		phaseStart = time.Now()
+	}
+
 	// Step 1: native timed run under CoFluent. jitter == nil records the
 	// unjittered base times for the memoized path.
 	native := func(jitter *device.TimingJitter) (*App, *cofluent.Recording, *cofluent.Tracer, *faults.Injector, error) {
@@ -176,6 +184,11 @@ func runPipeline(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *F
 		}
 	}
 
+	if tracer != nil {
+		tracer.SpanWall("pipeline", "native "+spec.Name, "pipeline", phaseStart)
+		phaseStart = time.Now()
+	}
+
 	// Step 2: instrumented replay under GT-Pin. The replay device never
 	// gets the trial's timing jitter, so the phase is trial-independent
 	// and memoizable.
@@ -211,6 +224,9 @@ func runPipeline(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *F
 	}
 	if err != nil {
 		return nil, err
+	}
+	if tracer != nil {
+		tracer.SpanWall("pipeline", "replay "+spec.Name, "pipeline", phaseStart)
 	}
 
 	// Step 3: join counts and timings.
