@@ -44,23 +44,29 @@ check: vet build race crash smoke
 # pre-optimization baseline (serial, all caches off), the cached,
 # sharded hot path, and the hot path again with the obs span tracer
 # installed — all verified byte-identical and recorded in
-# BENCH_sweep.json. The harness fails below 2x wall-clock speedup or
-# above 5% observability overhead.
+# BENCH_sweep.json. The harness fails below 2x wall-clock speedup,
+# above 5% observability overhead, or when detailed-interpreter
+# throughput (detsim_mips) drops more than 10% below the committed
+# baseline report.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -max-obs-overhead 1.05 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -max-obs-overhead 1.05 -min-detsim-ratio 0.9 -out BENCH_sweep.json
 
 # bench-smoke is the CI shape of bench: the edge-case regression tests
-# and the observability layer under -race, one-iteration benchmark runs
-# (compile + execute checks), the regression harness without the
-# wall-clock gates (shared CI boxes make those ratios too noisy to fail
-# a build on), and a tiny traced sweep whose -trace/-metrics artifacts
-# are schema-validated by cmd/obscheck.
+# and the observability layer under -race, the execution engine's
+# differential fuzz + watchdog-parity + layering suite (short corpus),
+# one-iteration benchmark runs (compile + execute checks), the
+# regression harness without the wall-clock speedup/overhead gates
+# (shared CI boxes make those ratios too noisy to fail a build on) but
+# still gating detailed-interpreter throughput at 10% regression, and a
+# tiny traced sweep whose -trace/-metrics artifacts are
+# schema-validated by cmd/obscheck.
 bench-smoke:
 	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache|Speedup' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads ./cmd/bench
+	$(GO) test -race -short -run 'Differential|WatchdogParity|Probe|BackendsContainNoDispatch' ./internal/engine
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-detsim-ratio 0.9 -out BENCH_sweep.json
 	rm -rf .obs-smoke
 	mkdir -p .obs-smoke
 	$(GO) run ./cmd/characterize -scale tiny -fig 3c -trace .obs-smoke/trace.json -metrics .obs-smoke/metrics.json > .obs-smoke/run.out 2> .obs-smoke/run.err

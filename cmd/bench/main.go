@@ -14,17 +14,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
+	"math/rand"
 	"os"
 	"runtime"
 	"time"
 
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/detsim"
 	"gtpin/internal/device"
 	"gtpin/internal/gtpin"
+	"gtpin/internal/kernel"
 	"gtpin/internal/obs"
 	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/runstate"
+	"gtpin/internal/testgen"
 	"gtpin/internal/workloads"
 )
 
@@ -53,6 +61,11 @@ type report struct {
 	ObsOverhead      float64 `json:"obs_overhead"`
 	ObsByteIdentical bool    `json:"obs_byte_identical"`
 	TraceEvents      int     `json:"trace_events"`
+
+	// Detailed-interpreter throughput (engine cycle-level loop driven
+	// through detsim), in millions of simulated instructions per second.
+	// Gated against the previous report by -min-detsim-ratio.
+	DetsimMIPS float64 `json:"detsim_mips"`
 }
 
 // speedup computes base/other, refusing degenerate timings: a zero or
@@ -117,6 +130,127 @@ func sweep(ctx context.Context, units []workloads.Unit, opts workloads.PoolOptio
 	return elapsed, enc, nil
 }
 
+// detsimRecording builds the detailed-interpreter benchmark input: a
+// deterministic testgen program recorded through the functional device,
+// the same shape BenchmarkDetailedInterp uses.
+func detsimRecording(seed int64, steps int) (*cofluent.Recording, int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := testgen.DefaultConfig()
+	p := testgen.Program(rng, fmt.Sprintf("bench%d", seed), cfg)
+	sched := testgen.Driver(rng, p, steps, cfg)
+
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		return nil, 0, err
+	}
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	q := ctx.CreateQueue()
+	in, err := ctx.CreateBuffer(1 << 12)
+	if err != nil {
+		return nil, 0, err
+	}
+	out, err := ctx.CreateBuffer(1 << 12)
+	if err != nil {
+		return nil, 0, err
+	}
+	data := make([]byte, 1<<12)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	if err := q.EnqueueWriteBuffer(in, 0, data); err != nil {
+		return nil, 0, err
+	}
+	prog := ctx.CreateProgram(p)
+	if err := prog.Build(); err != nil {
+		return nil, 0, err
+	}
+	kernels := map[string]*cl.Kernel{}
+	for _, k := range p.Kernels {
+		ko, err := prog.CreateKernel(k.Name)
+		if err != nil {
+			return nil, 0, err
+		}
+		if err := ko.SetBuffer(0, in); err != nil {
+			return nil, 0, err
+		}
+		if err := ko.SetBuffer(1, out); err != nil {
+			return nil, 0, err
+		}
+		kernels[k.Name] = ko
+	}
+	for _, s := range sched {
+		ko := kernels[s.Kernel]
+		if err := ko.SetArg(0, s.Iters); err != nil {
+			return nil, 0, err
+		}
+		if err := q.EnqueueNDRangeKernel(ko, s.GWS); err != nil {
+			return nil, 0, err
+		}
+	}
+	if err := q.Finish(); err != nil {
+		return nil, 0, err
+	}
+	rec, err := cofluent.Record("bench", tr, []*kernel.Program{p})
+	if err != nil {
+		return nil, 0, err
+	}
+	return rec, len(tr.Timings()), nil
+}
+
+// measureDetsim times full detailed simulation of a fixed recording and
+// returns throughput in millions of simulated instructions per second.
+// One untimed warm-up rep steadies the runtime; the best of reps timed
+// passes is reported, which is the standard defense against scheduler
+// noise in a wall-clock gate.
+func measureDetsim(reps int) (float64, error) {
+	rec, n, err := detsimRecording(1234, 8)
+	if err != nil {
+		return 0, fmt.Errorf("detsim benchmark recording: %w", err)
+	}
+	best := 0.0
+	for rep := 0; rep <= reps; rep++ {
+		sim, err := detsim.New(detsim.DefaultConfig())
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		r, err := sim.Run(rec, []detsim.Range{{From: 0, To: n}})
+		elapsed := time.Since(t0)
+		if err != nil {
+			return 0, fmt.Errorf("detsim benchmark run: %w", err)
+		}
+		if rep == 0 {
+			continue // warm-up
+		}
+		if elapsed <= 0 || r.DetailedInstrs == 0 {
+			return 0, fmt.Errorf("degenerate detsim benchmark (%v, %d instrs)", elapsed, r.DetailedInstrs)
+		}
+		if mips := float64(r.DetailedInstrs) / elapsed.Seconds() / 1e6; mips > best {
+			best = mips
+		}
+	}
+	return best, nil
+}
+
+// priorDetsimMIPS reads the previous report's detsim_mips, for the
+// regression gate. A missing report, or one predating the field, yields
+// 0 — the gate is then skipped, and this run's measurement seeds it.
+func priorDetsimMIPS(path string) (float64, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var prior report
+	if err := json.Unmarshal(data, &prior); err != nil {
+		return 0, fmt.Errorf("prior report %s: %w", path, err)
+	}
+	return prior.DetsimMIPS, nil
+}
+
 func run() (retErr error) {
 	scale := flag.String("scale", "tiny", "workload scale: full, small, or tiny")
 	workers := flag.Int("workers", 0, "shard count for the optimized run (0 = GOMAXPROCS)")
@@ -124,6 +258,8 @@ func run() (retErr error) {
 	out := flag.String("out", "BENCH_sweep.json", "report path (written atomically)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless optimized/baseline speedup reaches this factor")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if the traced run exceeds this multiple of the optimized wall time (0 = report only)")
+	minDetsimRatio := flag.Float64("min-detsim-ratio", 0, "fail if detailed-interpreter MI/s falls below this fraction of the previous report's (0 = report only)")
+	detsimReps := flag.Int("detsim-reps", 3, "timed repetitions of the detailed-interpreter benchmark (best is kept)")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -231,6 +367,17 @@ func run() (retErr error) {
 		return err
 	}
 
+	// Detailed-interpreter throughput, gated against the previous report
+	// (read before this run's report overwrites it).
+	prior, err := priorDetsimMIPS(*out)
+	if err != nil {
+		return err
+	}
+	rep.DetsimMIPS, err = measureDetsim(*detsimReps)
+	if err != nil {
+		return err
+	}
+
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err
@@ -243,6 +390,7 @@ func run() (retErr error) {
 		optNs.Round(time.Millisecond), rep.Speedup, identical, *out)
 	fmt.Printf("bench: observed (traced) %v, overhead %.3fx, %d trace events, byte-identical=%v\n",
 		obsNs.Round(time.Millisecond), rep.ObsOverhead, rep.TraceEvents, obsIdentical)
+	fmt.Printf("bench: detailed interpreter %.1f MI/s (prior %.1f)\n", rep.DetsimMIPS, prior)
 
 	if !identical {
 		return fmt.Errorf("optimized sweep artifacts diverge from the serial baseline")
@@ -258,6 +406,10 @@ func run() (retErr error) {
 	}
 	if *maxObsOverhead > 0 && rep.ObsOverhead > *maxObsOverhead {
 		return fmt.Errorf("observability overhead %.3fx above allowed %.3fx", rep.ObsOverhead, *maxObsOverhead)
+	}
+	if *minDetsimRatio > 0 && prior > 0 && rep.DetsimMIPS < prior**minDetsimRatio {
+		return fmt.Errorf("detailed interpreter %.1f MI/s below %.0f%% of prior %.1f MI/s",
+			rep.DetsimMIPS, *minDetsimRatio*100, prior)
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ import (
 	"gtpin/internal/cl"
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
-	"gtpin/internal/isa"
+	"gtpin/internal/engine"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
 )
@@ -37,9 +37,11 @@ type Config struct {
 	// PipelineDepth is the in-order pipeline's result latency in cycles
 	// for single-cycle ops (dependent instructions stall on it).
 	PipelineDepth int
-	// WatchdogInstrs is the per-channel-group dynamic-instruction budget
-	// of the simulator's step loops, surfaced as faults.ErrWatchdogTimeout
-	// when exceeded. 0 uses the default runaway backstop.
+	// WatchdogInstrs is the per-enqueue dynamic-instruction budget,
+	// surfaced as faults.ErrWatchdogTimeout when exceeded — the same
+	// engine accounting the functional device uses, so a budget trips at
+	// the same dynamic instruction on both backends. 0 disables the
+	// budget, leaving only the engine's per-group runaway backstop.
 	WatchdogInstrs uint64
 }
 
@@ -105,7 +107,10 @@ type RangeReport struct {
 	DetailedTimeNs float64
 }
 
-// Simulator runs recordings under the detailed model.
+// Simulator runs recordings under the detailed model. It composes the
+// shared execution engine (gtpin/internal/engine) with the cycle-level
+// timing model: the engine interprets the ISA, this package supplies
+// the scoreboard depth, cache hierarchy, sampling, and warmup policy.
 type Simulator struct {
 	cfg    Config
 	caches *cachesim.Hierarchy
@@ -114,13 +119,13 @@ type Simulator struct {
 	// architectural results against the functional device.
 	buffers map[int]*device.Buffer
 
-	// per-group interpreter state
-	grf  [isa.NumRegs][isa.MaxWidth]uint32
-	flag [isa.MaxWidth]bool
-	// regReady[r] is the pipeline cycle at which register r's last write
-	// completes (the scoreboard).
-	regReady  [isa.NumRegs]uint64
-	flagReady uint64
+	// eng is the shared execution engine (interpreter scratch, watchdog
+	// accounting, hooks); det is its cycle-level extension (scoreboard,
+	// cache model).
+	eng engine.Env
+	det engine.Detailed
+
+	probe *engine.Probe // attached analysis probe, or nil
 }
 
 // New creates a simulator.
@@ -140,11 +145,19 @@ func New(cfg Config) (*Simulator, error) {
 		return nil, fmt.Errorf("detsim: %w", err)
 	}
 	cfg.Caches = caches
-	if cfg.WatchdogInstrs == 0 {
-		cfg.WatchdogInstrs = maxGroupInstrs
-	}
-	return &Simulator{cfg: cfg, caches: h}, nil
+	s := &Simulator{cfg: cfg, caches: h}
+	s.det.Depth = uint64(cfg.PipelineDepth)
+	s.det.Caches = h
+	s.det.MemLatencyNs = cfg.Device.MemLatencyNs
+	return s, nil
 }
+
+// SetProbe attaches an engine analysis probe observing every detailed or
+// warmup invocation's dynamic basic-block entries; nil detaches. The
+// probe is also attached to the inner fast-forward device, so a full
+// replay yields complete block counts regardless of range selection.
+// Pure observation: probes never alter execution, timing, or statistics.
+func (s *Simulator) SetProbe(p *engine.Probe) { s.probe = p }
 
 // Run replays the recording, simulating invocations inside the detailed
 // ranges with the cycle-level model and fast-forwarding the rest.
@@ -157,6 +170,11 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 	if err != nil {
 		return nil, fmt.Errorf("detsim: %w", err)
 	}
+	// The fast-forward device shares the per-enqueue budget and probe, so
+	// watchdog trips and block counts are identical whether an invocation
+	// lands inside or outside a detailed range.
+	dev.SetWatchdog(s.cfg.WatchdogInstrs)
+	dev.SetProbe(s.probe)
 
 	rep := &Report{}
 	buffers := make(map[int]*device.Buffer)

@@ -1,10 +1,17 @@
 package detsim
 
-import "gtpin/internal/obs"
+import (
+	"gtpin/internal/engine"
+	"gtpin/internal/obs"
+)
 
 // Observability for the detailed simulator — invocation granularity,
 // recorded once per Run from the finished report so the per-lane step
 // loops stay untouched.
+// Engine-level work (detailed dispatches, instructions, lane ops) is
+// recorded under the shared engine_ prefix via engine.ObserveExecution;
+// only the counters specific to this backend's sampling and cache model
+// keep the detsim_ prefix.
 var (
 	mDetailedInvocations = obs.DefaultCounter("detsim_detailed_invocations_total",
 		"invocations simulated with the cycle-level model")
@@ -12,10 +19,6 @@ var (
 		"invocations executed functionally only")
 	mWarmedInvocations = obs.DefaultCounter("detsim_warmed_invocations_total",
 		"invocations run in cache-warming mode")
-	mDetailedInstrs = obs.DefaultCounter("detsim_detailed_instrs_total",
-		"dynamic instructions simulated in detail")
-	mLaneOps = obs.DefaultCounter("detsim_lane_ops_total",
-		"per-lane operations evaluated by the detailed model")
 	mSimCacheHits = obs.DefaultCounter("detsim_cache_hits_total",
 		"simulated cache hits across all levels")
 	mSimCacheMisses = obs.DefaultCounter("detsim_cache_misses_total",
@@ -29,8 +32,7 @@ func observeReport(rep *Report) {
 	mDetailedInvocations.Add(uint64(rep.Detailed))
 	mFastForwardInvocations.Add(uint64(rep.FastForwarded))
 	mWarmedInvocations.Add(uint64(rep.Warmed))
-	mDetailedInstrs.Add(rep.DetailedInstrs)
-	mLaneOps.Add(rep.LaneOps)
+	engine.ObserveExecution(uint64(rep.Detailed), rep.DetailedInstrs, rep.LaneOps)
 	for _, c := range rep.Cache {
 		mSimCacheHits.Add(c.Hits)
 		mSimCacheMisses.Add(c.Misses)

@@ -3,8 +3,8 @@ package device
 import (
 	"fmt"
 
+	"gtpin/internal/engine"
 	"gtpin/internal/faults"
-	"gtpin/internal/isa"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
 )
@@ -42,63 +42,13 @@ type ExecStats struct {
 	BackoffNs float64 // modelled retry backoff delay, not in TimeNs
 }
 
-// maxGroupInstrs bounds dynamic instructions per channel-group, as a
-// runaway-loop backstop.
-const maxGroupInstrs = 64 << 20
-
-// instruction base costs in EU cycles, indexed by opcode.
-var instrCost = func() [isa.NumOpcodes]uint32 {
-	var c [isa.NumOpcodes]uint32
-	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
-		switch {
-		case op == isa.OpMath:
-			c[op] = 8
-		case op == isa.OpMul || op == isa.OpMach || op == isa.OpMad:
-			c[op] = 2
-		case op.IsControl():
-			c[op] = 2
-		case op.IsSend():
-			c[op] = 4 // issue cost; latency modelled at dispatch level
-		default:
-			c[op] = 1
-		}
-	}
-	return c
-}()
-
-// The interpreter's first-level dispatch collapses the opcode space into
-// five classes, so the hot loop pays one dense table lookup instead of a
-// sparse opcode switch; only control flow then re-examines the opcode.
-const (
-	classALU = iota
-	classControl
-	classEnd
-	classSend
-	classCmp
-)
-
-var opClass = func() [isa.NumOpcodes]uint8 {
-	var t [isa.NumOpcodes]uint8
-	for op := isa.Opcode(0); int(op) < isa.NumOpcodes; op++ {
-		switch {
-		case op == isa.OpEnd:
-			t[op] = classEnd
-		case op.IsControl():
-			t[op] = classControl
-		case op.IsSend():
-			t[op] = classSend
-		case op == isa.OpCmp:
-			t[op] = classCmp
-		default:
-			t[op] = classALU
-		}
-	}
-	return t
-}()
-
-// Device is one GPU instance. It owns a decoded-binary cache and the
-// interpreter scratch state; it is not safe for concurrent use, matching
-// a single in-order command queue.
+// Device is one GPU instance: the shared execution engine composed with
+// the analytic timing model (timing.go) and the device's queue
+// semantics. All ISA interpretation happens in internal/engine; the
+// device contributes validation, fault-injection policy, and timing.
+// It owns a decoded-binary cache and the engine's interpreter scratch;
+// it is not safe for concurrent use, matching a single in-order command
+// queue.
 type Device struct {
 	cfg        Config
 	cycles     uint64 // device timestamp counter, advanced per dispatch
@@ -118,19 +68,14 @@ type Device struct {
 	inj      *faults.Injector
 	curInv   *faults.Invocation // fault plan of the dispatch in flight
 
-	// memStallCycles is the per-send memory stall charged to a thread:
-	// the wall-clock latency in cycles, divided by the EU's SMT depth
-	// (co-resident threads hide most of each other's latency).
-	memStallCycles uint64
+	probe *engine.Probe // attached analysis probe, or nil
 
 	decoded map[*jit.Binary]*kernel.Kernel
 
-	// Interpreter scratch, reused across groups. Register contents are
-	// undefined at thread start, as on real hardware; kernels must write
-	// registers before reading them.
-	grf  [isa.NumRegs][isa.MaxWidth]uint32
-	flag [isa.MaxWidth]bool
-	imm  [3][isa.MaxWidth]uint32 // broadcast scratch for immediate operands
+	// eng is the shared execution engine: interpreter scratch state,
+	// watchdog accounting, and the device's hooks (timer, send faults,
+	// memory stall charge).
+	eng engine.Env
 }
 
 // New creates a device with the given configuration.
@@ -138,12 +83,18 @@ func New(cfg Config) (*Device, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Device{
-		cfg:            cfg,
-		id:             deviceIDs.Add(1) - 1,
-		decoded:        make(map[*jit.Binary]*kernel.Kernel),
-		memStallCycles: uint64(cfg.MemLatencyNs * cfg.freqGHz() / float64(cfg.ThreadsPerEU)),
-	}, nil
+	d := &Device{
+		cfg:     cfg,
+		id:      deviceIDs.Add(1) - 1,
+		decoded: make(map[*jit.Binary]*kernel.Kernel),
+	}
+	// memory stall: the per-send latency charged to a thread — the
+	// wall-clock latency in cycles, divided by the EU's SMT depth
+	// (co-resident threads hide most of each other's latency).
+	d.eng.MemStallCycles = uint64(cfg.MemLatencyNs * cfg.freqGHz() / float64(cfg.ThreadsPerEU))
+	d.eng.Timer = func(groupCycles uint64) uint32 { return uint32(d.cycles + groupCycles) }
+	d.eng.SendFault = func(sends uint64) bool { return d.curInv.SendFault(sends) }
+	return d, nil
 }
 
 // Config returns the device configuration.
@@ -175,12 +126,17 @@ func (d *Device) FaultInjector() *faults.Injector { return d.inj }
 // Jitter returns the installed timing jitter source, or nil.
 func (d *Device) Jitter() *TimingJitter { return d.jitter }
 
+// SetProbe attaches an engine analysis probe observing every dispatch's
+// dynamic basic-block entries; nil detaches. Pure observation: probes
+// never alter execution, timing, or statistics.
+func (d *Device) SetProbe(p *engine.Probe) { d.probe = p }
+
 // budget returns the effective per-enqueue instruction budget.
 func (d *Device) budget() uint64 {
 	if d.watchdog > 0 {
 		return d.watchdog
 	}
-	return maxGroupInstrs
+	return engine.MaxGroupInstrs
 }
 
 func (d *Device) kernelFor(bin *jit.Binary) (*kernel.Kernel, error) {
@@ -193,6 +149,15 @@ func (d *Device) kernelFor(bin *jit.Binary) (*kernel.Kernel, error) {
 	}
 	d.decoded[bin] = k
 	return k, nil
+}
+
+// fill copies the engine's accumulated counters into the dispatch stats.
+func (st *ExecStats) fill(es *engine.Stats) {
+	st.Instrs = es.Instrs
+	st.Sends = es.Sends
+	st.BytesRead = es.BytesRead
+	st.BytesWritten = es.BytesWritten
+	st.ComputeCycles = es.Cycles
 }
 
 // Run executes one dispatch to completion and returns its statistics.
@@ -231,6 +196,14 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 		return st, err
 	}
 
+	d.eng.Watchdog.Reset(d.watchdog)
+	if d.probe != nil {
+		d.eng.OnBlock = d.probe.Profile(k).CountBlock
+	} else {
+		d.eng.OnBlock = nil
+	}
+
+	var es engine.Stats
 	width := int(k.SIMD)
 	groups := (disp.GlobalWorkSize + width - 1) / width
 	for g := 0; g < groups; g++ {
@@ -238,12 +211,14 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 		if active > width {
 			active = width
 		}
-		if err := d.runGroup(k, disp, g, active, &st); err != nil {
+		if err := d.eng.RunGroup(k, disp.Args, disp.Surfaces, g, active, &es); err != nil {
+			st.fill(&es)
 			err = fmt.Errorf("device: kernel %s group %d: %w", k.Name, g, err)
 			observeRunError(err)
 			return st, err
 		}
 	}
+	st.fill(&es)
 	if d.curInv.CorruptResult() {
 		// Integrity checking rejects the dispatch; its side effects are
 		// untrustworthy and the caller must replay from a clean snapshot.
@@ -255,335 +230,4 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 	d.cycles += uint64(st.TimeNs * d.cfg.freqGHz())
 	d.observeDispatch(k.Name, &st)
 	return st, nil
-}
-
-// operand resolves an instruction source to a channel vector. Immediates
-// are broadcast into per-slot scratch.
-func (d *Device) operand(o isa.Operand, slot, width int) *[isa.MaxWidth]uint32 {
-	switch o.Kind {
-	case isa.OperandReg:
-		return &d.grf[o.Reg]
-	case isa.OperandImm:
-		s := &d.imm[slot]
-		for i := 0; i < width; i++ {
-			s[i] = o.Imm
-		}
-		return s
-	}
-	// OperandNone: a zero vector; reuse scratch.
-	s := &d.imm[slot]
-	for i := 0; i < width; i++ {
-		s[i] = 0
-	}
-	return s
-}
-
-func (d *Device) runGroup(k *kernel.Kernel, disp Dispatch, group, active int, st *ExecStats) error {
-	width := int(k.SIMD)
-
-	// ABI setup: global IDs, group index, broadcast arguments.
-	base := uint32(group * width)
-	for l := 0; l < width; l++ {
-		d.grf[kernel.GIDReg][l] = base + uint32(l)
-	}
-	for l := 0; l < width; l++ {
-		d.grf[kernel.TIDReg][l] = uint32(group)
-	}
-	for i := 0; i < k.NumArgs; i++ {
-		v := disp.Args[i]
-		for l := 0; l < width; l++ {
-			d.grf[kernel.ArgReg(i)][l] = v
-		}
-	}
-
-	var retStack [16]int
-	sp := 0
-	blk := 0
-	groupInstrs := uint64(0)
-	groupCycles := uint64(0)
-
-	for {
-		if blk >= len(k.Blocks) {
-			return fmt.Errorf("fell off end of kernel (block %d)", blk)
-		}
-		b := k.Blocks[blk]
-		next := blk + 1
-	body:
-		for ii := range b.Instrs {
-			in := &b.Instrs[ii]
-			groupInstrs++
-			groupCycles += uint64(instrCost[in.Op])
-			if groupInstrs > maxGroupInstrs {
-				return fmt.Errorf("%w: group exceeded %d instructions; runaway loop?", faults.ErrWatchdogTimeout, maxGroupInstrs)
-			}
-			if d.watchdog > 0 && st.Instrs+groupInstrs > d.watchdog {
-				return fmt.Errorf("%w: enqueue exceeded its %d-instruction budget", faults.ErrWatchdogTimeout, d.watchdog)
-			}
-
-			iw := int(in.Width) // instruction execution width
-			switch opClass[in.Op] {
-			case classALU:
-				d.execALU(in, iw)
-			case classCmp:
-				s0 := d.operand(in.Src0, 0, iw)
-				s1 := d.operand(in.Src1, 1, iw)
-				d.execCmp(in.Cond, s0, s1, iw)
-			case classSend:
-				sendActive := active
-				if iw < sendActive {
-					sendActive = iw
-				}
-				if err := d.execSend(in, disp, iw, sendActive, groupCycles, st); err != nil {
-					return err
-				}
-				if in.Msg.Kind.Reads() || in.Msg.Kind.Writes() {
-					// Charge the thread's SMT-amortized share of the memory
-					// latency, so both the timing model and intra-thread
-					// timer reads observe memory stall time.
-					groupCycles += d.memStallCycles
-				}
-			case classEnd:
-				st.Instrs += groupInstrs
-				st.ComputeCycles += groupCycles
-				return nil
-			default: // classControl
-				switch in.Op {
-				case isa.OpJmp:
-					next = int(in.Target)
-				case isa.OpBr:
-					// The branch reduces flags over its own execution width
-					// (a scalar br considers only channel 0).
-					ba := active
-					if iw < ba {
-						ba = iw
-					}
-					if d.reduceFlag(in.BrMode, ba) {
-						next = int(in.Target)
-					}
-				case isa.OpCall:
-					if sp == len(retStack) {
-						return fmt.Errorf("call stack overflow")
-					}
-					retStack[sp] = blk + 1
-					sp++
-					next = int(in.Target)
-				case isa.OpRet:
-					if sp == 0 {
-						return fmt.Errorf("ret with empty call stack")
-					}
-					sp--
-					next = retStack[sp]
-				}
-				break body
-			}
-		}
-		blk = next
-	}
-}
-
-// reduceFlag reduces the flag vector over the first active channels.
-func (d *Device) reduceFlag(mode isa.BranchMode, active int) bool {
-	switch mode {
-	case isa.BranchAny:
-		for i := 0; i < active; i++ {
-			if d.flag[i] {
-				return true
-			}
-		}
-		return false
-	case isa.BranchAll:
-		for i := 0; i < active; i++ {
-			if !d.flag[i] {
-				return false
-			}
-		}
-		return true
-	case isa.BranchNone:
-		for i := 0; i < active; i++ {
-			if d.flag[i] {
-				return false
-			}
-		}
-		return true
-	}
-	return false
-}
-
-func (d *Device) execCmp(cond isa.CondMod, s0, s1 *[isa.MaxWidth]uint32, width int) {
-	for i := 0; i < width; i++ {
-		a, b := s0[i], s1[i]
-		var r bool
-		switch cond {
-		case isa.CondEQ:
-			r = a == b
-		case isa.CondNE:
-			r = a != b
-		case isa.CondLT:
-			r = a < b
-		case isa.CondLE:
-			r = a <= b
-		case isa.CondGT:
-			r = a > b
-		case isa.CondGE:
-			r = a >= b
-		case isa.CondLTS:
-			r = int32(a) < int32(b)
-		case isa.CondGTS:
-			r = int32(a) > int32(b)
-		}
-		d.flag[i] = r
-	}
-}
-
-// lanesEnabled reports whether channel i executes under the predication
-// mode.
-func (d *Device) laneEnabled(pred isa.PredMode, i int) bool {
-	switch pred {
-	case isa.PredOn:
-		return d.flag[i]
-	case isa.PredOff:
-		return !d.flag[i]
-	}
-	return true
-}
-
-func (d *Device) execALU(in *isa.Instruction, width int) {
-	s0 := d.operand(in.Src0, 0, width)
-	s1 := d.operand(in.Src1, 1, width)
-	dst := &d.grf[in.Dst]
-	pred := in.Pred
-
-	switch in.Op {
-	case isa.OpMov, isa.OpMovi:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i]
-			}
-		}
-	case isa.OpSel:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				if d.flag[i] {
-					dst[i] = s0[i]
-				} else {
-					dst[i] = s1[i]
-				}
-			}
-		}
-	case isa.OpAnd:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] & s1[i]
-			}
-		}
-	case isa.OpOr:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] | s1[i]
-			}
-		}
-	case isa.OpXor:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] ^ s1[i]
-			}
-		}
-	case isa.OpNot:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = ^s0[i]
-			}
-		}
-	case isa.OpShl:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] << (s1[i] & 31)
-			}
-		}
-	case isa.OpShr:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] >> (s1[i] & 31)
-			}
-		}
-	case isa.OpAsr:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = uint32(int32(s0[i]) >> (s1[i] & 31))
-			}
-		}
-	case isa.OpAdd:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] + s1[i]
-			}
-		}
-	case isa.OpSub:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] - s1[i]
-			}
-		}
-	case isa.OpMul:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i] * s1[i]
-			}
-		}
-	case isa.OpMach:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = uint32((uint64(s0[i]) * uint64(s1[i])) >> 32)
-			}
-		}
-	case isa.OpMad:
-		s2 := d.operand(in.Src2, 2, width)
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = s0[i]*s1[i] + s2[i]
-			}
-		}
-	case isa.OpMin:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				if s1[i] < s0[i] {
-					dst[i] = s1[i]
-				} else {
-					dst[i] = s0[i]
-				}
-			}
-		}
-	case isa.OpMax:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				if s1[i] > s0[i] {
-					dst[i] = s1[i]
-				} else {
-					dst[i] = s0[i]
-				}
-			}
-		}
-	case isa.OpAbs:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				v := int32(s0[i])
-				if v < 0 {
-					v = -v
-				}
-				dst[i] = uint32(v)
-			}
-		}
-	case isa.OpAvg:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = uint32((uint64(s0[i]) + uint64(s1[i]) + 1) >> 1)
-			}
-		}
-	case isa.OpMath:
-		for i := 0; i < width; i++ {
-			if d.laneEnabled(pred, i) {
-				dst[i] = isa.EvalMath(in.Fn, s0[i], s1[i])
-			}
-		}
-	}
 }

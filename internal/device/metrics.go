@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"gtpin/internal/engine"
 	"gtpin/internal/faults"
 	"gtpin/internal/obs"
 )
@@ -14,11 +15,10 @@ import (
 // interpreter's per-instruction loop is never touched. Tracing is
 // consulted through obs.ActiveTracer and costs one atomic load when
 // disabled.
+// Engine-level work (dispatches, instructions) is recorded under the
+// shared engine_ prefix via engine.ObserveExecution; only the counters
+// specific to this backend's timing model keep the device_ prefix.
 var (
-	mDispatches = obs.DefaultCounter("device_dispatches_total",
-		"kernel dispatches completed by the modeled device")
-	mInstrs = obs.DefaultCounter("device_instructions_total",
-		"dynamic instructions executed across all dispatches")
 	mSends = obs.DefaultCounter("device_sends_total",
 		"send (memory) instructions executed")
 	mBytesRead = obs.DefaultCounter("device_bytes_read_total",
@@ -48,8 +48,7 @@ func (d *Device) observeDispatch(kernelName string, st *ExecStats) {
 	start := d.virtNs
 	d.virtNs += st.TimeNs
 
-	mDispatches.Inc()
-	mInstrs.Add(st.Instrs)
+	engine.ObserveExecution(1, st.Instrs, 0)
 	mSends.Add(st.Sends)
 	mBytesRead.Add(st.BytesRead)
 	mBytesWritten.Add(st.BytesWritten)

@@ -1,0 +1,176 @@
+package engine
+
+import "gtpin/internal/isa"
+
+// execALU executes one ALU-class instruction over the full execution
+// width. The per-opcode loops are the vectorized form of isa.Eval —
+// tests assert the two stay semantically identical — so the compiler
+// keeps the lane loop free of per-lane dispatch.
+func (c *Core) execALU(in *isa.Instruction, width int) {
+	s0 := c.operand(in.Src0, 0, width)
+	s1 := c.operand(in.Src1, 1, width)
+	dst := &c.GRF[in.Dst]
+	pred := in.Pred
+
+	switch in.Op {
+	case isa.OpMov, isa.OpMovi:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i]
+			}
+		}
+	case isa.OpSel:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				if c.Flag[i] {
+					dst[i] = s0[i]
+				} else {
+					dst[i] = s1[i]
+				}
+			}
+		}
+	case isa.OpAnd:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] & s1[i]
+			}
+		}
+	case isa.OpOr:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] | s1[i]
+			}
+		}
+	case isa.OpXor:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] ^ s1[i]
+			}
+		}
+	case isa.OpNot:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = ^s0[i]
+			}
+		}
+	case isa.OpShl:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] << (s1[i] & 31)
+			}
+		}
+	case isa.OpShr:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] >> (s1[i] & 31)
+			}
+		}
+	case isa.OpAsr:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = uint32(int32(s0[i]) >> (s1[i] & 31))
+			}
+		}
+	case isa.OpAdd:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] + s1[i]
+			}
+		}
+	case isa.OpSub:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] - s1[i]
+			}
+		}
+	case isa.OpMul:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i] * s1[i]
+			}
+		}
+	case isa.OpMach:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = uint32((uint64(s0[i]) * uint64(s1[i])) >> 32)
+			}
+		}
+	case isa.OpMad:
+		s2 := c.operand(in.Src2, 2, width)
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = s0[i]*s1[i] + s2[i]
+			}
+		}
+	case isa.OpMin:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				if s1[i] < s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		}
+	case isa.OpMax:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				if s1[i] > s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		}
+	case isa.OpAbs:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				v := int32(s0[i])
+				if v < 0 {
+					v = -v
+				}
+				dst[i] = uint32(v)
+			}
+		}
+	case isa.OpAvg:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = uint32((uint64(s0[i]) + uint64(s1[i]) + 1) >> 1)
+			}
+		}
+	case isa.OpMath:
+		for i := 0; i < width; i++ {
+			if c.laneOn(pred, i) {
+				dst[i] = isa.EvalMath(in.Fn, s0[i], s1[i])
+			}
+		}
+	}
+}
+
+// execCmp executes a compare over the execution width, writing the flag
+// register.
+func (c *Core) execCmp(cond isa.CondMod, s0, s1 *[isa.MaxWidth]uint32, width int) {
+	for i := 0; i < width; i++ {
+		a, b := s0[i], s1[i]
+		var r bool
+		switch cond {
+		case isa.CondEQ:
+			r = a == b
+		case isa.CondNE:
+			r = a != b
+		case isa.CondLT:
+			r = a < b
+		case isa.CondLE:
+			r = a <= b
+		case isa.CondGT:
+			r = a > b
+		case isa.CondGE:
+			r = a >= b
+		case isa.CondLTS:
+			r = int32(a) < int32(b)
+		case isa.CondGTS:
+			r = int32(a) > int32(b)
+		}
+		c.Flag[i] = r
+	}
+}

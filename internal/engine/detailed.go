@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"fmt"
+
+	"gtpin/internal/faults"
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Pipeline geometry of the modelled in-order EU: fetch, decode,
+// register read, two execute stages, write-back, retire.
+const (
+	numStages = 7
+	execStage = 4
+)
+
+// CacheModel is the memory hierarchy the detailed loop walks on every
+// send access; it returns the access latency in nanoseconds.
+// *cachesim.Hierarchy satisfies it.
+type CacheModel interface {
+	Access(addr uint64, write bool) float64
+}
+
+// Detailed is the cycle-level interpreter state a backend composes with
+// an Env: the register scoreboard, pipeline depth, and the cache model
+// accesses are charged against.
+type Detailed struct {
+	// Depth is the in-order pipeline's result latency in cycles for
+	// single-cycle ops (dependent instructions stall on it).
+	Depth uint64
+	// Caches is the simulated hierarchy every access walks.
+	Caches CacheModel
+	// MemLatencyNs is the DRAM latency; accesses at or above it count
+	// as full line fills (DRAM traffic).
+	MemLatencyNs float64
+	// Timer supplies the value a MsgTimer send writes under detailed
+	// simulation; nil leaves the destination untouched.
+	Timer func() uint32
+
+	// regReady[r] is the pipeline cycle at which register r's last
+	// write completes (the scoreboard).
+	regReady  [isa.NumRegs]uint64
+	flagReady uint64
+}
+
+// DetailedStats accumulates the cycle-level loop's work counters.
+// Instrs commits when a group retires; LaneOps counts every per-lane
+// evaluation, pipeline event, and cache access — the simulation work
+// that makes detailed mode orders of magnitude slower.
+type DetailedStats struct {
+	Instrs  uint64
+	LaneOps uint64
+}
+
+// RunGroupDetailed simulates one channel-group at cycle level: every
+// channel of every instruction is evaluated individually (isa.Eval),
+// every memory access walks the cache hierarchy, and an in-order
+// scoreboard charges dependency stalls. The architectural results are
+// identical to RunGroup — the differential tests enforce it — but the
+// simulation cost per instruction is orders of magnitude higher.
+//
+// It returns the group's pipeline cycles and the bytes that missed
+// every cache level (DRAM traffic).
+func (e *Env) RunGroupDetailed(det *Detailed, k *kernel.Kernel, args []uint32, surfs []*Buffer, group, active int, freq float64, ds *DetailedStats) (uint64, uint64, error) {
+	c := &e.Core
+	width := int(k.SIMD)
+	c.InitGroup(k, args, group, width)
+	for r := range det.regReady {
+		det.regReady[r] = 0
+	}
+	det.flagReady = 0
+
+	var retStack [16]int
+	sp := 0
+	blk := 0
+	var cycle uint64
+	var instrs uint64
+	var bytesMoved uint64
+	depth := det.Depth
+
+	// In-order pipeline: stageFree[st] is the cycle at which stage st
+	// can next accept an instruction. Every instruction walks all
+	// stages, exposing structural hazards; memory operations occupy the
+	// execute stage for their access latency.
+	var stageFree [numStages]uint64
+	issue := func(ready uint64, execHold uint64) uint64 {
+		t := ready
+		for st := 0; st < numStages; st++ {
+			if stageFree[st] > t {
+				t = stageFree[st]
+			}
+			t++
+			if st == execStage {
+				t += execHold
+			}
+			stageFree[st] = t
+			ds.LaneOps++ // pipeline event bookkeeping
+		}
+		return t - uint64(numStages) + 1 // cycle the instruction issued
+	}
+
+	// readyAt checks the three sources explicitly rather than ranging
+	// over a slice literal: this runs once per dynamic instruction and
+	// the literal was the detailed loop's only per-instruction
+	// allocation.
+	readyAt := func(in *isa.Instruction) uint64 {
+		t := cycle
+		if in.Src0.Kind == isa.OperandReg && det.regReady[in.Src0.Reg] > t {
+			t = det.regReady[in.Src0.Reg]
+		}
+		if in.Src1.Kind == isa.OperandReg && det.regReady[in.Src1.Reg] > t {
+			t = det.regReady[in.Src1.Reg]
+		}
+		if in.Src2.Kind == isa.OperandReg && det.regReady[in.Src2.Reg] > t {
+			t = det.regReady[in.Src2.Reg]
+		}
+		if in.Pred != isa.PredNoneMode || in.Op == isa.OpSel || in.Op == isa.OpBr {
+			if det.flagReady > t {
+				t = det.flagReady
+			}
+		}
+		return t
+	}
+
+	for {
+		if blk >= len(k.Blocks) {
+			return 0, 0, fmt.Errorf("fell off end of kernel (block %d)", blk)
+		}
+		if e.OnBlock != nil {
+			e.OnBlock(blk)
+		}
+		b := k.Blocks[blk]
+		next := blk + 1
+	body:
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			instrs++
+			if err := e.Watchdog.check(instrs); err != nil {
+				return 0, 0, err
+			}
+			start := readyAt(in)
+			iw := int(in.Width)
+			if iw > width {
+				iw = width
+			}
+
+			switch in.Op {
+			case isa.OpJmp:
+				cycle = issue(start, 1)
+				next = int(in.Target)
+				break body
+			case isa.OpBr:
+				cycle = issue(start, 1)
+				ba := active
+				if iw < ba {
+					ba = iw
+				}
+				if c.reduceFlag(in.BrMode, ba) {
+					next = int(in.Target)
+				}
+				break body
+			case isa.OpCall:
+				if sp == len(retStack) {
+					return 0, 0, fmt.Errorf("call stack overflow")
+				}
+				retStack[sp] = blk + 1
+				sp++
+				cycle = issue(start, 1)
+				next = int(in.Target)
+				break body
+			case isa.OpRet:
+				if sp == 0 {
+					return 0, 0, fmt.Errorf("ret with empty call stack")
+				}
+				sp--
+				cycle = issue(start, 1)
+				next = retStack[sp]
+				break body
+			case isa.OpEnd:
+				cycle = issue(start, 1)
+				ds.Instrs += instrs
+				e.Watchdog.commit(instrs)
+				return cycle + numStages, bytesMoved, nil
+			case isa.OpCmp:
+				for l := 0; l < iw; l++ {
+					a := c.srcLane(in.Src0, l)
+					b2 := c.srcLane(in.Src1, l)
+					c.Flag[l] = isa.EvalCmp(in.Cond, a, b2)
+					ds.LaneOps++
+				}
+				cycle = issue(start, 0)
+				det.flagReady = cycle + depth
+			case isa.OpSend, isa.OpSendc:
+				sa := active
+				if iw < sa {
+					sa = iw
+				}
+				lat, moved, err := e.detSend(det, in, surfs, iw, sa, freq, ds)
+				if err != nil {
+					return 0, 0, err
+				}
+				cycle = issue(start, 2)
+				bytesMoved += moved
+				if in.Dst != 0 || in.Msg.Kind.Reads() {
+					// The thread stalls for the full latency only when a
+					// dependent read occurs; the scoreboard captures that.
+					det.regReady[in.Dst] = cycle + lat
+				}
+			default:
+				for l := 0; l < iw; l++ {
+					if !c.laneOn(in.Pred, l) {
+						continue
+					}
+					a := c.srcLane(in.Src0, l)
+					b2 := c.srcLane(in.Src1, l)
+					d2 := c.srcLane(in.Src2, l)
+					c.GRF[in.Dst][l] = isa.Eval(in.Op, in.Fn, a, b2, d2, c.Flag[l])
+					ds.LaneOps++
+				}
+				var hold uint64
+				if in.Op == isa.OpMath {
+					hold = 8
+				} else if in.Op == isa.OpMul || in.Op == isa.OpMach || in.Op == isa.OpMad {
+					hold = 2
+				}
+				cycle = issue(start, hold)
+				det.regReady[in.Dst] = cycle + depth
+			}
+		}
+		blk = next
+	}
+}
+
+// detSend performs a send's memory semantics with per-access cache
+// simulation, returning the access latency in cycles and the line bytes
+// that missed every cache level (DRAM traffic).
+func (e *Env) detSend(det *Detailed, in *isa.Instruction, surfs []*Buffer, width, active int, freq float64, ds *DetailedStats) (uint64, uint64, error) {
+	c := &e.Core
+	msg := in.Msg
+	switch msg.Kind {
+	case isa.MsgEOT:
+		return 0, 0, nil
+	case isa.MsgTimer:
+		if det.Timer != nil {
+			c.GRF[in.Dst][0] = det.Timer()
+		}
+		return 0, 0, nil
+	}
+	if int(msg.Surface) >= len(surfs) {
+		return 0, 0, fmt.Errorf("send %s: surface %d not bound: %w", msg.Kind, msg.Surface, faults.ErrInvalidDispatch)
+	}
+	surf := surfs[msg.Surface]
+	elem := int(msg.ElemBytes)
+	addrs := &c.GRF[in.Src0.Reg]
+	var worstNs float64
+	var missBytes uint64
+	memNs := det.MemLatencyNs
+
+	access := func(addr uint32, write bool) {
+		ns := det.Caches.Access(sendKey(msg.Surface, addr), write)
+		if ns > worstNs {
+			worstNs = ns
+		}
+		if ns >= memNs {
+			missBytes += 64 // one line fill from DRAM
+		}
+		ds.LaneOps++
+	}
+
+	switch msg.Kind {
+	case isa.MsgLoad:
+		dst := &c.GRF[in.Dst]
+		for l := 0; l < active; l++ {
+			if c.laneOn(in.Pred, l) {
+				dst[l] = uint32(surf.LoadElem(addrs[l], elem))
+				access(addrs[l], false)
+			}
+		}
+	case isa.MsgStore:
+		data := &c.GRF[in.Src1.Reg]
+		for l := 0; l < active; l++ {
+			if c.laneOn(in.Pred, l) {
+				surf.StoreElem(addrs[l], elem, uint64(data[l]))
+				access(addrs[l], true)
+			}
+		}
+	case isa.MsgLoadBlock:
+		dst := &c.GRF[in.Dst]
+		base := addrs[0]
+		for l := 0; l < width; l++ {
+			dst[l] = uint32(surf.LoadElem(base+uint32(l*elem), elem))
+			access(base+uint32(l*elem), false)
+		}
+	case isa.MsgStoreBlock:
+		data := &c.GRF[in.Src1.Reg]
+		base := addrs[0]
+		for l := 0; l < width; l++ {
+			surf.StoreElem(base+uint32(l*elem), elem, uint64(data[l]))
+			access(base+uint32(l*elem), true)
+		}
+	case isa.MsgAtomicAdd:
+		data := &c.GRF[in.Src1.Reg]
+		dst := &c.GRF[in.Dst]
+		for l := 0; l < active; l++ {
+			if c.laneOn(in.Pred, l) {
+				old := surf.AtomicAdd(addrs[l], elem, uint64(data[l]))
+				dst[l] = uint32(old)
+				access(addrs[l], true)
+			}
+		}
+	default:
+		return 0, 0, fmt.Errorf("send: unsupported message kind %s", msg.Kind)
+	}
+	lat := uint64(worstNs * freq)
+	if lat == 0 {
+		lat = 1
+	}
+	return lat, missBytes, nil
+}

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"fmt"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// Env is the execution environment a backend composes around the shared
+// interpreter: architectural scratch state, watchdog accounting, and
+// the optional observer/fault hooks. Hooks are nilable func fields
+// rather than an interface, so the hot loops pay a predictable nil
+// check — not a dynamic dispatch — when a hook is absent.
+//
+// An Env is not safe for concurrent use; each backend instance owns
+// one, matching a single in-order command queue.
+type Env struct {
+	Core     Core
+	Watchdog Watchdog
+
+	// Timer supplies the value a MsgTimer send writes to channel 0 of
+	// its destination register, given the group's accumulated cycles.
+	// A nil hook leaves the destination untouched (the detailed model
+	// carries its own notion of time; see Detailed.Timer).
+	Timer func(groupCycles uint64) uint32
+
+	// SendFault reports whether fault injection kills the enqueue's
+	// n-th send transaction; the engine surfaces the kill as
+	// faults.ErrSendFault.
+	SendFault func(sends uint64) bool
+
+	// Touch observes every send memory access with the hierarchy key
+	// surface<<32|addr — how cache-warming execution keeps simulated
+	// caches hot without modelling time.
+	Touch func(key uint64, write bool)
+
+	// OnBlock observes each dynamic basic-block entry; analysis probes
+	// (BBVs, opcode mixes) attach here.
+	OnBlock func(block int)
+
+	// MemStallCycles is charged to a group per memory send: the
+	// SMT-amortized share of memory latency the owning backend models
+	// (0 = memory time modelled elsewhere).
+	MemStallCycles uint64
+}
+
+// RunGroup interprets one channel-group to completion under functional
+// semantics: full architectural effects, flat per-opcode cycle costs,
+// no microarchitectural state. It is the hot path of the functional
+// device and of detailed simulation's fast-forward and warmup modes.
+func (e *Env) RunGroup(k *kernel.Kernel, args []uint32, surfs []*Buffer, group, active int, st *Stats) error {
+	c := &e.Core
+	width := int(k.SIMD)
+	c.InitGroup(k, args, group, width)
+
+	var retStack [16]int
+	sp := 0
+	blk := 0
+	groupInstrs := uint64(0)
+	groupCycles := uint64(0)
+
+	for {
+		if blk >= len(k.Blocks) {
+			return fmt.Errorf("fell off end of kernel (block %d)", blk)
+		}
+		if e.OnBlock != nil {
+			e.OnBlock(blk)
+		}
+		b := k.Blocks[blk]
+		next := blk + 1
+	body:
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			groupInstrs++
+			groupCycles += uint64(IssueCost[in.Op])
+			if err := e.Watchdog.check(groupInstrs); err != nil {
+				return err
+			}
+
+			iw := int(in.Width) // instruction execution width
+			switch OpClass[in.Op] {
+			case ClassALU:
+				c.execALU(in, iw)
+			case ClassCmp:
+				s0 := c.operand(in.Src0, 0, iw)
+				s1 := c.operand(in.Src1, 1, iw)
+				c.execCmp(in.Cond, s0, s1, iw)
+			case ClassSend:
+				sendActive := active
+				if iw < sendActive {
+					sendActive = iw
+				}
+				if err := e.execSend(in, surfs, iw, sendActive, groupCycles, st); err != nil {
+					return err
+				}
+				if in.Msg.Kind.Reads() || in.Msg.Kind.Writes() {
+					// Charge the thread's share of the memory latency, so
+					// both the timing model and intra-thread timer reads
+					// observe memory stall time.
+					groupCycles += e.MemStallCycles
+				}
+			case ClassEnd:
+				st.Instrs += groupInstrs
+				st.Cycles += groupCycles
+				e.Watchdog.commit(groupInstrs)
+				return nil
+			default: // ClassControl
+				switch in.Op {
+				case isa.OpJmp:
+					next = int(in.Target)
+				case isa.OpBr:
+					// The branch reduces flags over its own execution width
+					// (a scalar br considers only channel 0).
+					ba := active
+					if iw < ba {
+						ba = iw
+					}
+					if c.reduceFlag(in.BrMode, ba) {
+						next = int(in.Target)
+					}
+				case isa.OpCall:
+					if sp == len(retStack) {
+						return fmt.Errorf("call stack overflow")
+					}
+					retStack[sp] = blk + 1
+					sp++
+					next = int(in.Target)
+				case isa.OpRet:
+					if sp == 0 {
+						return fmt.Errorf("ret with empty call stack")
+					}
+					sp--
+					next = retStack[sp]
+				}
+				break body
+			}
+		}
+		blk = next
+	}
+}

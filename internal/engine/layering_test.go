@@ -1,0 +1,53 @@
+package engine_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBackendsContainNoDispatch enforces the refactor's layering
+// invariant: the engine is the single source of truth for interpreting
+// the ISA. Neither backend may grow back an opcode dispatch loop,
+// per-op evaluation, or a private opcode classification table — the
+// exact duplication this architecture removed. The patterns below are
+// the fingerprints of interpreter logic; hitting one in a non-test
+// backend source means ISA semantics are leaking out of the engine.
+func TestBackendsContainNoDispatch(t *testing.T) {
+	forbidden := []string{
+		"switch in.Op",   // opcode dispatch loop
+		"case isa.Op",    // per-opcode semantics
+		"isa.Eval",       // Eval/EvalCmp/EvalMath — per-lane evaluation
+		"opClass",        // private opcode classification table
+		"instrCost",      // private issue-cost table
+		"in.Msg",         // send payload decoding
+		"engine.OpClass", // even the engine's table: backends get stats, not dispatch
+	}
+	for _, dir := range []string{"../device", "../detsim"} {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(files) == 0 {
+			t.Fatalf("no sources under %s", dir)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pat := range forbidden {
+				for i, line := range strings.Split(string(src), "\n") {
+					if strings.Contains(line, pat) {
+						t.Errorf("%s:%d: backend contains interpreter logic (%q): %s",
+							f, i+1, pat, strings.TrimSpace(line))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package engine
+
+import "gtpin/internal/obs"
+
+// Engine-level observability: the counters every backend shares, so the
+// same work is not double-reported under backend-specific names.
+// Backends record at dispatch/report granularity — the interpreter
+// loops themselves are never touched.
+var (
+	mDispatches = obs.DefaultCounter("engine_dispatches_total",
+		"kernel dispatches interpreted by the engine, across all backends")
+	mInstrs = obs.DefaultCounter("engine_instructions_total",
+		"dynamic instructions interpreted by the engine, across all backends")
+	mLaneOps = obs.DefaultCounter("engine_lane_ops_total",
+		"per-lane operations evaluated by the cycle-level loop")
+)
+
+// ObserveExecution folds a backend's completed work into the shared
+// engine counters. Called at dispatch (device) or report (detsim)
+// granularity.
+func ObserveExecution(dispatches, instrs, laneOps uint64) {
+	mDispatches.Add(dispatches)
+	mInstrs.Add(instrs)
+	mLaneOps.Add(laneOps)
+}

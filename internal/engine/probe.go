@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+// DerivedStats are instruction-level statistics derived from dynamic
+// basic-block counts combined with static block contents — the paper's
+// key overhead-reduction identity ("counter increments only once per
+// basic block rather than per instruction"). The same derivation serves
+// GT-Pin's trace-buffer post-processing and the engine's probes, so the
+// two can never drift.
+type DerivedStats struct {
+	Instrs       uint64
+	ByCategory   [isa.NumCategories]uint64
+	ByWidth      [isa.NumWidths]uint64
+	BytesRead    uint64
+	BytesWritten uint64
+}
+
+// AddBlock folds execs executions of a block with the given static
+// statistics into the totals.
+func (d *DerivedStats) AddBlock(bs *kernel.BlockStats, execs uint64) {
+	d.Instrs += execs * uint64(bs.Instrs)
+	for c := 0; c < isa.NumCategories; c++ {
+		d.ByCategory[c] += execs * uint64(bs.ByCategory[c])
+	}
+	for w := 0; w < isa.NumWidths; w++ {
+		d.ByWidth[w] += execs * uint64(bs.ByWidth[w])
+	}
+	d.BytesRead += execs * bs.BytesRead
+	d.BytesWritten += execs * bs.BytesWritten
+}
+
+// Probe is an engine observer that collects GT-Pin-style analysis data
+// (dynamic basic-block vectors and the statistics derived from them)
+// directly from the interpreter loops via the Env.OnBlock hook. Unlike
+// the gtpin package — which obtains the same data on real hardware by
+// rewriting binaries — a probe sees block entries from inside the
+// engine, so it attaches identically to every backend; the differential
+// tests in this package use that to check cross-backend equivalence.
+//
+// A probe observes; it must never feed back into execution, timing, or
+// artifacts.
+type Probe struct {
+	profiles map[string]*KernelProfile
+}
+
+// NewProbe creates an empty probe.
+func NewProbe() *Probe {
+	return &Probe{profiles: make(map[string]*KernelProfile)}
+}
+
+// Profile returns the accumulating profile for a kernel, registering it
+// on first sight.
+func (p *Probe) Profile(k *kernel.Kernel) *KernelProfile {
+	if prof, ok := p.profiles[k.Name]; ok {
+		return prof
+	}
+	prof := &KernelProfile{
+		Name:        k.Name,
+		SIMD:        k.SIMD,
+		BlockCounts: make([]uint64, len(k.Blocks)),
+		Blocks:      make([]kernel.BlockStats, len(k.Blocks)),
+	}
+	for i, b := range k.Blocks {
+		prof.Blocks[i] = kernel.StatsOf(b)
+	}
+	p.profiles[k.Name] = prof
+	return prof
+}
+
+// Kernels returns the profiles collected so far, keyed by kernel name.
+func (p *Probe) Kernels() map[string]*KernelProfile { return p.profiles }
+
+// KernelProfile is one kernel's accumulated probe data.
+type KernelProfile struct {
+	Name string
+	SIMD isa.Width
+	// BlockCounts[b] is the number of channel-group executions of basic
+	// block b — the basic-block vector.
+	BlockCounts []uint64
+	// Blocks holds the static per-block statistics the derivation uses.
+	Blocks []kernel.BlockStats
+}
+
+// CountBlock records one dynamic execution of block b; backends install
+// it as the Env.OnBlock hook.
+func (p *KernelProfile) CountBlock(b int) { p.BlockCounts[b]++ }
+
+// Derived folds the block counts with the static block statistics into
+// instruction-level totals.
+func (p *KernelProfile) Derived() DerivedStats {
+	var d DerivedStats
+	for b := range p.Blocks {
+		d.AddBlock(&p.Blocks[b], p.BlockCounts[b])
+	}
+	return d
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+
+	"gtpin/internal/faults"
+	"gtpin/internal/isa"
+)
+
+// sendKey maps a (surface, byte address) pair into the flat address
+// space the cache hierarchy and warmup hooks observe.
+func sendKey(surface uint8, addr uint32) uint64 {
+	return uint64(surface)<<32 | uint64(addr)
+}
+
+// execSend performs the memory message of a send instruction under
+// functional semantics. Only channels below active (the dispatch mask)
+// and enabled by predication participate in gather/scatter/atomic
+// messages; block messages move the full SIMD width addressed by
+// channel 0.
+func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, groupCycles uint64, st *Stats) error {
+	st.Sends++
+	if e.SendFault != nil && e.SendFault(st.Sends) {
+		return fmt.Errorf("send %s (transaction %d): %w", in.Msg.Kind, st.Sends, faults.ErrSendFault)
+	}
+	c := &e.Core
+	msg := in.Msg
+	switch msg.Kind {
+	case isa.MsgEOT:
+		return nil
+	case isa.MsgTimer:
+		if e.Timer != nil {
+			c.GRF[in.Dst][0] = e.Timer(groupCycles)
+		}
+		return nil
+	}
+
+	if int(msg.Surface) >= len(surfs) {
+		return fmt.Errorf("send %s: surface %d not bound: %w", msg.Kind, msg.Surface, faults.ErrInvalidDispatch)
+	}
+	surf := surfs[msg.Surface]
+	elem := int(msg.ElemBytes)
+	addrs := &c.GRF[in.Src0.Reg]
+
+	switch msg.Kind {
+	case isa.MsgLoad:
+		dst := &c.GRF[in.Dst]
+		for i := 0; i < active; i++ {
+			if c.laneOn(in.Pred, i) {
+				dst[i] = uint32(surf.LoadElem(addrs[i], elem))
+				st.BytesRead += uint64(elem)
+				if e.Touch != nil {
+					e.Touch(sendKey(msg.Surface, addrs[i]), false)
+				}
+			}
+		}
+	case isa.MsgStore:
+		data := &c.GRF[in.Src1.Reg]
+		for i := 0; i < active; i++ {
+			if c.laneOn(in.Pred, i) {
+				surf.StoreElem(addrs[i], elem, uint64(data[i]))
+				st.BytesWritten += uint64(elem)
+				if e.Touch != nil {
+					e.Touch(sendKey(msg.Surface, addrs[i]), true)
+				}
+			}
+		}
+	case isa.MsgLoadBlock:
+		dst := &c.GRF[in.Dst]
+		base := addrs[0]
+		for i := 0; i < width; i++ {
+			dst[i] = uint32(surf.LoadElem(base+uint32(i*elem), elem))
+			if e.Touch != nil {
+				e.Touch(sendKey(msg.Surface, base+uint32(i*elem)), false)
+			}
+		}
+		st.BytesRead += uint64(elem * width)
+	case isa.MsgStoreBlock:
+		data := &c.GRF[in.Src1.Reg]
+		base := addrs[0]
+		for i := 0; i < width; i++ {
+			surf.StoreElem(base+uint32(i*elem), elem, uint64(data[i]))
+			if e.Touch != nil {
+				e.Touch(sendKey(msg.Surface, base+uint32(i*elem)), true)
+			}
+		}
+		st.BytesWritten += uint64(elem * width)
+	case isa.MsgAtomicAdd:
+		data := &c.GRF[in.Src1.Reg]
+		dst := &c.GRF[in.Dst]
+		for i := 0; i < active; i++ {
+			if c.laneOn(in.Pred, i) {
+				old := surf.AtomicAdd(addrs[i], elem, uint64(data[i]))
+				dst[i] = uint32(old)
+				st.BytesRead += uint64(elem)
+				st.BytesWritten += uint64(elem)
+				if e.Touch != nil {
+					e.Touch(sendKey(msg.Surface, addrs[i]), true)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("send: unsupported message kind %s", msg.Kind)
+	}
+	return nil
+}

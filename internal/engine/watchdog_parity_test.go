@@ -1,0 +1,157 @@
+package engine_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/detsim"
+	"gtpin/internal/device"
+	"gtpin/internal/faults"
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// wdKernel builds a straight-line kernel executing exactly instrsPerGroup
+// dynamic instructions per channel-group, so total dynamic instructions
+// are known in closed form and budget boundaries can be probed exactly.
+func wdKernel(t *testing.T, instrsPerGroup int) *kernel.Kernel {
+	t.Helper()
+	if instrsPerGroup < 2 {
+		t.Fatalf("need at least MovI+End, got %d", instrsPerGroup)
+	}
+	a := asm.NewKernel("wd", isa.W16)
+	v := a.Temp()
+	a.MovI(v, 1)
+	for i := 0; i < instrsPerGroup-2; i++ {
+		a.AddI(v, v, 1)
+	}
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// wdRecording replays the kernel once through a CoFluent-traced context
+// so the same enqueue can be driven through detsim.
+func wdRecording(t *testing.T, k *kernel.Kernel, gws int) *cofluent.Recording {
+	t.Helper()
+	p, err := asm.Program("wdprog", k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	q := ctx.CreateQueue()
+	prog := ctx.CreateProgram(p)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ko, err := prog.CreateKernel(k.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueNDRangeKernel(ko, gws); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cofluent.Record("wd", tr, []*kernel.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+// TestWatchdogParity is the budget-drift regression test: the watchdog
+// budget is per-enqueue on every backend, so for a kernel with a known
+// dynamic instruction count the exact boundary budget passes and
+// budget-1 trips — identically on the functional device, the detailed
+// simulator, and detsim's fast-forward path. Before the engine unified
+// the accounting, detsim metered per channel-group while the device
+// metered per enqueue, so multi-group dispatches tripped at different
+// budgets depending on the backend.
+func TestWatchdogParity(t *testing.T) {
+	const instrsPerGroup = 8
+	const groups = 3
+	k := wdKernel(t, instrsPerGroup)
+	gws := groups * int(k.SIMD)
+	total := uint64(instrsPerGroup * groups)
+
+	bin, err := jit.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wdRecording(t, k, gws)
+
+	runDevice := func(budget uint64) error {
+		dev, err := device.New(device.IvyBridgeHD4000())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetWatchdog(budget)
+		_, err = dev.Run(device.Dispatch{Binary: bin, GlobalWorkSize: gws})
+		return err
+	}
+	runDetsim := func(budget uint64, detailed bool) error {
+		cfg := detsim.DefaultConfig()
+		cfg.WatchdogInstrs = budget
+		sim, err := detsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ranges []detsim.Range
+		if detailed {
+			ranges = []detsim.Range{{From: 0, To: 1}}
+		}
+		_, err = sim.Run(rec, ranges)
+		return err
+	}
+
+	backends := []struct {
+		name string
+		run  func(budget uint64) error
+	}{
+		{"device", runDevice},
+		{"detsim-detailed", func(b uint64) error { return runDetsim(b, true) }},
+		{"detsim-fastforward", func(b uint64) error { return runDetsim(b, false) }},
+	}
+	cases := []struct {
+		budget uint64
+		trip   bool
+	}{
+		{0, false},         // disabled: only the runaway backstop remains
+		{total, false},     // exact boundary passes
+		{total - 1, true},  // one under trips on the last instruction
+		{total / 2, true},  // mid-enqueue budget trips in an earlier group
+		{total + 1, false}, // headroom passes
+	}
+	for _, be := range backends {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/budget%d", be.name, tc.budget), func(t *testing.T) {
+				err := be.run(tc.budget)
+				if tc.trip {
+					if !errors.Is(err, faults.ErrWatchdogTimeout) {
+						t.Fatalf("budget %d (total %d): want watchdog trip, got %v", tc.budget, total, err)
+					}
+					if faults.IsTransient(err) {
+						t.Fatalf("watchdog timeout must not be transient: %v", err)
+					}
+				} else if err != nil {
+					t.Fatalf("budget %d (total %d): unexpected error %v", tc.budget, total, err)
+				}
+			})
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"gtpin/internal/cl"
 	"gtpin/internal/device"
+	"gtpin/internal/engine"
 	"gtpin/internal/faults"
 	"gtpin/internal/isa"
 	"gtpin/internal/kernel"
@@ -219,21 +220,21 @@ func (g *GTPin) OnKernelComplete(comp *cl.KernelCompletion) {
 		BlockCounts: make([]uint64, len(ik.BlockSlots)),
 		TimeNs:      comp.Stats.TimeNs,
 	}
+	// The derivation — block counts x static per-block stats — is the
+	// engine's shared identity, the same arithmetic its probes use, so
+	// instrumented profiles and engine-probe profiles agree bit-for-bit.
+	var d engine.DerivedStats
 	for b, slot := range ik.BlockSlots {
 		v := g.readSlot(slot)
 		g.resetSlot(slot)
 		rec.BlockCounts[b] = v
-		bs := &ik.Blocks[b]
-		rec.Instrs += v * uint64(bs.Instrs)
-		for c := 0; c < isa.NumCategories; c++ {
-			rec.ByCategory[c] += v * uint64(bs.ByCategory[c])
-		}
-		for w := 0; w < isa.NumWidths; w++ {
-			rec.ByWidth[w] += v * uint64(bs.ByWidth[w])
-		}
-		rec.BytesRead += v * bs.BytesRead
-		rec.BytesWritten += v * bs.BytesWritten
+		d.AddBlock(&ik.Blocks[b], v)
 	}
+	rec.Instrs = d.Instrs
+	rec.ByCategory = d.ByCategory
+	rec.ByWidth = d.ByWidth
+	rec.BytesRead = d.BytesRead
+	rec.BytesWritten = d.BytesWritten
 	if g.opts.Latency {
 		rec.SiteLatency = make([]float64, len(ik.Sites))
 		for s, site := range ik.Sites {

@@ -10,6 +10,12 @@
 // Instructions have a fixed 16-byte binary encoding (as GEN native
 // instructions do); see Encode and Decode. The encoding is what the GT-Pin
 // binary rewriter operates on.
+//
+// This package defines the ISA; it does not interpret it. The per-lane
+// semantics (Eval, EvalCmp, EvalMath) and the classification helpers
+// (CategoryOf, IsControl, IsSend) are consumed by gtpin/internal/engine,
+// the single execution engine both the functional device and the
+// detailed simulator are built on — see docs/architecture.md.
 package isa
 
 import "fmt"

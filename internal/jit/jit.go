@@ -9,7 +9,9 @@
 // that it is the interception point for the GT-Pin binary rewriter
 // (gtpin/internal/gtpin), which decodes, instruments, and re-encodes the
 // binary before the driver hands it to the device — exactly the flow in
-// Figure 1 of the paper.
+// Figure 1 of the paper. Downstream, a dispatched binary is decoded
+// once (and memoized) by its backend and interpreted by the shared
+// execution engine (gtpin/internal/engine).
 package jit
 
 import (

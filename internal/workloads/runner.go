@@ -41,9 +41,12 @@ type Result struct {
 // from Seed and the application name, so parallel sweeps stay
 // reproducible.
 type FaultOptions struct {
-	Rates    faults.Rates
-	Seed     int64
-	Watchdog uint64 // per-enqueue instruction budget; 0 = disabled
+	Rates faults.Rates
+	Seed  int64
+	// Watchdog is the per-enqueue instruction budget (0 = disabled),
+	// metered by the shared engine accounting — the same budget trips at
+	// the same dynamic instruction under detsim (see docs/architecture.md).
+	Watchdog uint64
 	// Resilience overrides the context policy; nil keeps
 	// cl.DefaultResilience().
 	Resilience *cl.Resilience
