@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check crash smoke bench bench-smoke clean
+.PHONY: all build test race vet check crash smoke service-race serve-smoke bench bench-smoke clean
 
 all: build
 
@@ -33,10 +33,28 @@ smoke:
 	cmp .smoke/run1.out .smoke/run2.out
 	rm -rf .smoke
 
-# check is the CI gate: static analysis, a full build, the test suite
-# under the race detector (the chaos and crash-recovery suites must
-# never panic or deadlock under -race), and the resume smoke test.
-check: vet build race crash smoke
+# service-race runs the profiling-service suite — queue/shed, retry and
+# breaker chaos, drain ordering, and the SIGKILL crash-resume e2e — under
+# the race detector on its own, so a service regression names itself
+# before the full-tree race pass. (The full pass then reuses the cached
+# result, so the split costs nothing.)
+service-race:
+	$(GO) test -race ./internal/service/...
+
+# serve-smoke is the service health gate: gtpind -smoke starts the
+# daemon on a loopback port, submits a tiny characterize job over HTTP,
+# polls it to a digest-checked result, and drains — verifying /readyz
+# flips to 503 while the listener is still serving.
+serve-smoke:
+	rm -rf .serve-smoke
+	$(GO) run ./cmd/gtpind -smoke -state-dir .serve-smoke
+	rm -rf .serve-smoke
+
+# check is the CI gate: static analysis, a full build, the service suite
+# then the full test suite under the race detector (the chaos and
+# crash-recovery suites must never panic or deadlock under -race), the
+# resume smoke test, and the daemon smoke test.
+check: vet build service-race race crash smoke serve-smoke
 
 # bench runs the Go benchmark suites (instrumentation rewrite,
 # interpreters, end-to-end sweep) and then the benchmark-regression
@@ -47,26 +65,28 @@ check: vet build race crash smoke
 # BENCH_sweep.json. The harness fails below 2x wall-clock speedup,
 # above 5% observability overhead, or when detailed-interpreter
 # throughput (detsim_mips) drops more than 10% below the committed
-# baseline report.
+# baseline report. The overhead gate compares median wall times over
+# -overhead-reps repetitions, so one scheduler stall cannot flip it.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-speedup 2 -max-obs-overhead 1.05 -min-detsim-ratio 0.9 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 5 -min-speedup 2 -max-obs-overhead 1.05 -min-detsim-ratio 0.9 -out BENCH_sweep.json
 
 # bench-smoke is the CI shape of bench: the edge-case regression tests
 # and the observability layer under -race, the execution engine's
 # differential fuzz + watchdog-parity + layering suite (short corpus),
 # one-iteration benchmark runs (compile + execute checks), the
-# regression harness without the wall-clock speedup/overhead gates
-# (shared CI boxes make those ratios too noisy to fail a build on) but
-# still gating detailed-interpreter throughput at 10% regression, and a
-# tiny traced sweep whose -trace/-metrics artifacts are
+# regression harness with the wall-clock gates in warn-only mode
+# (shared CI boxes make those ratios too noisy to fail a build on, but
+# the breach still prints and the medians still land in the report)
+# while still gating detailed-interpreter throughput at 10% regression,
+# and a tiny traced sweep whose -trace/-metrics artifacts are
 # schema-validated by cmd/obscheck.
 bench-smoke:
 	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache|Speedup' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads ./cmd/bench
 	$(GO) test -race -short -run 'Differential|WatchdogParity|Probe|BackendsContainNoDispatch' ./internal/engine
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -min-detsim-ratio 0.9 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 3 -max-obs-overhead 1.05 -obs-overhead-warn -min-detsim-ratio 0.9 -out BENCH_sweep.json
 	rm -rf .obs-smoke
 	mkdir -p .obs-smoke
 	$(GO) run ./cmd/characterize -scale tiny -fig 3c -trace .obs-smoke/trace.json -metrics .obs-smoke/metrics.json > .obs-smoke/run.out 2> .obs-smoke/run.err
@@ -75,4 +95,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .smoke .obs-smoke
+	rm -rf .smoke .obs-smoke .serve-smoke

@@ -1,5 +1,5 @@
 // Command bench is the benchmark-regression harness for the profiling
-// hot path: it runs one characterization sweep three times — the
+// hot path: it runs one characterization sweep three ways — the
 // pre-optimization baseline (serial, rewrite cache disabled), the
 // optimized path (sharded across -workers with the content-addressed
 // rewrite cache), and an observed run (optimized options with the obs
@@ -8,6 +8,14 @@
 // written atomically so CI can trend it across commits. The observed
 // run is what enforces the observability layer's two invariants:
 // artifacts unchanged, wall-clock overhead bounded by -max-obs-overhead.
+//
+// The overhead ratio is a quotient of two wall-clock times, so a single
+// scheduler hiccup in either sweep used to flip the -max-obs-overhead
+// gate. Two defenses are built in: the optimized and observed sweeps
+// are each repeated -overhead-reps times (fresh caches per rep) and the
+// gate compares medians, and -obs-overhead-warn downgrades a gate
+// breach to a warning for environments (shared CI boxes) where even the
+// median is not trustworthy.
 package main
 
 import (
@@ -21,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"gtpin/internal/cl"
@@ -28,6 +37,7 @@ import (
 	"gtpin/internal/detsim"
 	"gtpin/internal/device"
 	"gtpin/internal/gtpin"
+	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
 	"gtpin/internal/obs"
 	"gtpin/internal/obs/obsflag"
@@ -56,11 +66,13 @@ type report struct {
 
 	// Observed run: the optimized configuration with the span tracer
 	// installed. ObsOverhead is observed/optimized wall time; trace
-	// events count what the tracer captured.
+	// events count what the tracer captured. OptimizedNs and ObservedNs
+	// are each the median of OverheadReps repetitions.
 	ObservedNs       int64   `json:"observed_ns"`
 	ObsOverhead      float64 `json:"obs_overhead"`
 	ObsByteIdentical bool    `json:"obs_byte_identical"`
 	TraceEvents      int     `json:"trace_events"`
+	OverheadReps     int     `json:"overhead_reps"`
 
 	// Detailed-interpreter throughput (engine cycle-level loop driven
 	// through detsim), in millions of simulated instructions per second.
@@ -76,6 +88,23 @@ func speedup(base, other time.Duration) (float64, error) {
 		return 0, fmt.Errorf("degenerate sweep timings (%v vs %v); refusing to compute a ratio", base, other)
 	}
 	return float64(base) / float64(other), nil
+}
+
+// median returns the median of the given durations (the mean of the two
+// middle values for even counts). The overhead gate compares medians
+// rather than single runs because a lone scheduler stall in either sweep
+// skews a one-shot ratio far more than it can skew the middle of N.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 func parseScale(s string) (workloads.Scale, error) {
@@ -258,6 +287,8 @@ func run() (retErr error) {
 	out := flag.String("out", "BENCH_sweep.json", "report path (written atomically)")
 	minSpeedup := flag.Float64("min-speedup", 0, "fail unless optimized/baseline speedup reaches this factor")
 	maxObsOverhead := flag.Float64("max-obs-overhead", 0, "fail if the traced run exceeds this multiple of the optimized wall time (0 = report only)")
+	obsOverheadWarn := flag.Bool("obs-overhead-warn", false, "downgrade a -max-obs-overhead breach from a failure to a warning (for noisy shared machines)")
+	overheadReps := flag.Int("overhead-reps", 3, "repetitions of the optimized and observed sweeps; the overhead gate compares median wall times")
 	minDetsimRatio := flag.Float64("min-detsim-ratio", 0, "fail if detailed-interpreter MI/s falls below this fraction of the previous report's (0 = report only)")
 	detsimReps := flag.Int("detsim-reps", 3, "timed repetitions of the detailed-interpreter benchmark (best is kept)")
 	obsFlags := obsflag.Register(flag.CommandLine)
@@ -266,6 +297,9 @@ func run() (retErr error) {
 	sc, err := parseScale(*scale)
 	if err != nil {
 		return err
+	}
+	if *overheadReps < 1 {
+		return fmt.Errorf("-overhead-reps %d: need at least one repetition", *overheadReps)
 	}
 	obsSess, err := obsflag.Start(obsFlags)
 	if err != nil {
@@ -302,23 +336,39 @@ func run() (retErr error) {
 	}
 
 	// Optimized: sharded execution sharing the content-addressed rewrite
-	// cache and the per-pool replay cache.
-	gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
-	replays := workloads.NewReplayCache()
-	optNs, optArt, err := sweep(ctx, units, workloads.PoolOptions{
-		Workers: w, ReplayCache: replays,
-	})
-	if err != nil {
-		return fmt.Errorf("optimized sweep: %w", err)
+	// cache and the per-pool replay cache. Repeated -overhead-reps times
+	// with fresh caches each rep so no rep inherits warmth from the one
+	// before; the median wall time feeds the speedup and overhead ratios,
+	// while artifacts and cache counters come from the first rep.
+	var optTimes []time.Duration
+	var optArt [][]byte
+	var rwStats jit.CacheStats
+	var rst workloads.ReplayCacheStats
+	for r := 0; r < *overheadReps; r++ {
+		gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
+		replays := workloads.NewReplayCache()
+		ns, art, err := sweep(ctx, units, workloads.PoolOptions{
+			Workers: w, ReplayCache: replays,
+		})
+		if err != nil {
+			return fmt.Errorf("optimized sweep (rep %d/%d): %w", r+1, *overheadReps, err)
+		}
+		optTimes = append(optTimes, ns)
+		if r == 0 {
+			optArt = art
+			if rc := gtpin.DefaultRewriteCache(); rc != nil {
+				rwStats = rc.Stats()
+			}
+			rst = replays.Stats()
+		}
 	}
+	optNs := median(optTimes)
 
 	identical := len(baseArt) == len(optArt)
 	for i := 0; identical && i < len(baseArt); i++ {
 		identical = bytes.Equal(baseArt[i], optArt[i])
 	}
 
-	// Cache counters snapshot now, before the observed sweep adds its own
-	// traffic to the process-wide rewrite cache.
 	rep := report{
 		Scale:         sc.Name,
 		Trials:        *trials,
@@ -328,40 +378,50 @@ func run() (retErr error) {
 		BaselineNs:    baseNs.Nanoseconds(),
 		OptimizedNs:   optNs.Nanoseconds(),
 		ByteIdentical: identical,
+		OverheadReps:  *overheadReps,
 	}
 	rep.Speedup, err = speedup(baseNs, optNs)
 	if err != nil {
 		return err
 	}
-	if rc := gtpin.DefaultRewriteCache(); rc != nil {
-		st := rc.Stats()
-		rep.RewriteHits, rep.RewriteMisses = st.Hits, st.Misses
-	}
-	rst := replays.Stats()
+	rep.RewriteHits, rep.RewriteMisses = rwStats.Hits, rwStats.Misses
 	rep.ReplayHits, rep.ReplayMisses = rst.Hits, rst.Misses
 	rep.NativeHits, rep.NativeMisses = rst.NativeHits, rst.NativeMisses
 
 	// Observed: the optimized configuration again, with the span tracer
 	// installed — the run that proves observation changes neither the
 	// artifact bytes nor (within -max-obs-overhead) the wall clock.
-	gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
-	prevTracer := obs.ActiveTracer()
-	tracer := obs.NewTracer()
-	obs.SetTracer(tracer)
-	obsNs, obsArt, err := sweep(ctx, units, workloads.PoolOptions{
-		Workers: w, ReplayCache: workloads.NewReplayCache(),
-	})
-	obs.SetTracer(prevTracer)
-	if err != nil {
-		return fmt.Errorf("observed sweep: %w", err)
+	// Same repetition discipline as the optimized sweep, so the gate
+	// compares median to median.
+	var obsTimes []time.Duration
+	var obsArt [][]byte
+	traceEvents := 0
+	for r := 0; r < *overheadReps; r++ {
+		gtpin.SetDefaultRewriteCache(gtpin.NewRewriteCache())
+		prevTracer := obs.ActiveTracer()
+		tracer := obs.NewTracer()
+		obs.SetTracer(tracer)
+		ns, art, err := sweep(ctx, units, workloads.PoolOptions{
+			Workers: w, ReplayCache: workloads.NewReplayCache(),
+		})
+		obs.SetTracer(prevTracer)
+		if err != nil {
+			return fmt.Errorf("observed sweep (rep %d/%d): %w", r+1, *overheadReps, err)
+		}
+		obsTimes = append(obsTimes, ns)
+		if r == 0 {
+			obsArt = art
+			traceEvents = tracer.Len()
+		}
 	}
+	obsNs := median(obsTimes)
 	obsIdentical := len(baseArt) == len(obsArt)
 	for i := 0; obsIdentical && i < len(baseArt); i++ {
 		obsIdentical = bytes.Equal(baseArt[i], obsArt[i])
 	}
 	rep.ObservedNs = obsNs.Nanoseconds()
 	rep.ObsByteIdentical = obsIdentical
-	rep.TraceEvents = tracer.Len()
+	rep.TraceEvents = traceEvents
 	rep.ObsOverhead, err = speedup(obsNs, optNs)
 	if err != nil {
 		return err
@@ -388,8 +448,8 @@ func run() (retErr error) {
 	fmt.Printf("bench: %d units @ %s, %d workers: baseline %v, optimized %v (%.2fx), byte-identical=%v -> %s\n",
 		rep.Units, rep.Scale, rep.Workers, baseNs.Round(time.Millisecond),
 		optNs.Round(time.Millisecond), rep.Speedup, identical, *out)
-	fmt.Printf("bench: observed (traced) %v, overhead %.3fx, %d trace events, byte-identical=%v\n",
-		obsNs.Round(time.Millisecond), rep.ObsOverhead, rep.TraceEvents, obsIdentical)
+	fmt.Printf("bench: observed (traced) %v, overhead %.3fx (medians of %d reps), %d trace events, byte-identical=%v\n",
+		obsNs.Round(time.Millisecond), rep.ObsOverhead, *overheadReps, rep.TraceEvents, obsIdentical)
 	fmt.Printf("bench: detailed interpreter %.1f MI/s (prior %.1f)\n", rep.DetsimMIPS, prior)
 
 	if !identical {
@@ -405,7 +465,12 @@ func run() (retErr error) {
 		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, *minSpeedup)
 	}
 	if *maxObsOverhead > 0 && rep.ObsOverhead > *maxObsOverhead {
-		return fmt.Errorf("observability overhead %.3fx above allowed %.3fx", rep.ObsOverhead, *maxObsOverhead)
+		breach := fmt.Sprintf("observability overhead %.3fx above allowed %.3fx (medians of %d reps)",
+			rep.ObsOverhead, *maxObsOverhead, *overheadReps)
+		if !*obsOverheadWarn {
+			return errors.New(breach)
+		}
+		fmt.Fprintln(os.Stderr, "bench: WARNING:", breach)
 	}
 	if *minDetsimRatio > 0 && prior > 0 && rep.DetsimMIPS < prior**minDetsimRatio {
 		return fmt.Errorf("detailed interpreter %.1f MI/s below %.0f%% of prior %.1f MI/s",

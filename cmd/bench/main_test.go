@@ -31,6 +31,36 @@ func TestSpeedupRejectsDegenerateTimings(t *testing.T) {
 	}
 }
 
+// The overhead gate compares medians of repeated sweeps; the median must
+// shrug off a single outlier rep (the flakiness the reps exist to fix)
+// and behave sensibly at the edges.
+func TestMedian(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []time.Duration
+		want time.Duration
+	}{
+		{"empty", nil, 0},
+		{"single", []time.Duration{7 * time.Second}, 7 * time.Second},
+		{"odd ignores outlier", []time.Duration{time.Second, 90 * time.Second, 2 * time.Second}, 2 * time.Second},
+		{"even averages middle", []time.Duration{4 * time.Second, time.Second, 2 * time.Second, 3 * time.Second}, 2500 * time.Millisecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := append([]time.Duration(nil), tc.in...)
+			if got := median(in); got != tc.want {
+				t.Fatalf("median(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			// The caller reuses the slice for the report; median must not
+			// reorder it.
+			for i := range tc.in {
+				if in[i] != tc.in[i] {
+					t.Fatalf("median mutated its input: %v -> %v", tc.in, in)
+				}
+			}
+		})
+	}
+}
+
 func TestSpeedupComputesRatio(t *testing.T) {
 	s, err := speedup(4*time.Second, 2*time.Second)
 	if err != nil {

@@ -9,7 +9,7 @@
 //
 //	characterize [-scale full|small|tiny] [-app name] [-fig table1|3a|3b|3c|4a|4b|4c|all]
 //	             [-fault-rate R] [-fault-seed S] [-watchdog N]
-//	             [-state-dir DIR] [-resume]
+//	             [-state-dir DIR] [-resume] [-timeout D]
 //
 // The sweep runs as a supervised worker pool. With -state-dir each
 // (app, device-config, fault-seed) unit is journaled in a crash-
@@ -69,8 +69,15 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each unit and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed units, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	timeout := flag.Duration("timeout", 0, "overall sweep deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {

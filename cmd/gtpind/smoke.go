@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"gtpin/internal/service"
+)
+
+// runSmoke is the -smoke mode: a self-contained end-to-end exercise of
+// the daemon used by `make serve-smoke`. It starts the server on a
+// loopback port, drives it purely through the HTTP API — submit a tiny
+// single-app job, poll it to a terminal state, fetch the result — then
+// drains and verifies the readiness flip. Any deviation is a non-zero
+// exit.
+func runSmoke(cfg service.Config) error {
+	cfg.DrainTimeout = smokeDrainTimeout
+	// Observe the not-ready window from inside the drain sequence:
+	// admission has stopped, the listener is still up. This is the
+	// ordering the acceptance demands, checked without racing the drain.
+	var base string
+	flipped := false
+	cfg.DrainHook = func() {
+		c := &http.Client{Timeout: 10 * time.Second}
+		r, err := c.Get(base + "/readyz")
+		if err != nil {
+			return
+		}
+		defer r.Body.Close()
+		flipped = r.StatusCode == http.StatusServiceUnavailable
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		srv.Close()
+		return err
+	}
+	base = "http://" + srv.Addr()
+	log.Printf("gtpind: smoke: serving on %s", base)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if err := expectStatus(client, base+"/healthz", http.StatusOK); err != nil {
+		srv.Close()
+		return err
+	}
+	if err := expectStatus(client, base+"/readyz", http.StatusOK); err != nil {
+		srv.Close()
+		return err
+	}
+
+	spec := map[string]any{
+		"id": "smoke", "kind": "characterize",
+		"apps": []string{"cb-gaussian-buffer"}, "scale": "tiny",
+	}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("smoke: submit: %w", err)
+	}
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srv.Close()
+		return fmt.Errorf("smoke: submit: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	resp.Body.Close()
+	log.Printf("gtpind: smoke: job submitted")
+
+	deadline := time.Now().Add(2 * time.Minute)
+	var view struct {
+		State     string `json:"state"`
+		Error     string `json:"error"`
+		UnitsDone int    `json:"units_done"`
+	}
+	for {
+		if time.Now().After(deadline) {
+			srv.Close()
+			return fmt.Errorf("smoke: job did not settle within 2m (state %s)", view.State)
+		}
+		if err := getJSON(client, base+"/api/v1/jobs/smoke", &view); err != nil {
+			srv.Close()
+			return err
+		}
+		if view.State == string(service.StateDone) {
+			break
+		}
+		if terminal := service.State(view.State).Terminal(); terminal {
+			srv.Close()
+			return fmt.Errorf("smoke: job settled %s: %s", view.State, view.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	log.Printf("gtpind: smoke: job done (%d unit(s))", view.UnitsDone)
+
+	var result struct {
+		Units []struct {
+			Status string `json:"status"`
+			Digest string `json:"digest"`
+		} `json:"units"`
+	}
+	if err := getJSON(client, base+"/api/v1/jobs/smoke/result", &result); err != nil {
+		srv.Close()
+		return err
+	}
+	if len(result.Units) == 0 || result.Units[0].Status != "completed" || result.Units[0].Digest == "" {
+		srv.Close()
+		return fmt.Errorf("smoke: result.json malformed: %+v", result)
+	}
+
+	if err := srv.Drain(); err != nil {
+		return fmt.Errorf("smoke: drain: %w", err)
+	}
+	if !flipped {
+		return fmt.Errorf("smoke: /readyz did not serve 503 during the drain window")
+	}
+	log.Printf("gtpind: smoke: drained cleanly, readiness flip observed")
+	fmt.Println("gtpind smoke: OK")
+	return nil
+}
+
+func expectStatus(c *http.Client, url string, want int) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return fmt.Errorf("smoke: GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		return fmt.Errorf("smoke: GET %s: got %s, want %d", url, resp.Status, want)
+	}
+	return nil
+}
+
+func getJSON(c *http.Client, url string, v any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return fmt.Errorf("smoke: GET %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("smoke: GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}

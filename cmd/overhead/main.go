@@ -16,7 +16,7 @@
 //
 // Usage:
 //
-//	overhead [-scale small|tiny|full] [-apps N] [-detailed]
+//	overhead [-scale small|tiny|full] [-apps N] [-detailed] [-timeout D]
 //	         [-fault-rate R] [-fault-seed S] [-watchdog N]
 //
 // The chaos flags mirror cmd/characterize: -fault-rate enables
@@ -27,9 +27,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"gtpin/internal/cl"
@@ -54,6 +58,9 @@ func main() {
 }
 
 func run() (retErr error) {
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	scaleFlag := flag.String("scale", "small", "workload scale: full, small, or tiny")
 	appsFlag := flag.Int("apps", 6, "number of applications to measure (0 = all 25)")
 	detailedFlag := flag.Bool("detailed", true, "also run full detailed simulation")
@@ -61,8 +68,30 @@ func run() (retErr error) {
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	noCache := flag.Bool("no-cache", false, "disable the rewrite cache so every phase pays full instrumentation cost")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none), checked between measurement phases and classified as a unit-timeout fault")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, *timeout)
+		defer cancel()
+	}
+	// The measurement phases run inline (they are the thing being
+	// timed, so there is no supervised pool to thread a deadline
+	// through); instead the deadline is checked at every phase
+	// boundary, classified with the same taxonomy a pool abandonment
+	// would use.
+	checkDeadline := func(app, phase string) error {
+		err := runCtx.Err()
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, context.DeadlineExceeded):
+			return fmt.Errorf("before %s of %s: %w: %v", phase, app, faults.ErrUnitTimeout, err)
+		default:
+			return fmt.Errorf("before %s of %s: %w", phase, app, err)
+		}
+	}
 	if *noCache {
 		gtpin.SetDefaultRewriteCache(nil)
 	}
@@ -100,6 +129,9 @@ func run() (retErr error) {
 	t := report.NewTable("", "Application", "Native(ms)", "GT-Pin(ms)", "GT-Pin X", "Heavy X", "Instr X", "Detailed(ms)", "Detailed X", "vs GPU X")
 	var pinX, heavyX, detX, gpuX []float64
 	for _, spec := range specs {
+		if err := checkDeadline(spec.Name, "native run"); err != nil {
+			return err
+		}
 		app, err := spec.Build(sc)
 		if err != nil {
 			return err
@@ -128,6 +160,9 @@ func run() (retErr error) {
 		nativeInstrs := deviceInstrs(tr)
 
 		// GT-Pin instrumented replay.
+		if err := checkDeadline(spec.Name, "instrumented replay"); err != nil {
+			return err
+		}
 		idev, err := device.New(device.IvyBridgeHD4000())
 		if err != nil {
 			return err
@@ -152,6 +187,9 @@ func run() (retErr error) {
 
 		// GT-Pin with heavyweight tools (memory tracing + latency
 		// profiling) — the top of the paper's 2-10X overhead band.
+		if err := checkDeadline(spec.Name, "heavyweight replay"); err != nil {
+			return err
+		}
 		hdev, err := device.New(device.IvyBridgeHD4000())
 		if err != nil {
 			return err
@@ -171,6 +209,9 @@ func run() (retErr error) {
 
 		detMs := 0.0
 		if *detailedFlag {
+			if err := checkDeadline(spec.Name, "detailed simulation"); err != nil {
+				return err
+			}
 			sim, err := detsim.New(detsim.DefaultConfig())
 			if err != nil {
 				return err

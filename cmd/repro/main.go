@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	repro [-scale small|full|tiny] [-skip-validate] [-state-dir DIR] [-resume]
+//	repro [-scale small|full|tiny] [-skip-validate] [-state-dir DIR] [-resume] [-timeout D]
 //
 // At -scale small the whole run takes a couple of minutes; -scale full
 // matches the committed reference outputs under results/.
@@ -67,8 +67,15 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles and recordings atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {

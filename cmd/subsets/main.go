@@ -9,7 +9,7 @@
 // Usage:
 //
 //	subsets [-scale full|small|tiny] [-fig table2|table3|5|6|7|bestavg|all]
-//	        [-csv DIR] [-state-dir DIR] [-resume]
+//	        [-csv DIR] [-state-dir DIR] [-resume] [-timeout D]
 //
 // With -state-dir the profiling sweep (the expensive step) is journaled
 // and each profile persisted atomically, so a killed run continued with
@@ -64,8 +64,15 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {

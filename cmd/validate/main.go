@@ -13,7 +13,7 @@
 // Usage:
 //
 //	validate [-scale full|small|tiny] [-part trials|freq|arch|all] [-trials N]
-//	         [-fault-rate R] [-fault-seed S] [-watchdog N]
+//	         [-fault-rate R] [-fault-seed S] [-watchdog N] [-timeout D]
 //
 // The chaos flags mirror cmd/characterize: -fault-rate enables
 // deterministic fault injection (seeded by -fault-seed) during the
@@ -63,8 +63,15 @@ func run() (retErr error) {
 	faultSeed := flag.Int64("fault-seed", 1, "chaos mode: fault-injection seed")
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent validation shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); profiling units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sc, err := parseScale(*scaleFlag)
 	if err != nil {
@@ -100,20 +107,33 @@ func run() (retErr error) {
 	}
 	specs := workloads.All()
 	apps := make([]appState, len(specs))
-	if err := par.ForEachN(ctx, len(specs), *workers, func(i int) error {
-		res, err := workloads.RunWithFaults(specs[i], sc, base, 1, fo)
+	// Profiling runs on the supervised pool (not a bare par loop) so a
+	// -timeout deadline abandons hung units with a typed unit-timeout
+	// fault instead of wedging the whole validation.
+	units := make([]workloads.Unit, len(specs))
+	for i, spec := range specs {
+		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: base, TrialSeed: 1, Faults: fo}
+	}
+	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
+		Workers: *workers,
+		OnOutcome: func(o workloads.Outcome) {
+			if o.Err == nil {
+				fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
+			}
+		},
+	})
+	if perr != nil {
+		return perr
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("profile %s: %w", specs[i].Name, o.Err)
+		}
+		evals, err := selection.EvaluateAll(o.Result.Profile, opts)
 		if err != nil {
 			return err
 		}
-		evals, err := selection.EvaluateAll(res.Profile, opts)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "profiled and selected %-28s\n", specs[i].Name)
-		apps[i] = appState{spec: specs[i], res: res, best: selection.MinError(evals)}
-		return nil
-	}); err != nil {
-		return err
+		apps[i] = appState{spec: specs[i], res: o.Result, best: selection.MinError(evals)}
 	}
 
 	crossErr := func(a appState, cfg device.Config, seed int64) (float64, error) {

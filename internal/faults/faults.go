@@ -120,6 +120,23 @@ var (
 	// panicked units a bounded restart budget before surfacing the
 	// failure; the panic value and stack are carried in the wrap chain.
 	ErrWorkerPanic = NewSentinel("worker panic", Transient)
+
+	// ErrUnitTimeout marks a work unit abandoned because it exceeded its
+	// execution deadline — the pool's defense against a genuinely hung
+	// unit wedging a sweep or a service worker. Permanent: the same unit
+	// under the same budget hangs again, so the failure must surface (a
+	// caller granting a larger budget is a new configuration).
+	ErrUnitTimeout = NewSentinel("unit timeout", Permanent)
+
+	// ErrQueueFull marks an admission rejected because a bounded queue
+	// is at capacity — the load-shedding signal of the profiling
+	// service. Transient: the queue drains, retrying later can succeed.
+	ErrQueueFull = NewSentinel("queue full", Transient)
+
+	// ErrCircuitOpen marks work refused by a tripped circuit breaker:
+	// enough consecutive failures accumulated that continuing would
+	// waste the queue's capacity on a job that keeps failing.
+	ErrCircuitOpen = NewSentinel("circuit breaker open", Permanent)
 )
 
 // classifier lets non-Sentinel error types participate in classification.

@@ -8,10 +8,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 )
 
 // Dir is an on-disk sweep state directory:
 //
+//	<dir>/LOCK            exclusive flock claim of the live owner
 //	<dir>/journal.jsonl   the run WAL
 //	<dir>/units/          one artifact (and optional blobs) per unit
 //
@@ -23,23 +25,58 @@ type Dir struct {
 	Path      string
 	Journal   *Journal
 	Recovered *Recovery
+	lock      *DirLock
 }
 
-// OpenDir opens (creating if needed) a state directory, running journal
-// crash recovery. The Recovered field describes the previous run.
+// OpenDir opens (creating if needed) a state directory, claiming it
+// exclusively and running journal crash recovery. A directory whose
+// lock another live process holds returns ErrStateDirLocked — a
+// resuming daemon and a concurrent CLI run can never both replay the
+// same journal. The Recovered field describes the previous run.
 func OpenDir(path string) (*Dir, error) {
 	if err := os.MkdirAll(filepath.Join(path, "units"), 0o755); err != nil {
 		return nil, fmt.Errorf("runstate: state dir: %w", err)
 	}
-	j, rec, err := Create(filepath.Join(path, "journal.jsonl"))
+	lock, err := AcquireDirLock(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Dir{Path: path, Journal: j, Recovered: rec}, nil
+	j, rec, err := Create(filepath.Join(path, "journal.jsonl"))
+	if err != nil {
+		lock.Release()
+		return nil, err
+	}
+	sweepTornTemps(filepath.Join(path, "units"))
+	return &Dir{Path: path, Journal: j, Recovered: rec, lock: lock}, nil
 }
 
-// Close releases the journal.
-func (d *Dir) Close() error { return d.Journal.Close() }
+// sweepTornTemps removes leftover WriteFileAtomic temp files. The
+// rename that publishes an artifact is atomic, so any surviving
+// ".tmp-" file is a write torn by a crash — and the exclusive flock
+// guarantees no live writer shares the directory — making the sweep
+// safe and keeping a resumed directory's contents identical to an
+// uninterrupted run's. Best-effort: a file that cannot be removed is
+// left for the next open rather than failing recovery.
+func sweepTornTemps(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.Contains(e.Name(), ".tmp-") {
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// Close releases the journal and the directory claim.
+func (d *Dir) Close() error {
+	err := d.Journal.Close()
+	if lerr := d.lock.Release(); err == nil {
+		err = lerr
+	}
+	return err
+}
 
 // Digest returns the hex SHA-256 of an artifact's bytes — the value
 // completion records carry.

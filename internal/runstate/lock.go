@@ -1,0 +1,59 @@
+package runstate
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+
+	"gtpin/internal/faults"
+)
+
+// ErrStateDirLocked is returned when a state directory is already
+// claimed by another live process (or another open Dir in this one) —
+// the guard that keeps a resuming daemon and a concurrent CLI run from
+// both replaying the same journal. Transient: the holder releasing the
+// lock (finishing or dying) makes a retry succeed.
+var ErrStateDirLocked = faults.NewSentinel("state dir locked", faults.Transient)
+
+// DirLock is an exclusive advisory claim on a state directory, held via
+// flock(2) on <dir>/LOCK. The kernel releases it automatically when the
+// process dies — including SIGKILL — so a crashed owner never leaves a
+// stale lock behind, which is exactly what crash-resume needs: the
+// restarted daemon re-acquires immediately, while a live concurrent
+// owner is refused with ErrStateDirLocked.
+type DirLock struct {
+	f *os.File
+}
+
+// AcquireDirLock claims <dir>/LOCK exclusively without blocking. A held
+// lock returns ErrStateDirLocked (wrapped with the directory path);
+// anything else is a real I/O failure.
+func AcquireDirLock(dir string) (*DirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+			return nil, fmt.Errorf("runstate: %s: %w: held by a live process", dir, ErrStateDirLocked)
+		}
+		return nil, fmt.Errorf("runstate: flock %s: %w", dir, err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Release drops the claim. Safe on a nil lock (from a failed acquire)
+// and idempotent: the second call is a no-op.
+func (l *DirLock) Release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	// Closing the descriptor releases the flock; an explicit unlock
+	// first keeps the window where the file is closed-but-locked zero.
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return f.Close()
+}

@@ -1,0 +1,53 @@
+package service
+
+import "sync"
+
+// breaker is the per-job circuit breaker: after threshold consecutive
+// unit failures it trips, and the job stops dispatching further units —
+// settling into partial results — instead of grinding through a sweep
+// that is evidently broken (a bad binary, a poisoned cache, a tenant
+// fault policy dialed past survivability) while the queue backs up
+// behind it. Any unit success resets the run of failures.
+//
+// Outcomes settle concurrently from pool workers, so observe is
+// mutex-guarded; with more than one pool worker the exact trip point
+// depends on settle order, which is fine — the breaker is a load-relief
+// valve, not part of the deterministic artifact path (tripped jobs are
+// partial, never silently different).
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int // <= 0 disables
+	consecutive int
+	tripped     bool
+}
+
+func newBreaker(threshold int) *breaker {
+	return &breaker{threshold: threshold}
+}
+
+// observe records one settled unit; it returns true exactly once, on
+// the observation that trips the breaker.
+func (b *breaker) observe(failed bool) bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !failed {
+		b.consecutive = 0
+		return false
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold && !b.tripped {
+		b.tripped = true
+		return true
+	}
+	return false
+}
+
+// Tripped reports whether the breaker has opened.
+func (b *breaker) Tripped() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tripped
+}

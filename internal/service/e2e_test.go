@@ -1,0 +1,289 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// The crash-resume e2e re-execs this test binary as a real gtpind-style
+// daemon process (so it can be SIGKILLed), selected by environment.
+const (
+	envChild    = "GTPIND_E2E_CHILD"
+	envState    = "GTPIND_E2E_STATE"
+	envAddrFile = "GTPIND_E2E_ADDRFILE"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(envChild) == "1" {
+		runE2EChild()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runE2EChild is the daemon side of the crash test: start on a loopback
+// port, publish the address, serve until SIGTERM (then drain) — or
+// until the parent SIGKILLs us, which is the crash under test.
+func runE2EChild() {
+	srv, err := New(Config{
+		StateDir:    os.Getenv(envState),
+		JobWorkers:  1,
+		UnitWorkers: 1,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("e2e child: %v", err)
+	}
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		log.Fatalf("e2e child: %v", err)
+	}
+	addrFile := os.Getenv(envAddrFile)
+	if err := os.WriteFile(addrFile+".tmp", []byte(srv.Addr()), 0o644); err != nil {
+		log.Fatalf("e2e child: %v", err)
+	}
+	if err := os.Rename(addrFile+".tmp", addrFile); err != nil {
+		log.Fatalf("e2e child: %v", err)
+	}
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM)
+	<-ch
+	if err := srv.Drain(); err != nil {
+		log.Fatalf("e2e child: drain: %v", err)
+	}
+	os.Exit(0)
+}
+
+type child struct {
+	cmd  *exec.Cmd
+	base string
+	out  *bytes.Buffer
+}
+
+func startChild(t *testing.T, stateDir string) *child {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		envChild+"=1", envState+"="+stateDir, envAddrFile+"="+addrFile)
+	out := new(bytes.Buffer)
+	cmd.Stdout, cmd.Stderr = out, out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			return &child{cmd: cmd, base: "http://" + string(data), out: out}
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatalf("child never published its address; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// e2eSpec's shape is chosen for the kill window: each app's FIRST
+// trial costs ~2s at full scale, while later trials are nearly free
+// (replay-cache memoization). Two apps mean that after the first unit
+// completes — the wait condition below — the second app's first trial
+// still has ~2s to run, so the SIGKILL reliably lands mid-job.
+const e2eSpec = `{"id":"e2e","kind":"characterize","apps":["cb-gaussian-buffer","cb-graphics-t-rex"],"scale":"full","trials":2}`
+
+func submitTo(t *testing.T, base, spec string) {
+	t.Helper()
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg := new(bytes.Buffer)
+		_, _ = msg.ReadFrom(resp.Body)
+		t.Fatalf("submit: %s: %s", resp.Status, msg.String())
+	}
+}
+
+func pollJob(t *testing.T, base, id string, timeout time.Duration) JobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var v JobView
+	for {
+		resp, err := http.Get(base + "/api/v1/jobs/" + id)
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+		}
+		if err == nil && v.State.Terminal() {
+			return v
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not settle within %v (last %+v, err %v)", id, timeout, v, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// jobFiles reads the deterministic artifact set of a job: result.json
+// plus every unit artifact, keyed by relative name.
+func jobFiles(t *testing.T, jobDir string) map[string][]byte {
+	t.Helper()
+	files := map[string][]byte{}
+	data, err := os.ReadFile(filepath.Join(jobDir, "result.json"))
+	if err != nil {
+		t.Fatalf("read result.json: %v", err)
+	}
+	files["result.json"] = data
+	unitsDir := filepath.Join(jobDir, "state", "units")
+	entries, err := os.ReadDir(unitsDir)
+	if err != nil {
+		t.Fatalf("read units dir: %v", err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(unitsDir, e.Name()))
+		if err != nil {
+			t.Fatalf("read unit %s: %v", e.Name(), err)
+		}
+		files["units/"+e.Name()] = data
+	}
+	return files
+}
+
+// TestCrashResumeByteIdentical is the acceptance e2e: SIGKILL a daemon
+// mid-job, restart it on the same state dir, and require the resumed
+// job's artifacts — unit profiles and result.json — to be byte-
+// identical to an uninterrupted run of the same spec.
+func TestCrashResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash e2e spawns real daemon processes; skipped in -short")
+	}
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	c1 := startChild(t, stateDir)
+	submitTo(t, c1.base, e2eSpec)
+
+	// Wait until the daemon reports at least one unit done — the pool
+	// only counts a unit after its artifact is durable and its journal
+	// completion is appended, so the kill is guaranteed to leave
+	// something for the resume to skip. (Watching the units directory
+	// instead is racy: an entry can be a mid-write temp file whose
+	// journal record the SIGKILL then tears away, leaving resumed=0.)
+	resultPath := filepath.Join(stateDir, "jobs", "e2e", "result.json")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var v JobView
+		resp, err := http.Get(c1.base + "/api/v1/jobs/e2e")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+		}
+		if err == nil && v.UnitsDone >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_ = c1.cmd.Process.Kill()
+			t.Fatalf("no unit completed (last %+v, err %v); child output:\n%s", v, err, c1.out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, err := os.Stat(resultPath); err == nil {
+		t.Fatalf("job finished before the kill; widen the spec")
+	}
+	if err := c1.cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatalf("kill child: %v", err)
+	}
+	_ = c1.cmd.Wait()
+
+	// Restart on the same state dir: the flock died with the process,
+	// the journal survives, the job resumes and completes.
+	c2 := startChild(t, stateDir)
+	view := pollJob(t, c2.base, "e2e", 2*time.Minute)
+	if view.State != StateDone {
+		t.Fatalf("resumed job settled %s (%s); child output:\n%s", view.State, view.Error, c2.out.String())
+	}
+	if view.UnitsResumed == 0 {
+		t.Errorf("resumed run re-executed every unit (resumed=0); journal not honored")
+	}
+	if err := c2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM child: %v", err)
+	}
+	if err := c2.cmd.Wait(); err != nil {
+		t.Fatalf("child drain exit: %v; output:\n%s", err, c2.out.String())
+	}
+	crashed := jobFiles(t, filepath.Join(stateDir, "jobs", "e2e"))
+
+	// Reference: the same spec, uninterrupted, in-process.
+	refDir := filepath.Join(t.TempDir(), "ref")
+	s, err := New(Config{StateDir: refDir, JobWorkers: 1, UnitWorkers: 1})
+	if err != nil {
+		t.Fatalf("reference New: %v", err)
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("reference Start: %v", err)
+	}
+	submitTo(t, baseURL(s), e2eSpec)
+	if st := waitTerminal(t, mustJob(t, s, "e2e")); st != StateDone {
+		t.Fatalf("reference job settled %s", st)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("reference drain: %v", err)
+	}
+	reference := jobFiles(t, filepath.Join(refDir, "jobs", "e2e"))
+
+	// Byte identity, file by file.
+	if len(crashed) != len(reference) {
+		t.Fatalf("artifact sets differ: crashed %v vs reference %v",
+			sortedKeys(crashed), sortedKeys(reference))
+	}
+	for name, want := range reference {
+		got, ok := crashed[name]
+		if !ok {
+			t.Errorf("crashed run missing %s", name)
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs after crash-resume (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+}
+
+func sortedKeys(m map[string][]byte) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// readJSONFile decodes a JSON file into v, failing the test on any
+// error.
+func readJSONFile(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+func jsonUnmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("unmarshal: %w", err)
+	}
+	return nil
+}

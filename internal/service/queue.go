@@ -1,0 +1,104 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+
+	"gtpin/internal/faults"
+)
+
+// queue is the bounded admission queue. It is a mutex+cond FIFO rather
+// than a channel for three reasons the service needs: recovered jobs
+// re-enter above the capacity bound (they were admitted by a previous
+// life of the daemon — shedding them would lose accepted work), a
+// queued job can be removed (cancellation), and closing the queue for
+// drain must wake blocked workers while leaving unclaimed items on disk
+// for the next start.
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	items    []*Job
+	capacity int
+	closed   bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{capacity: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push admits a job, shedding with faults.ErrQueueFull at capacity.
+func (q *queue) push(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return fmt.Errorf("service: queue closed (draining)")
+	}
+	if len(q.items) >= q.capacity {
+		return fmt.Errorf("service: %w: %d job(s) queued at capacity %d", faults.ErrQueueFull, len(q.items), q.capacity)
+	}
+	q.items = append(q.items, j)
+	mQueueDepth.Set(int64(len(q.items)))
+	q.cond.Signal()
+	return nil
+}
+
+// pushRecovered re-enters a job recovered from a previous life, exempt
+// from the capacity bound.
+func (q *queue) pushRecovered(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, j)
+	mQueueDepth.Set(int64(len(q.items)))
+	q.cond.Signal()
+}
+
+// pop blocks until a job is available or the queue closes. ok=false
+// means the queue is closed; any items still queued stay queued (their
+// on-disk state is already "queued", so the next start recovers them).
+func (q *queue) pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	mQueueDepth.Set(int64(len(q.items)))
+	return j, true
+}
+
+// remove unlinks a queued job (cancellation); false if a worker already
+// claimed it.
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			mQueueDepth.Set(int64(len(q.items)))
+			return true
+		}
+	}
+	return false
+}
+
+// depth is the current backlog.
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close stops the queue: pops return false, pushes fail. Items still
+// queued are deliberately left in place.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// recoverJobs rescans <StateDir>/jobs at startup and rebuilds the
+// registry from disk: terminal jobs re-register for listing and
+// artifact serving; queued or running jobs — the ones a crash or drain
+// interrupted — re-enter the queue (capacity-exempt: they were already
+// admitted once) and resume from their runstate journals when a worker
+// claims them. Directory order is the recovery order, so listings stay
+// deterministic across restarts.
+func (s *Server) recoverJobs() error {
+	root := filepath.Join(s.cfg.StateDir, "jobs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return fmt.Errorf("service: scan jobs: %w", err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, e.Name())
+		sp, err := readSpec(dir)
+		if err != nil {
+			// A torn admission (crash between mkdir and job.json): there
+			// is nothing to resume. Leave the directory for inspection.
+			s.cfg.Logf("gtpind: recover: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		st, err := readStatus(dir)
+		if err != nil {
+			s.cfg.Logf("gtpind: recover: skipping %s: %v", e.Name(), err)
+			continue
+		}
+		j := newJob(e.Name(), st.Tenant, sp, dir)
+		j.errText = st.Error
+		j.progress = st.Progress
+		if st.State.Terminal() {
+			j.state = st.State
+			close(j.done)
+			s.register(j)
+			continue
+		}
+		// queued or running: both resume as queued. The journal, not
+		// status.json, knows which units already completed.
+		j.state = StateQueued
+		s.register(j)
+		s.queue.pushRecovered(j)
+		mJobsResumed.Inc()
+		mJobsAdmitted.Inc()
+		s.cfg.Logf("gtpind: recover: re-queued job %s (was %s, %d/%d units done)",
+			j.ID, st.State, st.Progress.UnitsDone, st.Progress.UnitsTotal)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+package service
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Backoff computes the delay before a retry pass: capped exponential
+// growth from Base, multiplied by a deterministic jitter in [0.5, 1.5)
+// derived from (key, pass). Jitter keeps a fleet of daemons retrying
+// the same flaky dependency from thundering in lockstep; deriving it
+// from the job key instead of a global RNG keeps every run of the same
+// job reproducible — the same property the fault injector and the
+// pool's virtual-time backoff already have.
+type Backoff struct {
+	Base time.Duration
+	Cap  time.Duration
+}
+
+// Delay returns the backoff before retry pass `pass` (0-based: the
+// delay between the initial pass and the first retry is Delay(0, ...)).
+func (b Backoff) Delay(pass int, key string) time.Duration {
+	d := b.Base
+	for i := 0; i < pass && d < b.Cap; i++ {
+		d *= 2
+	}
+	if d > b.Cap {
+		d = b.Cap
+	}
+	// Deterministic jitter in [0.5, 1.5): scale by (512 + h%1024)/1024.
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{byte(pass), byte(pass >> 8)})
+	frac := h.Sum64() % 1024
+	return time.Duration(uint64(d) * (512 + frac) / 1024)
+}

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Policy is the per-tenant robustness contract. The fault fields reuse
+// the deterministic injector from internal/faults/internal/workloads:
+// a non-zero FaultRate or Watchdog overrides whatever the job spec
+// requested, so operators — not clients — decide how much chaos a
+// tenant's jobs run under, and MaxQueued caps how much of the shared
+// queue one tenant can hold.
+type Policy struct {
+	// FaultRate injects transient faults into this tenant's units at
+	// the given per-phase probability (0 disables).
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	// FaultSeed makes the injection deterministic per tenant.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// Watchdog is the per-unit virtual-cycle budget (0 disables).
+	Watchdog uint64 `json:"watchdog,omitempty"`
+	// MaxQueued caps the tenant's non-terminal jobs; exceeding it sheds
+	// the submission with 429. 0 means no per-tenant cap.
+	MaxQueued int `json:"max_queued,omitempty"`
+}
+
+// Tenant is one named API-key holder and its policy.
+type Tenant struct {
+	Name string `json:"name"`
+	Policy
+}
+
+// Policies is the admission table: API key → tenant. An open table
+// (OpenPolicies) admits every caller — including anonymous ones — under
+// the default policy; a loaded table (LoadPolicies) admits only listed
+// keys.
+type Policies struct {
+	open   bool
+	byKey  map[string]Tenant
+	defPol Policy
+}
+
+// OpenPolicies admits every caller under a zero (no chaos, no quota)
+// default policy. This is the no-configuration mode of the daemon.
+func OpenPolicies() *Policies {
+	return &Policies{open: true}
+}
+
+// NewPolicies builds a closed admission table from an explicit key map
+// — the programmatic equivalent of LoadPolicies, used by tests.
+func NewPolicies(byKey map[string]Tenant) *Policies {
+	return &Policies{byKey: byKey}
+}
+
+// policiesFile is the on-disk format of -tenants:
+//
+//	{"tenants": {"<api-key>": {"name": "alice", "fault_rate": 0.1,
+//	                           "fault_seed": 7, "max_queued": 2}}}
+type policiesFile struct {
+	Tenants map[string]Tenant `json:"tenants"`
+}
+
+// LoadPolicies reads a tenant policy file; the resulting table is
+// closed (submissions with an unknown or missing X-API-Key are 401).
+func LoadPolicies(path string) (*Policies, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: tenant policies: %w", err)
+	}
+	var f policiesFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("service: tenant policies %s: %w", path, err)
+	}
+	if len(f.Tenants) == 0 {
+		return nil, fmt.Errorf("service: tenant policies %s: no tenants", path)
+	}
+	for key, t := range f.Tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("service: tenant policies %s: key %q has no name", path, key)
+		}
+		if t.FaultRate < 0 || t.FaultRate > 1 {
+			return nil, fmt.Errorf("service: tenant %q: fault_rate %v outside [0,1]", t.Name, t.FaultRate)
+		}
+	}
+	return &Policies{byKey: f.Tenants}, nil
+}
+
+// Lookup resolves an X-API-Key header value to (tenant name, policy).
+// ok=false means the caller is not admitted.
+func (p *Policies) Lookup(apiKey string) (string, Policy, bool) {
+	if t, found := p.byKey[apiKey]; found {
+		return t.Name, t.Policy, true
+	}
+	if p.open {
+		return "", p.defPol, true
+	}
+	return "", Policy{}, false
+}
+
+// Names lists the configured tenant names, sorted — for startup logs.
+func (p *Policies) Names() []string {
+	names := make([]string, 0, len(p.byKey))
+	for _, t := range p.byKey {
+		names = append(names, t.Name)
+	}
+	sort.Strings(names)
+	return names
+}

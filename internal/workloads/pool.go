@@ -101,6 +101,12 @@ type PoolOptions struct {
 	// pre-optimization baseline the benchmark harness measures against.
 	// Artifacts are byte-identical either way.
 	DisableReplayCache bool
+	// UnitTimeout bounds each execution attempt's wall-clock time. A
+	// unit that exceeds it is abandoned (its worker goroutine keeps
+	// running, detached, but the outcome settles) and fails with
+	// faults.ErrUnitTimeout — a hung unit trips the fault taxonomy
+	// instead of wedging the pool. 0 disables the per-attempt bound.
+	UnitTimeout time.Duration
 }
 
 // poolTestHook, when non-nil, runs at the start of every execution
@@ -120,6 +126,11 @@ var poolTestHook func(u Unit, attempt int)
 // they settle into Outcomes — and cancelling ctx stops dispatching new
 // units while in-flight ones run to completion, exactly the shape a
 // resumable sweep needs.
+//
+// When ctx carries a deadline or PoolOptions.UnitTimeout is set,
+// attempts become abandonable: a unit still executing when its bound
+// expires settles with a faults.ErrUnitTimeout-classified failure
+// instead of wedging the pool (see runAttempt).
 func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, error) {
 	if opts.Resume && opts.State == nil {
 		return nil, errors.New("workloads: PoolOptions.Resume requires a state dir")
@@ -193,7 +204,7 @@ func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Reco
 	var res *Result
 	var err error
 	for attempt := 0; ; attempt++ {
-		res, err = runSupervised(o.Unit, attempt, rc)
+		res, err = runAttempt(ctx, o.Unit, attempt, rc, opts.UnitTimeout)
 		o.Attempts = attempt + 1
 		if err == nil || !restartable(err) || attempt >= maxRestarts || ctx.Err() != nil {
 			break
@@ -250,6 +261,54 @@ func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Reco
 		if jerr := opts.State.Journal.Completed(key, digest, o.Attempts); jerr != nil {
 			o.Err = jerr
 		}
+	}
+}
+
+// runAttempt executes one attempt, bounded in wall-clock time when a
+// per-unit timeout or a context deadline applies. On the bounded path
+// the attempt runs in its own goroutine so a hung unit can be
+// abandoned: the goroutine keeps running (Go cannot kill it) but its
+// result is discarded and the unit settles with a classified error —
+// faults.ErrUnitTimeout for an expired per-unit budget, and the
+// context's own error (additionally marked ErrUnitTimeout when the
+// context died of its deadline) for an expired sweep deadline. The
+// unbounded path is byte-for-byte the pre-existing inline call, so
+// sweeps without deadlines pay nothing.
+func runAttempt(ctx context.Context, u Unit, attempt int, rc *ReplayCache, timeout time.Duration) (*Result, error) {
+	_, hasDeadline := ctx.Deadline()
+	if timeout <= 0 && !hasDeadline {
+		return runSupervised(u, attempt, rc)
+	}
+	type attemptResult struct {
+		res *Result
+		err error
+	}
+	ch := make(chan attemptResult, 1)
+	go func() {
+		res, err := runSupervised(u, attempt, rc)
+		ch <- attemptResult{res, err}
+	}()
+	var expire <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		expire = tm.C
+	}
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-expire:
+		return nil, fmt.Errorf("workloads: unit %s attempt %d: %w after %v (worker abandoned)",
+			u.Key(), attempt, faults.ErrUnitTimeout, timeout)
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// Sweep deadline: carry both the taxonomy sentinel (for
+			// failure tables) and the context error (so the journal
+			// leaves the unit in-flight for a resume with more time).
+			return nil, fmt.Errorf("workloads: unit %s attempt %d abandoned at sweep deadline: %w: %w",
+				u.Key(), attempt, faults.ErrUnitTimeout, ctx.Err())
+		}
+		return nil, fmt.Errorf("workloads: unit %s attempt %d abandoned: %w", u.Key(), attempt, ctx.Err())
 	}
 }
 
