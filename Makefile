@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check crash smoke service-race serve-smoke bench bench-smoke clean
+.PHONY: all build test race vet check crash smoke service-race serve-smoke fleet-chaos bench bench-smoke clean
 
 all: build
 
@@ -50,11 +50,24 @@ serve-smoke:
 	$(GO) run ./cmd/gtpind -smoke -state-dir .serve-smoke
 	rm -rf .serve-smoke
 
+# fleet-chaos is the distributed-sweep fault matrix: the fleet suite —
+# coordinator/worker e2e with real SIGKILLed and frozen worker
+# processes, lease fencing, poison quarantine, cross-process flock —
+# under the race detector, once per fixed fault-schedule seed. Three
+# seeds exercise three distinct kill/hang placements; each run asserts
+# the merged report is byte-identical to an unfailed single-process
+# sweep.
+fleet-chaos:
+	GTPIN_FLEET_SEED=1 $(GO) test -race -count=1 ./internal/fleet
+	GTPIN_FLEET_SEED=7 $(GO) test -race -count=1 ./internal/fleet
+	GTPIN_FLEET_SEED=1302 $(GO) test -race -count=1 ./internal/fleet
+
 # check is the CI gate: static analysis, a full build, the service suite
 # then the full test suite under the race detector (the chaos and
 # crash-recovery suites must never panic or deadlock under -race), the
-# resume smoke test, and the daemon smoke test.
-check: vet build service-race race crash smoke serve-smoke
+# distributed-fleet chaos matrix, the resume smoke test, and the daemon
+# smoke test.
+check: vet build service-race race fleet-chaos crash smoke serve-smoke
 
 # bench runs the Go benchmark suites (instrumentation rewrite,
 # interpreters, end-to-end sweep) and then the benchmark-regression

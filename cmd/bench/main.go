@@ -291,6 +291,7 @@ func run() (retErr error) {
 	overheadReps := flag.Int("overhead-reps", 3, "repetitions of the optimized and observed sweeps; the overhead gate compares median wall times")
 	minDetsimRatio := flag.Float64("min-detsim-ratio", 0, "fail if detailed-interpreter MI/s falls below this fraction of the previous report's (0 = report only)")
 	detsimReps := flag.Int("detsim-reps", 3, "timed repetitions of the detailed-interpreter benchmark (best is kept)")
+	timeout := flag.Duration("timeout", 0, "overall benchmark deadline (0 = none); sweeps still running at the deadline are abandoned and their units classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -316,6 +317,11 @@ func run() (retErr error) {
 	}
 	units := buildUnits(sc, *trials)
 	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	// Warm-up pass: populates the page cache and steadies the Go runtime
 	// so neither timed run pays one-time costs. Not timed.

@@ -9,7 +9,7 @@
 //
 //	characterize [-scale full|small|tiny] [-app name] [-fig table1|3a|3b|3c|4a|4b|4c|all]
 //	             [-fault-rate R] [-fault-seed S] [-watchdog N]
-//	             [-state-dir DIR] [-resume] [-timeout D]
+//	             [-state-dir DIR] [-resume] [-timeout D] [-fleet N]
 //
 // The sweep runs as a supervised worker pool. With -state-dir each
 // (app, device-config, fault-seed) unit is journaled in a crash-
@@ -37,6 +37,7 @@ import (
 
 	"gtpin/internal/device"
 	"gtpin/internal/faults"
+	"gtpin/internal/fleet"
 	"gtpin/internal/isa"
 	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/profile"
@@ -48,8 +49,10 @@ import (
 
 // main delegates to run so that every error path unwinds through the
 // deferred cleanups (journal close, signal stop, observability export)
-// instead of os.Exit skipping them.
+// instead of os.Exit skipping them. MaybeWorker comes first: when this
+// process was spawned by a fleet coordinator it is a worker, not a CLI.
 func main() {
+	fleet.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "characterize:", err)
 		os.Exit(1)
@@ -69,6 +72,7 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each unit and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed units, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	fleetN := flag.Int("fleet", 0, "distribute the sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); reports are identical either way")
 	timeout := flag.Duration("timeout", 0, "overall sweep deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -133,12 +137,31 @@ func run() (retErr error) {
 	for i, spec := range specs {
 		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: device.IvyBridgeHD4000(), TrialSeed: 1, Faults: fo}
 	}
-	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
-		State:     state,
-		Resume:    *resume,
-		OnOutcome: progressLine,
-		Workers:   *workers,
-	})
+	var outs []workloads.Outcome
+	var perr error
+	if *fleetN > 0 {
+		fleetDir := ""
+		if *stateDir != "" {
+			fleetDir = filepath.Join(*stateDir, "fleet")
+		}
+		outs, perr = fleet.Run(ctx, units, fleet.Options{
+			Dir:       fleetDir,
+			State:     state,
+			Resume:    *resume,
+			Workers:   *fleetN,
+			OnOutcome: progressLine,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+	} else {
+		outs, perr = workloads.RunPool(ctx, units, workloads.PoolOptions{
+			State:     state,
+			Resume:    *resume,
+			OnOutcome: progressLine,
+			Workers:   *workers,
+		})
+	}
 	if perr != nil {
 		if !errors.Is(perr, context.Canceled) {
 			return perr

@@ -49,10 +49,15 @@ import (
 	"syscall"
 	"time"
 
+	"gtpin/internal/fleet"
 	"gtpin/internal/service"
 )
 
 func main() {
+	// Fleet-mode jobs spawn workers by re-executing this binary;
+	// MaybeWorker diverts those children into the worker loop before any
+	// daemon setup runs.
+	fleet.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "gtpind:", err)
 		os.Exit(1)

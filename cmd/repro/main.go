@@ -7,6 +7,7 @@
 // Usage:
 //
 //	repro [-scale small|full|tiny] [-skip-validate] [-state-dir DIR] [-resume] [-timeout D]
+//	      [-fleet N]
 //
 // At -scale small the whole run takes a couple of minutes; -scale full
 // matches the committed reference outputs under results/.
@@ -29,6 +30,7 @@ import (
 
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
+	"gtpin/internal/fleet"
 	"gtpin/internal/intervals"
 	"gtpin/internal/isa"
 	"gtpin/internal/obs/obsflag"
@@ -52,6 +54,7 @@ type check struct {
 // (journal close, signal handler release, observability export) instead
 // of os.Exit skipping it.
 func main() {
+	fleet.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
@@ -67,6 +70,7 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles and recordings atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	fleetN := flag.Int("fleet", 0, "distribute the profiling sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); requires -state-dir so recordings survive the handoff")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -126,22 +130,45 @@ func run() (retErr error) {
 	for i, spec := range specs {
 		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: base, TrialSeed: 1}
 	}
-	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
-		State:          state,
-		Resume:         *resume,
-		SaveRecordings: state != nil,
-		Workers:        *workers,
-		OnOutcome: func(o workloads.Outcome) {
-			switch {
-			case o.Err != nil:
-				fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
-			case o.Resumed:
-				fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
-			default:
-				fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
-			}
-		},
-	})
+	progress := func(o workloads.Outcome) {
+		switch {
+		case o.Err != nil:
+			fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
+		case o.Resumed:
+			fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
+		default:
+			fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
+		}
+	}
+	var outs []workloads.Outcome
+	var perr error
+	if *fleetN > 0 {
+		// The replay validations need each unit's recording, and a fleet
+		// worker's in-memory recording dies with the worker — the persisted
+		// blob in the state dir is the only handoff that survives.
+		if state == nil {
+			return fmt.Errorf("-fleet requires -state-dir (recordings must be persisted for replay validation)")
+		}
+		outs, perr = fleet.Run(ctx, units, fleet.Options{
+			Dir:            filepath.Join(*stateDir, "fleet"),
+			State:          state,
+			Resume:         *resume,
+			Workers:        *fleetN,
+			SaveRecordings: true,
+			OnOutcome:      progress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+	} else {
+		outs, perr = workloads.RunPool(ctx, units, workloads.PoolOptions{
+			State:          state,
+			Resume:         *resume,
+			SaveRecordings: state != nil,
+			Workers:        *workers,
+			OnOutcome:      progress,
+		})
+	}
 	if perr != nil {
 		if state != nil {
 			fmt.Fprintf(os.Stderr, "repro: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)
@@ -367,9 +394,10 @@ func run() (retErr error) {
 
 // recordingSource returns the replay-validation recording for one
 // settled unit: the in-memory one when the unit executed this process,
-// or the persisted blob when it was resumed from the journal. Resumed
-// units always have the blob — journaled repro runs persist recordings
-// alongside artifacts.
+// or the persisted blob when it was resumed from the journal or
+// executed by a fleet worker (whose in-memory state died with it).
+// Journaled repro runs persist recordings alongside artifacts in both
+// cases.
 func recordingSource(o workloads.Outcome, state *runstate.Dir) func() (*cofluent.Recording, error) {
 	if o.Result != nil {
 		rec := o.Result.Recording
@@ -378,7 +406,7 @@ func recordingSource(o workloads.Outcome, state *runstate.Dir) func() (*cofluent
 	key := o.Unit.Key()
 	return func() (*cofluent.Recording, error) {
 		if state == nil || !o.Artifact.HasRecording {
-			return nil, fmt.Errorf("repro: no recording for resumed unit %s", key)
+			return nil, fmt.Errorf("repro: no persisted recording for unit %s", key)
 		}
 		return cofluent.LoadFile(state.UnitFile(key, ".rec"))
 	}

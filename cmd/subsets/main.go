@@ -9,7 +9,7 @@
 // Usage:
 //
 //	subsets [-scale full|small|tiny] [-fig table2|table3|5|6|7|bestavg|all]
-//	        [-csv DIR] [-state-dir DIR] [-resume] [-timeout D]
+//	        [-csv DIR] [-state-dir DIR] [-resume] [-timeout D] [-fleet N]
 //
 // With -state-dir the profiling sweep (the expensive step) is journaled
 // and each profile persisted atomically, so a killed run continued with
@@ -30,6 +30,7 @@ import (
 	"gtpin/internal/device"
 	"gtpin/internal/export"
 	"gtpin/internal/features"
+	"gtpin/internal/fleet"
 	"gtpin/internal/intervals"
 	"gtpin/internal/obs/obsflag"
 	"gtpin/internal/par"
@@ -48,6 +49,7 @@ var fig5Apps = []string{"cb-physics-ocean-surf", "sandra-crypt-aes128", "sonyveg
 // (journal close, signal handler release, observability export) instead
 // of os.Exit skipping it.
 func main() {
+	fleet.MaybeWorker()
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "subsets:", err)
 		os.Exit(1)
@@ -64,6 +66,7 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	fleetN := flag.Int("fleet", 0, "distribute the profiling sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); reports are identical either way")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
@@ -115,21 +118,41 @@ func run() (retErr error) {
 	for i, spec := range specs {
 		units[i] = workloads.Unit{Spec: spec, Scale: sc, Cfg: cfg, TrialSeed: 1}
 	}
-	outs, perr := workloads.RunPool(ctx, units, workloads.PoolOptions{
-		State:   state,
-		Resume:  *resume,
-		Workers: *workers,
-		OnOutcome: func(o workloads.Outcome) {
-			switch {
-			case o.Err != nil:
-				fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
-			case o.Resumed:
-				fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
-			default:
-				fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
-			}
-		},
-	})
+	progress := func(o workloads.Outcome) {
+		switch {
+		case o.Err != nil:
+			fmt.Fprintf(os.Stderr, "FAILED   %-28s %v\n", o.Unit.Spec.Name, o.Err)
+		case o.Resumed:
+			fmt.Fprintf(os.Stderr, "resumed  %-28s\n", o.Unit.Spec.Name)
+		default:
+			fmt.Fprintf(os.Stderr, "profiled %-28s\n", o.Unit.Spec.Name)
+		}
+	}
+	var outs []workloads.Outcome
+	var perr error
+	if *fleetN > 0 {
+		fleetDir := ""
+		if *stateDir != "" {
+			fleetDir = filepath.Join(*stateDir, "fleet")
+		}
+		outs, perr = fleet.Run(ctx, units, fleet.Options{
+			Dir:       fleetDir,
+			State:     state,
+			Resume:    *resume,
+			Workers:   *fleetN,
+			OnOutcome: progress,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+	} else {
+		outs, perr = workloads.RunPool(ctx, units, workloads.PoolOptions{
+			State:     state,
+			Resume:    *resume,
+			Workers:   *workers,
+			OnOutcome: progress,
+		})
+	}
 	if perr != nil {
 		if state != nil {
 			fmt.Fprintf(os.Stderr, "subsets: interrupted; progress journaled in %s — continue with -resume\n", *stateDir)

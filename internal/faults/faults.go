@@ -137,6 +137,27 @@ var (
 	// enough consecutive failures accumulated that continuing would
 	// waste the queue's capacity on a job that keeps failing.
 	ErrCircuitOpen = NewSentinel("circuit breaker open", Permanent)
+
+	// ErrLeaseExpired marks a fleet work-unit lease whose worker stopped
+	// heartbeating or blew its completion deadline before producing a
+	// result. Transient: the coordinator re-dispatches the unit to a
+	// healthy worker, and on a healthy fleet the retry succeeds.
+	ErrLeaseExpired = NewSentinel("lease expired", Transient)
+
+	// ErrPoisonUnit marks a work unit quarantined by the fleet
+	// coordinator because it killed (or hung) several consecutive
+	// workers. The unit itself is the common factor, so re-dispatching
+	// it again would only keep destroying workers: the failure is
+	// permanent and surfaces as a typed fault in the merged report.
+	ErrPoisonUnit = NewSentinel("poison unit", Permanent)
+
+	// ErrStaleWorker marks a result rejected by the fleet's fencing
+	// epoch: a worker that was declared lost (and whose lease was
+	// re-dispatched) came back from the dead and journaled a result for
+	// a lease it no longer holds. Accepting it could double-count or
+	// reorder units, so the late write is refused. Permanent: the epoch
+	// never becomes valid again.
+	ErrStaleWorker = NewSentinel("stale worker", Permanent)
 )
 
 // classifier lets non-Sentinel error types participate in classification.

@@ -1,0 +1,106 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"syscall"
+
+	"gtpin/internal/faults"
+)
+
+// EnvChaos carries a JSON-encoded Schedule into worker processes. It is
+// a test/validation facility: production fleets never set it, and a
+// worker with no schedule runs clean at zero cost.
+const EnvChaos = "GTPIN_FLEET_CHAOS"
+
+// Schedule is a deterministic fault plan for a fleet, keyed by worker
+// ordinal (the spawn sequence number, so respawned replacements —
+// which get fresh ordinals — run clean and the sweep terminates).
+type Schedule struct {
+	// KillAfter maps a worker ordinal to the number of leases the
+	// worker completes before SIGKILLing itself at the start of the
+	// next one — after journaling the start record, modeling a process
+	// crash mid-unit.
+	KillAfter map[int]int `json:"kill_after,omitempty"`
+	// HangAfter is KillAfter's freeze variant: the worker stops
+	// heartbeating and blocks forever while still holding its flock,
+	// modeling a livelocked or SIGSTOPped process. The coordinator must
+	// detect it by heartbeat staleness and kill it.
+	HangAfter map[int]int `json:"hang_after,omitempty"`
+	// Poison lists unit keys that crash whatever worker executes them
+	// (SIGKILL after the start record), every time — the shape the
+	// coordinator must quarantine rather than endlessly re-dispatch.
+	Poison []string `json:"poison,omitempty"`
+}
+
+// Encode serializes the schedule for EnvChaos.
+func (s Schedule) Encode() (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("fleet: encode chaos schedule: %w", err)
+	}
+	return string(data), nil
+}
+
+// chaosFromEnv loads the worker's view of the schedule. No env, no
+// chaos. A malformed schedule is an error: silently running clean
+// would make a broken chaos suite pass vacuously.
+func chaosFromEnv() (Schedule, error) {
+	raw := os.Getenv(EnvChaos)
+	if raw == "" {
+		return Schedule{}, nil
+	}
+	var s Schedule
+	if err := json.Unmarshal([]byte(raw), &s); err != nil {
+		return Schedule{}, fmt.Errorf("fleet: parse %s: %w", EnvChaos, err)
+	}
+	return s, nil
+}
+
+// RandomSchedule derives a seeded fault plan over the first `workers`
+// ordinals, guaranteeing at least two kills and one hang when the fleet
+// is large enough (>= 3 workers) — the floor the chaos suite asserts
+// byte-identity under. The same seed always yields the same schedule.
+func RandomSchedule(seed int64, workers int) Schedule {
+	r := rand.New(rand.NewSource(faults.DeriveSeed(seed, "fleet-chaos")))
+	s := Schedule{KillAfter: map[int]int{}, HangAfter: map[int]int{}}
+	kills, hangs := 2, 1
+	if workers < 3 {
+		kills, hangs = min(workers, 2), 0
+	}
+	ord := 0
+	for i := 0; i < kills; i, ord = i+1, ord+1 {
+		s.KillAfter[ord] = r.Intn(3)
+	}
+	for i := 0; i < hangs; i, ord = i+1, ord+1 {
+		s.HangAfter[ord] = r.Intn(3)
+	}
+	// Remaining initial workers crash with some probability too, so the
+	// schedule space covers everything-failed fleets.
+	for ; ord < workers; ord++ {
+		switch r.Intn(4) {
+		case 0:
+			s.KillAfter[ord] = r.Intn(3)
+		case 1:
+			s.HangAfter[ord] = r.Intn(3)
+		}
+	}
+	return s
+}
+
+// Failures counts the scheduled process-level faults, which is the
+// lease-expiry burst an innocent unit could at worst be caught in —
+// chaos runs size PoisonThreshold above it.
+func (s Schedule) Failures() int {
+	return len(s.KillAfter) + len(s.HangAfter)
+}
+
+// killSelf delivers an uncatchable SIGKILL to this process — the
+// worker-side crash primitive. The kernel releases the flock; no
+// deferred cleanup runs, exactly like a real OOM kill.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable: SIGKILL cannot be handled
+}

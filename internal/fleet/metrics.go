@@ -1,0 +1,26 @@
+package fleet
+
+import "gtpin/internal/obs"
+
+// Fleet metrics, registered on the default observability registry so
+// /metrics (service mode) and -metrics-dump (CLI mode) both export
+// them. Counters are cumulative across runs; per-run numbers live in
+// Stats.
+var (
+	mWorkersSpawned = obs.DefaultCounter("fleet_workers_spawned_total",
+		"Fleet worker processes started, respawns included.")
+	mWorkersLost = obs.DefaultCounter("fleet_workers_lost_total",
+		"Fleet worker processes that exited, froze, or were killed before stop.")
+	mWorkersLive = obs.DefaultGauge("fleet_workers_live",
+		"Fleet worker processes currently believed alive.")
+	mLeasesGranted = obs.DefaultCounter("fleet_leases_granted_total",
+		"Work-unit leases written to worker inboxes.")
+	mLeasesExpired = obs.DefaultCounter("fleet_leases_expired_total",
+		"Leases lost to dead, frozen, or hung workers.")
+	mRedispatches = obs.DefaultCounter("fleet_redispatches_total",
+		"Lease grants that retried a previously-lost unit.")
+	mQuarantined = obs.DefaultCounter("fleet_quarantined_units_total",
+		"Units quarantined as poison after killing consecutive workers.")
+	mStaleResults = obs.DefaultCounter("fleet_stale_results_total",
+		"Journaled results refused by the fencing epoch.")
+)

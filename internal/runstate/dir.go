@@ -89,6 +89,16 @@ func Digest(data []byte) string {
 // is sanitized for the filesystem and suffixed with a short hash so
 // distinct keys can never collide after sanitization.
 func (d *Dir) UnitFile(unit, ext string) string {
+	return UnitFilePath(d.Path, unit, ext)
+}
+
+// UnitFilePath is Dir.UnitFile without an open Dir: the path a unit's
+// artifact lives at inside the state directory rooted at dir. The fleet
+// coordinator uses it to harvest artifacts from a worker's state dir
+// without claiming the worker's flock (the worker — or its zombie —
+// still owns the directory; the coordinator only reads bytes it can
+// digest-verify against the worker's journal).
+func UnitFilePath(dir, unit, ext string) string {
 	clean := make([]byte, 0, len(unit))
 	for i := 0; i < len(unit); i++ {
 		c := unit[i]
@@ -99,7 +109,7 @@ func (d *Dir) UnitFile(unit, ext string) string {
 			clean = append(clean, '_')
 		}
 	}
-	return filepath.Join(d.Path, "units",
+	return filepath.Join(dir, "units",
 		fmt.Sprintf("%s-%08x%s", clean, crc32.ChecksumIEEE([]byte(unit)), ext))
 }
 
@@ -121,7 +131,16 @@ func (d *Dir) WriteArtifact(unit string, data []byte) (string, error) {
 // ErrDigestMismatch so the caller re-executes the unit instead of
 // trusting the bytes.
 func (d *Dir) ReadArtifact(unit, wantDigest string) ([]byte, error) {
-	data, err := os.ReadFile(d.UnitFile(unit, ".json"))
+	return ReadVerifiedArtifact(d.Path, unit, wantDigest)
+}
+
+// ReadVerifiedArtifact is Dir.ReadArtifact without an open Dir: load
+// the unit's artifact from the state directory rooted at dir and verify
+// it against the journaled digest. Safe on a directory another process
+// has flocked — it only reads, and the digest check rejects anything
+// not yet durable.
+func ReadVerifiedArtifact(dir, unit, wantDigest string) ([]byte, error) {
+	data, err := os.ReadFile(UnitFilePath(dir, unit, ".json"))
 	if err != nil {
 		return nil, fmt.Errorf("runstate: artifact for %s: %w", unit, err)
 	}

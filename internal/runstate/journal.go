@@ -84,19 +84,36 @@ func (j *Journal) Append(r Record) error {
 
 // Started journals that a unit began executing.
 func (j *Journal) Started(unit string) error {
-	return j.Append(Record{Status: StatusStarted, Unit: unit})
+	return j.StartedEpoch(unit, 0)
+}
+
+// StartedEpoch is Started under a fleet fencing epoch — the form worker
+// processes use so the coordinator can tell which dispatch of the unit
+// produced the record.
+func (j *Journal) StartedEpoch(unit string, epoch uint64) error {
+	return j.Append(Record{Status: StatusStarted, Unit: unit, Epoch: epoch})
 }
 
 // Completed journals that a unit finished, binding it to the digest of
 // its persisted artifact. Callers must make the artifact durable before
 // journaling completion (WAL ordering), which Dir.WriteArtifact does.
 func (j *Journal) Completed(unit, digest string, attempts int) error {
-	return j.Append(Record{Status: StatusCompleted, Unit: unit, Digest: digest, Attempt: attempts})
+	return j.CompletedEpoch(unit, digest, attempts, 0)
+}
+
+// CompletedEpoch is Completed under a fleet fencing epoch.
+func (j *Journal) CompletedEpoch(unit, digest string, attempts int, epoch uint64) error {
+	return j.Append(Record{Status: StatusCompleted, Unit: unit, Digest: digest, Attempt: attempts, Epoch: epoch})
 }
 
 // Failed journals a unit's typed terminal failure.
 func (j *Journal) Failed(unit string, attempts int, errText, class string) error {
-	return j.Append(Record{Status: StatusFailed, Unit: unit, Attempt: attempts, Error: errText, Class: class})
+	return j.FailedEpoch(unit, attempts, errText, class, 0)
+}
+
+// FailedEpoch is Failed under a fleet fencing epoch.
+func (j *Journal) FailedEpoch(unit string, attempts int, errText, class string, epoch uint64) error {
+	return j.Append(Record{Status: StatusFailed, Unit: unit, Attempt: attempts, Error: errText, Class: class, Epoch: epoch})
 }
 
 // Close releases the journal file. Records are already durable; Close

@@ -1,0 +1,133 @@
+package runstate
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The cross-process lock tests re-exec this test binary as a helper,
+// selected by environment: "try" attempts a non-blocking acquire and
+// exits with a code encoding the outcome; "hold" acquires, drops a
+// marker file, and blocks until killed.
+const (
+	envLockMode = "GTPIN_RUNSTATE_LOCK_MODE"
+	envLockDir  = "GTPIN_RUNSTATE_LOCK_DIR"
+
+	exitAcquired = 0
+	exitLocked   = 21 // ErrStateDirLocked, specifically
+	exitOther    = 1
+)
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(envLockMode) {
+	case "":
+		os.Exit(m.Run())
+	case "try":
+		lock, err := AcquireDirLock(os.Getenv(envLockDir))
+		if errors.Is(err, ErrStateDirLocked) {
+			os.Exit(exitLocked)
+		}
+		if err != nil {
+			os.Exit(exitOther)
+		}
+		_ = lock.Release()
+		os.Exit(exitAcquired)
+	case "hold":
+		dir := os.Getenv(envLockDir)
+		if _, err := AcquireDirLock(dir); err != nil {
+			os.Exit(exitOther)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "held"), []byte("1"), 0o644); err != nil {
+			os.Exit(exitOther)
+		}
+		select {} // hold the flock until the parent kills us
+	}
+}
+
+// tryFromChild runs the "try" helper and returns its exit code.
+func tryFromChild(t *testing.T, dir string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), envLockMode+"=try", envLockDir+"="+dir)
+	err := cmd.Run()
+	if err == nil {
+		return exitAcquired
+	}
+	var xerr *exec.ExitError
+	if errors.As(err, &xerr) {
+		return xerr.ExitCode()
+	}
+	t.Fatalf("lock helper: %v", err)
+	return -1
+}
+
+// TestDirLockCrossProcess: the flock claim fences real processes, not
+// just goroutines — a second process probing a held directory gets
+// ErrStateDirLocked, and release makes the same probe succeed.
+func TestDirLockCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+	lock, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := tryFromChild(t, dir); code != exitLocked {
+		t.Fatalf("child exit %d while lock held, want %d (ErrStateDirLocked)", code, exitLocked)
+	}
+	if err := lock.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if code := tryFromChild(t, dir); code != exitAcquired {
+		t.Fatalf("child exit %d after release, want %d", code, exitAcquired)
+	}
+}
+
+// TestDirLockReleasedOnKill: SIGKILLing the holder releases the flock at
+// the kernel — the property that lets a fleet coordinator (or a
+// restarted daemon) reclaim a crashed worker's state directory with no
+// stale-lock cleanup.
+func TestDirLockReleasedOnKill(t *testing.T) {
+	dir := t.TempDir()
+	holder := exec.Command(os.Args[0])
+	holder.Env = append(os.Environ(), envLockMode+"=hold", envLockDir+"="+dir)
+	if err := holder.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = holder.Process.Kill()
+		_, _ = holder.Process.Wait()
+	}()
+
+	marker := filepath.Join(dir, "held")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(marker); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("holder never acquired the lock")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if code := tryFromChild(t, dir); code != exitLocked {
+		t.Fatalf("probe exit %d while holder alive, want %d", code, exitLocked)
+	}
+	if _, err := AcquireDirLock(dir); !errors.Is(err, ErrStateDirLocked) {
+		t.Fatalf("in-process acquire = %v, want ErrStateDirLocked", err)
+	}
+
+	if err := holder.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = holder.Process.Wait()
+
+	lock, err := AcquireDirLock(dir)
+	if err != nil {
+		t.Fatalf("acquire after SIGKILL of holder: %v (kernel should have released the flock)", err)
+	}
+	_ = lock.Release()
+}

@@ -68,6 +68,14 @@ const (
 // fault-seed). Digest is the artifact digest for completed units;
 // Error/Class carry the typed failure for failed ones; Attempt counts
 // execution attempts consumed, supervised restarts included.
+//
+// Epoch is the fencing token of the distributed fleet (internal/fleet):
+// every dispatch of a unit to a worker process carries a fresh epoch,
+// the worker journals its result under that epoch, and the coordinator
+// accepts a terminal record only when its epoch matches the lease it
+// currently holds valid — so a zombie worker whose lease was already
+// re-dispatched cannot smuggle a late write into the merged report.
+// Single-process sweeps leave it zero.
 type Record struct {
 	Seq     uint64 `json:"seq"`
 	Status  Status `json:"status"`
@@ -76,4 +84,5 @@ type Record struct {
 	Attempt int    `json:"attempt,omitempty"`
 	Error   string `json:"error,omitempty"`
 	Class   string `json:"class,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
 }

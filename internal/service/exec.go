@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gtpin/internal/faults"
+	"gtpin/internal/fleet"
 	"gtpin/internal/runstate"
 	"gtpin/internal/workloads"
 )
@@ -16,6 +17,33 @@ import (
 // runner is the pool entry point, injected so tests can script unit
 // outcomes without running the real pipeline.
 type runner func(ctx context.Context, units []workloads.Unit, opts workloads.PoolOptions) ([]workloads.Outcome, error)
+
+// fleetRunner is the fleet coordinator entry point, injected the same
+// way.
+type fleetRunner func(ctx context.Context, units []workloads.Unit, opts fleet.Options) ([]workloads.Outcome, error)
+
+// fleetAdapter wraps the fleet coordinator in the pool's runner shape so
+// runJob's retry-pass loop drives distributed jobs unchanged: each pass
+// leases its pending units across Spec.Fleet worker processes (spawned
+// by re-executing this binary) and the merged outcomes come back in the
+// same order and byte-for-byte form the in-process pool would produce.
+func (s *Server) fleetAdapter(j *Job) runner {
+	return func(ctx context.Context, units []workloads.Unit, opts workloads.PoolOptions) ([]workloads.Outcome, error) {
+		return s.runFleet(ctx, units, fleet.Options{
+			Dir:            filepath.Join(j.dir, "fleet"),
+			State:          opts.State,
+			Resume:         opts.Resume,
+			Workers:        j.Spec.Fleet,
+			MaxRestarts:    opts.MaxRestarts,
+			UnitTimeout:    opts.UnitTimeout,
+			SaveRecordings: opts.SaveRecordings,
+			OnOutcome:      opts.OnOutcome,
+			Logf: func(format string, args ...any) {
+				s.cfg.Logf("gtpind: job "+j.ID+": "+format, args...)
+			},
+		})
+	}
+}
 
 // executeJob drives one popped job to rest. Every error settles into a
 // terminal job state — workers never die with their job — with one
@@ -106,6 +134,11 @@ func (s *Server) runJob(ctx context.Context, j *Job) (State, string) {
 	br := newBreaker(s.cfg.BreakerThreshold)
 	backoff := Backoff{Base: s.cfg.RetryBase, Cap: s.cfg.RetryCap}
 
+	run := s.runPool
+	if j.Spec.Fleet > 0 {
+		run = s.fleetAdapter(j)
+	}
+
 	final := make([]workloads.Outcome, len(units))
 	pending := make([]int, len(units))
 	for i := range pending {
@@ -118,7 +151,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) (State, string) {
 			passUnits[k] = units[idx]
 		}
 		pctx, pcancel := context.WithCancel(ctx)
-		outs, perr := s.runPool(pctx, passUnits, workloads.PoolOptions{
+		outs, perr := run(pctx, passUnits, workloads.PoolOptions{
 			State:          sd,
 			Resume:         pass == 0 && hasJournal,
 			MaxRestarts:    s.cfg.MaxRestarts,
@@ -127,6 +160,9 @@ func (s *Server) runJob(ctx context.Context, j *Job) (State, string) {
 			UnitTimeout:    s.cfg.UnitTimeout,
 			OnOutcome: func(o workloads.Outcome) {
 				j.noteOutcome(o)
+				if o.Err == nil && !o.Resumed && o.WallNs > 0 {
+					s.lat.observe(o.WallNs)
+				}
 				// Cancellation is not a unit failure; everything else
 				// (including abandonment) feeds the breaker.
 				failed := o.Err != nil && !errors.Is(o.Err, context.Canceled)

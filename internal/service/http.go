@@ -17,8 +17,10 @@ import (
 // maxBodyBytes bounds a job submission body; specs are small.
 const maxBodyBytes = 1 << 20
 
-// retryAfterSeconds is the Retry-After hint on shed (429) and draining
-// (503) responses.
+// retryAfterSeconds is the fixed Retry-After hint on draining (503)
+// responses, and the fallback for shed (429) responses before any unit
+// has completed. Once units flow, 429s hint adaptively instead — see
+// retryAfterHint in retryafter.go.
 const retryAfterSeconds = "5"
 
 // apiError is the JSON error envelope.
@@ -112,7 +114,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	if pol.MaxQueued > 0 && s.tenantJobs(tenant) >= pol.MaxQueued {
 		mJobsShed.Inc()
-		w.Header().Set("Retry-After", retryAfterSeconds)
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		writeErr(w, http.StatusTooManyRequests,
 			"tenant %q at max_queued=%d; retry later", tenant, pol.MaxQueued)
 		return
@@ -146,7 +148,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		_ = os.RemoveAll(dir)
 		mJobsShed.Inc()
 		if errors.Is(err, faults.ErrQueueFull) {
-			w.Header().Set("Retry-After", retryAfterSeconds)
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			writeErr(w, http.StatusTooManyRequests, "%v", err)
 			return
 		}

@@ -80,6 +80,11 @@ type JobSpec struct {
 	// expires the job fails with a deadline error and its journal keeps
 	// the completed units.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
+	// Fleet distributes the job's sweep across N worker processes with
+	// lease-based fault tolerance (internal/fleet) instead of the
+	// in-process pool. 0 (the default) runs in-process; either way the
+	// result artifacts are byte-identical.
+	Fleet int `json:"fleet,omitempty"`
 }
 
 // Validate canonicalizes the spec in place (defaults filled, apps
@@ -134,6 +139,9 @@ func (sp *JobSpec) Validate() error {
 	}
 	if sp.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec %v negative", sp.TimeoutSec)
+	}
+	if sp.Fleet < 0 || sp.Fleet > 32 {
+		return fmt.Errorf("fleet %d outside [0,32]", sp.Fleet)
 	}
 	return nil
 }

@@ -1,0 +1,72 @@
+package service
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a sliding window of recently completed units'
+// wall times so shed (429) responses can hint a Retry-After grounded in
+// how fast the service actually clears work, instead of a fixed
+// constant. 64 samples is enough to ride out one noisy job without
+// remembering last week's workload mix.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples [64]int64 // wall ns, ring buffer
+	n       int       // how many slots are filled
+	next    int       // ring cursor
+}
+
+// observe folds one completed unit's wall time into the window.
+// Resumed units and failures are the caller's problem to filter: a
+// journal adoption settles in microseconds and would drag the median
+// toward zero.
+func (t *latencyTracker) observe(wallNs int64) {
+	if wallNs <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.samples[t.next] = wallNs
+	t.next = (t.next + 1) % len(t.samples)
+	if t.n < len(t.samples) {
+		t.n++
+	}
+	t.mu.Unlock()
+}
+
+// median returns the window's median unit latency, or 0 before any
+// sample has been observed.
+func (t *latencyTracker) median() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n == 0 {
+		return 0
+	}
+	buf := make([]int64, t.n)
+	copy(buf, t.samples[:t.n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	return time.Duration(buf[t.n/2])
+}
+
+// retryAfterHint computes the Retry-After seconds for a shed response:
+// the observed median unit latency times the work queued ahead of the
+// client (+1 so an empty queue still hints one unit's worth), clamped
+// to [1, 120] seconds. Before the first unit completes it falls back to
+// the fixed default — the tracker has nothing better to offer yet.
+func (s *Server) retryAfterHint() string {
+	med := s.lat.median()
+	if med <= 0 {
+		return retryAfterSeconds
+	}
+	secs := int(math.Ceil(med.Seconds() * float64(s.queue.depth()+1)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 120 {
+		secs = 120
+	}
+	return strconv.Itoa(secs)
+}

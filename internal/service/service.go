@@ -45,6 +45,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gtpin/internal/fleet"
 	"gtpin/internal/obs"
 	"gtpin/internal/runstate"
 	"gtpin/internal/workloads"
@@ -175,8 +176,10 @@ type Server struct {
 	jobs  map[string]*Job
 	order []string // submission/recovery order, for deterministic listing
 
-	queue   *queue
-	runPool runner // workloads.RunPool, replaceable by tests
+	queue    *queue
+	runPool  runner      // workloads.RunPool, replaceable by tests
+	runFleet fleetRunner // fleet.Run, replaceable by tests
+	lat      latencyTracker
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -212,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:       make(map[string]*Job),
 		queue:      newQueue(c.QueueCap),
 		runPool:    workloads.RunPool,
+		runFleet:   fleet.Run,
 		jobCtx:     ctx,
 		cancelJobs: cancel,
 	}

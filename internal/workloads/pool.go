@@ -67,6 +67,10 @@ type Outcome struct {
 	// BackoffNs is the modelled supervision backoff accumulated across
 	// restarts, in virtual nanoseconds.
 	BackoffNs float64
+	// WallNs is the wall-clock time the unit spent settling (resume
+	// lookup or supervised execution, restarts included) — what the
+	// service's adaptive Retry-After hint is derived from.
+	WallNs int64
 }
 
 // Ran reports whether the unit reached a usable artifact.
@@ -124,13 +128,15 @@ var poolTestHook func(u Unit, attempt int)
 // transiently-failed units are restarted within a per-unit budget with
 // capped backoff in virtual time. Unit failures never abort the sweep —
 // they settle into Outcomes — and cancelling ctx stops dispatching new
-// units while in-flight ones run to completion, exactly the shape a
-// resumable sweep needs.
+// units and promptly abandons in-flight attempts (their outcomes settle
+// with the context error and no terminal journal record, so a resume
+// re-executes them), exactly the shape a resumable, cancellable sweep
+// needs.
 //
 // When ctx carries a deadline or PoolOptions.UnitTimeout is set,
-// attempts become abandonable: a unit still executing when its bound
-// expires settles with a faults.ErrUnitTimeout-classified failure
-// instead of wedging the pool (see runAttempt).
+// attempts are additionally time-bounded: a unit still executing when
+// its bound expires settles with a faults.ErrUnitTimeout-classified
+// failure instead of wedging the pool (see runAttempt).
 func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, error) {
 	if opts.Resume && opts.State == nil {
 		return nil, errors.New("workloads: PoolOptions.Resume requires a state dir")
@@ -164,6 +170,7 @@ func RunPool(ctx context.Context, units []Unit, opts PoolOptions) ([]Outcome, er
 		mUnitsInflight.Inc()
 		runUnit(ctx, o, completed, opts, maxRestarts, rc)
 		mUnitsInflight.Dec()
+		o.WallNs = time.Since(start).Nanoseconds()
 		observeOutcome(o, start)
 		if opts.OnOutcome != nil {
 			opts.OnOutcome(*o)
@@ -265,18 +272,21 @@ func runUnit(ctx context.Context, o *Outcome, completed map[string]runstate.Reco
 }
 
 // runAttempt executes one attempt, bounded in wall-clock time when a
-// per-unit timeout or a context deadline applies. On the bounded path
-// the attempt runs in its own goroutine so a hung unit can be
-// abandoned: the goroutine keeps running (Go cannot kill it) but its
-// result is discarded and the unit settles with a classified error —
-// faults.ErrUnitTimeout for an expired per-unit budget, and the
-// context's own error (additionally marked ErrUnitTimeout when the
-// context died of its deadline) for an expired sweep deadline. The
-// unbounded path is byte-for-byte the pre-existing inline call, so
-// sweeps without deadlines pay nothing.
+// per-unit timeout applies or the context can end (cancellation or a
+// deadline). On the bounded path the attempt runs in its own goroutine
+// so a hung or long-running unit can be abandoned: the goroutine keeps
+// running (Go cannot kill it) but its result is discarded and the unit
+// settles with a classified error — faults.ErrUnitTimeout for an
+// expired per-unit budget, the context's own error (additionally marked
+// ErrUnitTimeout when the context died of its deadline) for an expired
+// sweep deadline, and context.Canceled for a cancelled sweep. Threading
+// cancellation through the dispatch itself is what makes a service-side
+// job cancel (DELETE /api/v1/jobs/{id}) take effect promptly instead of
+// waiting for the in-flight unit to finish. The unbounded path — only
+// reachable with an uncancellable context and no timeout — is
+// byte-for-byte the pre-existing inline call.
 func runAttempt(ctx context.Context, u Unit, attempt int, rc *ReplayCache, timeout time.Duration) (*Result, error) {
-	_, hasDeadline := ctx.Deadline()
-	if timeout <= 0 && !hasDeadline {
+	if timeout <= 0 && ctx.Done() == nil {
 		return runSupervised(u, attempt, rc)
 	}
 	type attemptResult struct {
