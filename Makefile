@@ -78,11 +78,14 @@ check: vet build service-race race fleet-chaos crash smoke serve-smoke
 # BENCH_sweep.json. The harness fails below 2x wall-clock speedup,
 # above 5% observability overhead, or when detailed-interpreter
 # throughput (detsim_mips) drops more than 10% below the committed
-# baseline report. The overhead gate compares median wall times over
-# -overhead-reps repetitions, so one scheduler stall cannot flip it.
+# baseline report (BENCH_sweep.json is checked in for exactly this
+# reason; -require-detsim-prior makes a missing baseline a hard error
+# instead of a silently skipped gate). The overhead gate compares
+# median wall times over -overhead-reps repetitions, so one scheduler
+# stall cannot flip it.
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 5 -min-speedup 2 -max-obs-overhead 1.05 -min-detsim-ratio 0.9 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 5 -min-speedup 2 -max-obs-overhead 1.05 -min-detsim-ratio 0.9 -require-detsim-prior -out BENCH_sweep.json
 
 # bench-smoke is the CI shape of bench: the edge-case regression tests
 # and the observability layer under -race, the execution engine's
@@ -91,15 +94,19 @@ bench:
 # regression harness with the wall-clock gates in warn-only mode
 # (shared CI boxes make those ratios too noisy to fail a build on, but
 # the breach still prints and the medians still land in the report)
-# while still gating detailed-interpreter throughput at 10% regression,
-# and a tiny traced sweep whose -trace/-metrics artifacts are
-# schema-validated by cmd/obscheck.
+# while still gating detailed-interpreter throughput at 10% regression
+# against the committed BENCH_sweep.json baseline — -require-detsim-prior
+# asserts the gate actually armed, so a lost baseline fails the build
+# instead of silently skipping the comparison — and a tiny traced sweep
+# whose -trace/-metrics artifacts are schema-validated by cmd/obscheck.
+# The engine line carries the predecode differential fuzz (threaded-code
+# loops vs the reference interpreter) under the race detector.
 bench-smoke:
 	$(GO) test -race -run 'SurfaceBoundary|RingEntries|ImmediateBoundary|CachedRewrite|CacheKey|ByteFieldTruncation|HostileNames|ByteIdentical|Cache|Speedup' ./internal/gtpin ./internal/jit ./internal/export ./internal/workloads ./cmd/bench
-	$(GO) test -race -short -run 'Differential|WatchdogParity|Probe|BackendsContainNoDispatch' ./internal/engine
+	$(GO) test -race -short -run 'Differential|Predecode|WatchdogParity|Probe|BackendsContainNoDispatch' ./internal/engine
 	$(GO) test -race ./internal/obs/...
 	$(GO) test -bench=. -benchtime=1x -benchmem -run '^$$' ./...
-	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 3 -max-obs-overhead 1.05 -obs-overhead-warn -min-detsim-ratio 0.9 -out BENCH_sweep.json
+	$(GO) run ./cmd/bench -scale tiny -trials 3 -overhead-reps 3 -max-obs-overhead 1.05 -obs-overhead-warn -min-detsim-ratio 0.9 -require-detsim-prior -out BENCH_sweep.json
 	rm -rf .obs-smoke
 	mkdir -p .obs-smoke
 	$(GO) run ./cmd/characterize -scale tiny -fig 3c -trace .obs-smoke/trace.json -metrics .obs-smoke/metrics.json > .obs-smoke/run.out 2> .obs-smoke/run.err

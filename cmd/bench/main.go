@@ -290,6 +290,7 @@ func run() (retErr error) {
 	obsOverheadWarn := flag.Bool("obs-overhead-warn", false, "downgrade a -max-obs-overhead breach from a failure to a warning (for noisy shared machines)")
 	overheadReps := flag.Int("overhead-reps", 3, "repetitions of the optimized and observed sweeps; the overhead gate compares median wall times")
 	minDetsimRatio := flag.Float64("min-detsim-ratio", 0, "fail if detailed-interpreter MI/s falls below this fraction of the previous report's (0 = report only)")
+	requireDetsimPrior := flag.Bool("require-detsim-prior", false, "fail if -min-detsim-ratio is set but no prior report exists to gate against (CI arms this so the gate can never be silently vacuous)")
 	detsimReps := flag.Int("detsim-reps", 3, "timed repetitions of the detailed-interpreter benchmark (best is kept)")
 	timeout := flag.Duration("timeout", 0, "overall benchmark deadline (0 = none); sweeps still running at the deadline are abandoned and their units classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
@@ -478,9 +479,19 @@ func run() (retErr error) {
 		}
 		fmt.Fprintln(os.Stderr, "bench: WARNING:", breach)
 	}
-	if *minDetsimRatio > 0 && prior > 0 && rep.DetsimMIPS < prior**minDetsimRatio {
-		return fmt.Errorf("detailed interpreter %.1f MI/s below %.0f%% of prior %.1f MI/s",
-			rep.DetsimMIPS, *minDetsimRatio*100, prior)
+	if *minDetsimRatio > 0 {
+		if prior <= 0 {
+			// No prior report: the ratio gate has nothing to compare
+			// against. Say so loudly — a silently skipped gate reads as a
+			// pass — and fail outright when the caller requires a prior.
+			if *requireDetsimPrior {
+				return fmt.Errorf("detsim gate cannot arm: -min-detsim-ratio %.2f set but no prior report at %s (-require-detsim-prior)", *minDetsimRatio, *out)
+			}
+			fmt.Fprintf(os.Stderr, "bench: WARNING: detsim gate SKIPPED: no prior report at %s to compare against\n", *out)
+		} else if rep.DetsimMIPS < prior**minDetsimRatio {
+			return fmt.Errorf("detailed interpreter %.1f MI/s below %.0f%% of prior %.1f MI/s",
+				rep.DetsimMIPS, *minDetsimRatio*100, prior)
+		}
 	}
 	return nil
 }

@@ -68,14 +68,36 @@ type Cache struct {
 	sets     int
 	setShift uint
 	setMask  uint64
-	// tags[set*ways+way]; lru[set*ways+way] is a recency stamp.
+	tagShift uint
+	// tags[set*ways+way]; stamp[set*ways+way] packs the line's fill
+	// epoch (high bits) with its LRU recency clock (low clockBits). A
+	// line is valid iff its stamp's epoch equals the cache's: Reset
+	// invalidates the whole cache by bumping the epoch instead of
+	// clearing the line arrays, so resets cost O(1) rather than
+	// O(lines) — they sit on the per-simulation setup path, where an
+	// LLC-sized clear used to dominate short runs. Within one epoch,
+	// stamp order is recency order, so LRU comparisons use the packed
+	// word directly.
 	tags  []uint64
-	valid []bool
-	dirty []bool
-	lru   []uint64
+	stamp []uint64
+	epoch uint64
 	clock uint64
 	stats Stats
+
+	// One-entry MRU filter: the line of the last hit or fill and its way
+	// index. Block sends touch the same line for every lane, so most
+	// accesses resolve here with one compare instead of a set scan. The
+	// filter is only a lookup shortcut — it is validated against the live
+	// epoch and tag before use, and a filter hit performs exactly the
+	// stats and stamp updates a scan hit would.
+	lastLine uint64
+	lastIdx  int
 }
+
+// clockBits is the width of the recency clock within a packed stamp:
+// 2^40 accesses per reset and 2^24 resets per cache before overflow,
+// both far beyond any simulation this drives.
+const clockBits = 40
 
 // New creates a cache level.
 func New(cfg Config) (*Cache, error) {
@@ -93,10 +115,10 @@ func New(cfg Config) (*Cache, error) {
 		sets:     sets,
 		setShift: shift,
 		setMask:  uint64(sets - 1),
+		tagShift: uint(log2(sets)),
 		tags:     make([]uint64, n),
-		valid:    make([]bool, n),
-		dirty:    make([]bool, n),
-		lru:      make([]uint64, n),
+		stamp:    make([]uint64, n),
+		epoch:    1, // stamp[] zero value means "never filled"
 	}, nil
 }
 
@@ -106,13 +128,10 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns the level's access statistics.
 func (c *Cache) Stats() Stats { return c.stats }
 
-// Reset clears contents and statistics.
+// Reset clears contents and statistics. O(1): lines are invalidated by
+// advancing the epoch, not by touching them.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.dirty[i] = false
-		c.lru[i] = 0
-	}
+	c.epoch++
 	c.clock = 0
 	c.stats = Stats{}
 }
@@ -126,40 +145,48 @@ func (c *Cache) Access(addr uint64, write bool) bool {
 		c.stats.Writes++
 	}
 	line := addr >> c.setShift
-	set := int(line & c.setMask)
-	tag := line >> uint(log2(c.sets))
-	base := set * c.cfg.Ways
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+	tag := line >> c.tagShift
+	live := c.epoch << clockBits
+	if line == c.lastLine {
+		if i := c.lastIdx; c.stamp[i] >= live && c.tags[i] == tag {
 			c.stats.Hits++
-			c.lru[i] = c.clock
-			if write {
-				c.dirty[i] = true
-			}
+			c.stamp[i] = live | c.clock
 			return true
 		}
 	}
-	c.stats.Misses++
-	// Victim: invalid way, else least recently used.
-	victim := base
-	for w := 0; w < c.cfg.Ways; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = i
-			break
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	// Stamps are only ever written with the current or an earlier epoch,
+	// so stamp >= live is exactly "live in this epoch" — and every stale
+	// stamp compares below every live one, so the running minimum is the
+	// victim: an invalid way when one exists, else true LRU. One pass
+	// finds both the hit and the victim.
+	st := c.stamp[base : base+c.cfg.Ways]
+	tg := c.tags[base : base+c.cfg.Ways]
+	victim := 0
+	vs := st[0]
+	for w := 0; w < len(st); w++ {
+		s := st[w]
+		if s >= live && tg[w] == tag {
+			c.stats.Hits++
+			st[w] = live | c.clock
+			c.lastLine = line
+			c.lastIdx = base + w
+			return true
 		}
-		if c.lru[i] < c.lru[victim] {
-			victim = i
+		if s < vs {
+			victim = w
+			vs = s
 		}
 	}
-	if c.valid[victim] {
+	c.stats.Misses++
+	if vs >= live {
 		c.stats.Evictions++
 	}
-	c.valid[victim] = true
-	c.tags[victim] = tag
-	c.lru[victim] = c.clock
-	c.dirty[victim] = write
+	tg[victim] = tag
+	st[victim] = live | c.clock
+	c.lastLine = line
+	c.lastIdx = base + victim
 	return false
 }
 

@@ -126,6 +126,10 @@ type Simulator struct {
 	det engine.Detailed
 
 	probe *engine.Probe // attached analysis probe, or nil
+
+	// timerHook, when set, overrides the live cycle counters as the value
+	// source for MsgTimer sends across every execution mode.
+	timerHook func(uint64) uint32
 }
 
 // New creates a simulator.
@@ -159,6 +163,14 @@ func New(cfg Config) (*Simulator, error) {
 // Pure observation: probes never alter execution, timing, or statistics.
 func (s *Simulator) SetProbe(p *engine.Probe) { s.probe = p }
 
+// SetTimerHook overrides the value MsgTimer sends read, across every
+// execution mode — detailed, fast-forward, and warmup — with one
+// deterministic function; nil restores the live cycle counters. Tests
+// install the same hook on a recording device and on every replaying
+// backend, so timer-reading kernels produce identical memory images
+// everywhere despite the backends' different notions of time.
+func (s *Simulator) SetTimerHook(h func(uint64) uint32) { s.timerHook = h }
+
 // Run replays the recording, simulating invocations inside the detailed
 // ranges with the cycle-level model and fast-forwarding the rest.
 func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, error) {
@@ -175,6 +187,7 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 	// lands inside or outside a detailed range.
 	dev.SetWatchdog(s.cfg.WatchdogInstrs)
 	dev.SetProbe(s.probe)
+	dev.SetTimerHook(s.timerHook)
 
 	rep := &Report{}
 	buffers := make(map[int]*device.Buffer)

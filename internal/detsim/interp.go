@@ -50,7 +50,19 @@ func (s *Simulator) runDetailed(k *kernel.Kernel, args []uint32, surfs []*device
 	freq := float64(s.cfg.Device.FreqMHz) / 1000 // GHz
 
 	s.beginInvocation(k)
-	s.det.Timer = func() uint32 { return uint32(rep.DetailedCycles) }
+	// Timer sends observe live time: the enqueue's starting cycle count
+	// plus the in-flight group's own cycles (pipeline cycle at issue for
+	// detailed groups, accumulated functional cycles for unsampled ones).
+	// Previously the detailed hook was frozen at the dispatch-start value
+	// and unsampled groups saw no timer at all, so a kernel timing itself
+	// read a stale value that disagreed with the functional device.
+	base := rep.DetailedCycles
+	s.det.Timer = func(cycle uint64) uint32 { return uint32(base + cycle) }
+	s.eng.Timer = func(groupCycles uint64) uint32 { return uint32(base + groupCycles) }
+	if s.timerHook != nil {
+		s.det.Timer = s.timerHook
+		s.eng.Timer = s.timerHook
+	}
 	s.eng.Touch = nil
 
 	var ds engine.DetailedStats
@@ -115,6 +127,11 @@ func (s *Simulator) runWarmup(k *kernel.Kernel, args []uint32, surfs []*device.B
 
 	s.beginInvocation(k)
 	s.eng.Touch = s.touchCache
+	base := rep.DetailedCycles
+	s.eng.Timer = func(groupCycles uint64) uint32 { return uint32(base + groupCycles) }
+	if s.timerHook != nil {
+		s.eng.Timer = s.timerHook
+	}
 
 	var fst engine.Stats
 	for g := 0; g < groups; g++ {

@@ -131,6 +131,19 @@ func (d *Device) Jitter() *TimingJitter { return d.jitter }
 // never alter execution, timing, or statistics.
 func (d *Device) SetProbe(p *engine.Probe) { d.probe = p }
 
+// SetTimerHook overrides the value MsgTimer sends read with a
+// deterministic function; nil restores the default live device cycle
+// counter. Cross-backend tests install the same hook everywhere so
+// timer-reading kernels produce identical memory images on every
+// backend.
+func (d *Device) SetTimerHook(h func(uint64) uint32) {
+	if h != nil {
+		d.eng.Timer = h
+		return
+	}
+	d.eng.Timer = func(groupCycles uint64) uint32 { return uint32(d.cycles + groupCycles) }
+}
+
 // budget returns the effective per-enqueue instruction budget.
 func (d *Device) budget() uint64 {
 	if d.watchdog > 0 {

@@ -3,16 +3,127 @@ package engine
 import "gtpin/internal/isa"
 
 // execALU executes one ALU-class instruction over the full execution
-// width. The per-opcode loops are the vectorized form of isa.Eval —
-// tests assert the two stay semantically identical — so the compiler
-// keeps the lane loop free of per-lane dispatch.
+// width, resolving operands from the instruction form. It is the
+// reference loops' entry point; the pre-decoded loops call execALUVec
+// directly with their pre-resolved sources.
 func (c *Core) execALU(in *isa.Instruction, width int) {
 	s0 := c.operand(in.Src0, 0, width)
 	s1 := c.operand(in.Src1, 1, width)
-	dst := &c.GRF[in.Dst]
-	pred := in.Pred
+	var s2 *[isa.MaxWidth]uint32
+	if in.Op == isa.OpMad {
+		s2 = c.operand(in.Src2, 2, width)
+	}
+	c.execALUVec(in.Op, in.Fn, in.Pred, in.Dst, s0, s1, s2, width)
+}
 
-	switch in.Op {
+// execALUVec executes one ALU-class operation over pre-resolved source
+// vectors. The per-opcode loops are the vectorized form of isa.Eval —
+// tests assert the two stay semantically identical — so the compiler
+// keeps the lane loop free of per-lane dispatch. s2 is consulted only by
+// mad.
+func (c *Core) execALUVec(op isa.Opcode, fn isa.MathFn, pred isa.PredMode, dstReg isa.Reg, s0, s1, s2 *[isa.MaxWidth]uint32, width int) {
+	dst := &c.GRF[dstReg]
+
+	if pred == isa.PredNoneMode {
+		// Unpredicated (the common case): dense lane loops with no
+		// per-channel enable check. Must mirror the predicated switch
+		// below exactly, minus the laneOn gate.
+		switch op {
+		case isa.OpMov, isa.OpMovi:
+			copy(dst[:width], s0[:width])
+		case isa.OpSel:
+			for i := 0; i < width; i++ {
+				if c.Flag[i] {
+					dst[i] = s0[i]
+				} else {
+					dst[i] = s1[i]
+				}
+			}
+		case isa.OpAnd:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] & s1[i]
+			}
+		case isa.OpOr:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] | s1[i]
+			}
+		case isa.OpXor:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] ^ s1[i]
+			}
+		case isa.OpNot:
+			for i := 0; i < width; i++ {
+				dst[i] = ^s0[i]
+			}
+		case isa.OpShl:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] << (s1[i] & 31)
+			}
+		case isa.OpShr:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] >> (s1[i] & 31)
+			}
+		case isa.OpAsr:
+			for i := 0; i < width; i++ {
+				dst[i] = uint32(int32(s0[i]) >> (s1[i] & 31))
+			}
+		case isa.OpAdd:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] + s1[i]
+			}
+		case isa.OpSub:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] - s1[i]
+			}
+		case isa.OpMul:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i] * s1[i]
+			}
+		case isa.OpMach:
+			for i := 0; i < width; i++ {
+				dst[i] = uint32((uint64(s0[i]) * uint64(s1[i])) >> 32)
+			}
+		case isa.OpMad:
+			for i := 0; i < width; i++ {
+				dst[i] = s0[i]*s1[i] + s2[i]
+			}
+		case isa.OpMin:
+			for i := 0; i < width; i++ {
+				if s1[i] < s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		case isa.OpMax:
+			for i := 0; i < width; i++ {
+				if s1[i] > s0[i] {
+					dst[i] = s1[i]
+				} else {
+					dst[i] = s0[i]
+				}
+			}
+		case isa.OpAbs:
+			for i := 0; i < width; i++ {
+				v := int32(s0[i])
+				if v < 0 {
+					v = -v
+				}
+				dst[i] = uint32(v)
+			}
+		case isa.OpAvg:
+			for i := 0; i < width; i++ {
+				dst[i] = uint32((uint64(s0[i]) + uint64(s1[i]) + 1) >> 1)
+			}
+		case isa.OpMath:
+			for i := 0; i < width; i++ {
+				dst[i] = isa.EvalMath(fn, s0[i], s1[i])
+			}
+		}
+		return
+	}
+
+	switch op {
 	case isa.OpMov, isa.OpMovi:
 		for i := 0; i < width; i++ {
 			if c.laneOn(pred, i) {
@@ -96,7 +207,6 @@ func (c *Core) execALU(in *isa.Instruction, width int) {
 			}
 		}
 	case isa.OpMad:
-		s2 := c.operand(in.Src2, 2, width)
 		for i := 0; i < width; i++ {
 			if c.laneOn(pred, i) {
 				dst[i] = s0[i]*s1[i] + s2[i]
@@ -141,36 +251,68 @@ func (c *Core) execALU(in *isa.Instruction, width int) {
 	case isa.OpMath:
 		for i := 0; i < width; i++ {
 			if c.laneOn(pred, i) {
-				dst[i] = isa.EvalMath(in.Fn, s0[i], s1[i])
+				dst[i] = isa.EvalMath(fn, s0[i], s1[i])
 			}
 		}
 	}
 }
 
-// execCmp executes a compare over the execution width, writing the flag
-// register.
-func (c *Core) execCmp(cond isa.CondMod, s0, s1 *[isa.MaxWidth]uint32, width int) {
+// countOn returns how many of the first width channels execute under the
+// predication mode — what the cycle-level loop charges as lane work and
+// consults to suppress phantom scoreboard writes when every lane is
+// predicated off.
+func (c *Core) countOn(pred isa.PredMode, width int) int {
+	if pred == isa.PredNoneMode {
+		return width
+	}
+	n := 0
 	for i := 0; i < width; i++ {
-		a, b := s0[i], s1[i]
-		var r bool
-		switch cond {
-		case isa.CondEQ:
-			r = a == b
-		case isa.CondNE:
-			r = a != b
-		case isa.CondLT:
-			r = a < b
-		case isa.CondLE:
-			r = a <= b
-		case isa.CondGT:
-			r = a > b
-		case isa.CondGE:
-			r = a >= b
-		case isa.CondLTS:
-			r = int32(a) < int32(b)
-		case isa.CondGTS:
-			r = int32(a) > int32(b)
+		if c.laneOn(pred, i) {
+			n++
 		}
-		c.Flag[i] = r
+	}
+	return n
+}
+
+// execCmp executes a compare over the execution width, writing the flag
+// register. The condition dispatch is hoisted out of the lane loop.
+func (c *Core) execCmp(cond isa.CondMod, s0, s1 *[isa.MaxWidth]uint32, width int) {
+	switch cond {
+	case isa.CondEQ:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] == s1[i]
+		}
+	case isa.CondNE:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] != s1[i]
+		}
+	case isa.CondLT:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] < s1[i]
+		}
+	case isa.CondLE:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] <= s1[i]
+		}
+	case isa.CondGT:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] > s1[i]
+		}
+	case isa.CondGE:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = s0[i] >= s1[i]
+		}
+	case isa.CondLTS:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = int32(s0[i]) < int32(s1[i])
+		}
+	case isa.CondGTS:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = int32(s0[i]) > int32(s1[i])
+		}
+	default:
+		for i := 0; i < width; i++ {
+			c.Flag[i] = false
+		}
 	}
 }

@@ -16,6 +16,10 @@ import (
 // deterministic.
 type Buffer struct {
 	data []byte
+	// mask is len(data)-1 when the size is a power of two (the common
+	// case), letting wrap use a bitwise AND instead of an integer
+	// division on the per-lane access path; 0 selects the modulo path.
+	mask int
 }
 
 // NewBuffer allocates a zeroed surface of the given size in bytes.
@@ -26,7 +30,11 @@ func NewBuffer(size int) (*Buffer, error) {
 		return nil, fmt.Errorf("buffer size must be positive, got %d", size)
 	}
 	size = (size + 7) &^ 7
-	return &Buffer{data: make([]byte, size)}, nil
+	b := &Buffer{data: make([]byte, size)}
+	if size&(size-1) == 0 {
+		b.mask = size - 1
+	}
+	return b, nil
 }
 
 // Size returns the buffer's capacity in bytes.
@@ -39,9 +47,19 @@ func (b *Buffer) Bytes() []byte { return b.data }
 // wrap clamps a device byte offset into the buffer, aligned to elem bytes.
 func (b *Buffer) wrap(off uint32, elem int) int {
 	n := len(b.data)
-	o := int(off) % n
-	// Align down so a full element fits.
-	o -= o % elem
+	var o int
+	if b.mask != 0 {
+		o = int(off) & b.mask
+	} else {
+		o = int(off) % n
+	}
+	// Align down so a full element fits (elem is a power of two for every
+	// valid message; the modulo path keeps exotic sizes total).
+	if elem&(elem-1) == 0 {
+		o &^= elem - 1
+	} else {
+		o -= o % elem
+	}
 	if o+elem > n {
 		o = n - elem
 	}

@@ -35,8 +35,11 @@ type Detailed struct {
 	// as full line fills (DRAM traffic).
 	MemLatencyNs float64
 	// Timer supplies the value a MsgTimer send writes under detailed
-	// simulation; nil leaves the destination untouched.
-	Timer func() uint32
+	// simulation, given the pipeline cycle (within the current group) at
+	// which the send issues — so a timer read observes time advancing
+	// across the group, like Env.Timer observes groupCycles on the
+	// functional path. A nil hook leaves the destination untouched.
+	Timer func(cycle uint64) uint32
 
 	// regReady[r] is the pipeline cycle at which register r's last
 	// write completes (the scoreboard).
@@ -54,15 +57,26 @@ type DetailedStats struct {
 }
 
 // RunGroupDetailed simulates one channel-group at cycle level: every
-// channel of every instruction is evaluated individually (isa.Eval),
-// every memory access walks the cache hierarchy, and an in-order
-// scoreboard charges dependency stalls. The architectural results are
-// identical to RunGroup — the differential tests enforce it — but the
-// simulation cost per instruction is orders of magnitude higher.
+// instruction's enabled channels are evaluated (vectorized per-opcode,
+// over the pre-decoded stream), every memory access walks the cache
+// hierarchy, and an in-order scoreboard charges dependency stalls. The
+// architectural results are identical to RunGroup — the differential
+// tests enforce it — but the simulation cost per instruction is orders
+// of magnitude higher.
+//
+// Scoreboard source sets, execute-stage holds, and clamped execution
+// widths come pre-computed from the threaded-code records; watchdog
+// checks amortize over whole basic blocks with the exact trip point
+// preserved. An instruction whose every channel is predicated off
+// writes nothing, holds nothing, and does not update the scoreboard —
+// a masked-off write must not create a phantom dependency
+// (RunGroupDetailedRef in reference.go is the lane-by-lane executable
+// spec).
 //
 // It returns the group's pipeline cycles and the bytes that missed
 // every cache level (DRAM traffic).
 func (e *Env) RunGroupDetailed(det *Detailed, k *kernel.Kernel, args []uint32, surfs []*Buffer, group, active int, freq float64, ds *DetailedStats) (uint64, uint64, error) {
+	pk := e.predecoded(k)
 	c := &e.Core
 	width := int(k.SIMD)
 	c.InitGroup(k, args, group, width)
@@ -84,166 +98,199 @@ func (e *Env) RunGroupDetailed(det *Detailed, k *kernel.Kernel, args []uint32, s
 	// stages, exposing structural hazards; memory operations occupy the
 	// execute stage for their access latency.
 	var stageFree [numStages]uint64
+	// The stage walk is manually unrolled (numStages == 7, execStage == 4,
+	// asserted below): it runs once per dynamic instruction and the rolled
+	// loop's per-stage branch showed up in profiles.
+	var _ [1]struct{} = [numStages - 6]struct{}{}
+	var _ [1]struct{} = [execStage - 3]struct{}{}
 	issue := func(ready uint64, execHold uint64) uint64 {
 		t := ready
-		for st := 0; st < numStages; st++ {
-			if stageFree[st] > t {
-				t = stageFree[st]
-			}
-			t++
-			if st == execStage {
-				t += execHold
-			}
-			stageFree[st] = t
-			ds.LaneOps++ // pipeline event bookkeeping
+		if stageFree[0] > t {
+			t = stageFree[0]
 		}
+		t++
+		stageFree[0] = t
+		if stageFree[1] > t {
+			t = stageFree[1]
+		}
+		t++
+		stageFree[1] = t
+		if stageFree[2] > t {
+			t = stageFree[2]
+		}
+		t++
+		stageFree[2] = t
+		if stageFree[3] > t {
+			t = stageFree[3]
+		}
+		t++
+		stageFree[3] = t
+		if stageFree[4] > t {
+			t = stageFree[4]
+		}
+		t += 1 + execHold // execute stage holds for memory/long ops
+		stageFree[4] = t
+		if stageFree[5] > t {
+			t = stageFree[5]
+		}
+		t++
+		stageFree[5] = t
+		if stageFree[6] > t {
+			t = stageFree[6]
+		}
+		t++
+		stageFree[6] = t
+		ds.LaneOps += numStages          // pipeline event bookkeeping
 		return t - uint64(numStages) + 1 // cycle the instruction issued
 	}
 
-	// readyAt checks the three sources explicitly rather than ranging
-	// over a slice literal: this runs once per dynamic instruction and
-	// the literal was the detailed loop's only per-instruction
-	// allocation.
-	readyAt := func(in *isa.Instruction) uint64 {
+	// readyAt consults the pre-computed scoreboard source set: the
+	// register sources and flag dependency were extracted at predecode,
+	// so the hot check is a counted loop over at most three registers.
+	readyAt := func(p *pOp) uint64 {
 		t := cycle
-		if in.Src0.Kind == isa.OperandReg && det.regReady[in.Src0.Reg] > t {
-			t = det.regReady[in.Src0.Reg]
-		}
-		if in.Src1.Kind == isa.OperandReg && det.regReady[in.Src1.Reg] > t {
-			t = det.regReady[in.Src1.Reg]
-		}
-		if in.Src2.Kind == isa.OperandReg && det.regReady[in.Src2.Reg] > t {
-			t = det.regReady[in.Src2.Reg]
-		}
-		if in.Pred != isa.PredNoneMode || in.Op == isa.OpSel || in.Op == isa.OpBr {
-			if det.flagReady > t {
-				t = det.flagReady
+		if p.nSrc > 0 {
+			if r := det.regReady[p.srcRegs[0]]; r > t {
+				t = r
 			}
+			if p.nSrc > 1 {
+				if r := det.regReady[p.srcRegs[1]]; r > t {
+					t = r
+				}
+				if p.nSrc > 2 {
+					if r := det.regReady[p.srcRegs[2]]; r > t {
+						t = r
+					}
+				}
+			}
+		}
+		if p.readsFlag && det.flagReady > t {
+			t = det.flagReady
 		}
 		return t
 	}
 
 	for {
-		if blk >= len(k.Blocks) {
+		if blk >= len(pk.blocks) {
 			return 0, 0, fmt.Errorf("fell off end of kernel (block %d)", blk)
 		}
 		if e.OnBlock != nil {
 			e.OnBlock(blk)
 		}
-		b := k.Blocks[blk]
+		b := &pk.blocks[blk]
 		next := blk + 1
+		fast := e.Watchdog.blockFits(instrs, b.n)
 	body:
-		for ii := range b.Instrs {
-			in := &b.Instrs[ii]
+		for pi := range b.ops {
+			p := &b.ops[pi]
 			instrs++
-			if err := e.Watchdog.check(instrs); err != nil {
-				return 0, 0, err
+			if !fast {
+				if err := e.Watchdog.check(instrs); err != nil {
+					return 0, 0, err
+				}
 			}
-			start := readyAt(in)
-			iw := int(in.Width)
-			if iw > width {
-				iw = width
-			}
+			start := readyAt(p)
+			iw := p.widthDet
 
-			switch in.Op {
-			case isa.OpJmp:
-				cycle = issue(start, 1)
-				next = int(in.Target)
-				break body
-			case isa.OpBr:
-				cycle = issue(start, 1)
-				ba := active
-				if iw < ba {
-					ba = iw
-				}
-				if c.reduceFlag(in.BrMode, ba) {
-					next = int(in.Target)
-				}
-				break body
-			case isa.OpCall:
-				if sp == len(retStack) {
-					return 0, 0, fmt.Errorf("call stack overflow")
-				}
-				retStack[sp] = blk + 1
-				sp++
-				cycle = issue(start, 1)
-				next = int(in.Target)
-				break body
-			case isa.OpRet:
-				if sp == 0 {
-					return 0, 0, fmt.Errorf("ret with empty call stack")
-				}
-				sp--
-				cycle = issue(start, 1)
-				next = retStack[sp]
-				break body
-			case isa.OpEnd:
+			switch p.class {
+			case ClassEnd:
 				cycle = issue(start, 1)
 				ds.Instrs += instrs
 				e.Watchdog.commit(instrs)
 				return cycle + numStages, bytesMoved, nil
-			case isa.OpCmp:
-				for l := 0; l < iw; l++ {
-					a := c.srcLane(in.Src0, l)
-					b2 := c.srcLane(in.Src1, l)
-					c.Flag[l] = isa.EvalCmp(in.Cond, a, b2)
-					ds.LaneOps++
+			case ClassControl:
+				switch p.op {
+				case isa.OpJmp:
+					cycle = issue(start, 1)
+					next = p.target
+				case isa.OpBr:
+					cycle = issue(start, 1)
+					ba := active
+					if iw < ba {
+						ba = iw
+					}
+					if c.reduceFlag(p.brMode, ba) {
+						next = p.target
+					}
+				case isa.OpCall:
+					if sp == len(retStack) {
+						return 0, 0, fmt.Errorf("call stack overflow")
+					}
+					retStack[sp] = blk + 1
+					sp++
+					cycle = issue(start, 1)
+					next = p.target
+				case isa.OpRet:
+					if sp == 0 {
+						return 0, 0, fmt.Errorf("ret with empty call stack")
+					}
+					sp--
+					cycle = issue(start, 1)
+					next = retStack[sp]
 				}
+				break body
+			case ClassCmp:
+				c.execCmp(p.cond, c.vec(&p.src0), c.vec(&p.src1), iw)
+				ds.LaneOps += uint64(iw)
 				cycle = issue(start, 0)
 				det.flagReady = cycle + depth
-			case isa.OpSend, isa.OpSendc:
+			case ClassSend:
 				sa := active
 				if iw < sa {
 					sa = iw
 				}
-				lat, moved, err := e.detSend(det, in, surfs, iw, sa, freq, ds)
+				lat, moved, err := e.detSendMsg(det, &p.msg, p.dst, p.src0.reg, p.src1.reg, p.pred, surfs, iw, sa, freq, start, ds)
 				if err != nil {
 					return 0, 0, err
 				}
 				cycle = issue(start, 2)
 				bytesMoved += moved
-				if in.Dst != 0 || in.Msg.Kind.Reads() {
+				if p.dst != 0 || p.msg.Kind.Reads() {
 					// The thread stalls for the full latency only when a
 					// dependent read occurs; the scoreboard captures that.
-					det.regReady[in.Dst] = cycle + lat
+					det.regReady[p.dst] = cycle + lat
 				}
-			default:
-				for l := 0; l < iw; l++ {
-					if !c.laneOn(in.Pred, l) {
-						continue
-					}
-					a := c.srcLane(in.Src0, l)
-					b2 := c.srcLane(in.Src1, l)
-					d2 := c.srcLane(in.Src2, l)
-					c.GRF[in.Dst][l] = isa.Eval(in.Op, in.Fn, a, b2, d2, c.Flag[l])
-					ds.LaneOps++
+			default: // ClassALU
+				exec := iw
+				if p.pred != isa.PredNoneMode {
+					exec = c.countOn(p.pred, iw)
 				}
-				var hold uint64
-				if in.Op == isa.OpMath {
-					hold = 8
-				} else if in.Op == isa.OpMul || in.Op == isa.OpMach || in.Op == isa.OpMad {
-					hold = 2
+				if exec == 0 {
+					// Every channel predicated off: the instruction still
+					// occupies the pipeline, but writes nothing — no
+					// execute-stage hold and no scoreboard update, so no
+					// phantom dependency on the unwritten destination.
+					cycle = issue(start, 0)
+					continue
 				}
-				cycle = issue(start, hold)
-				det.regReady[in.Dst] = cycle + depth
+				var s2 *[isa.MaxWidth]uint32
+				if p.op == isa.OpMad {
+					s2 = c.vec(&p.src2)
+				}
+				c.execALUVec(p.op, p.fn, p.pred, p.dst, c.vec(&p.src0), c.vec(&p.src1), s2, iw)
+				ds.LaneOps += uint64(exec)
+				cycle = issue(start, p.hold)
+				det.regReady[p.dst] = cycle + depth
 			}
 		}
 		blk = next
 	}
 }
 
-// detSend performs a send's memory semantics with per-access cache
+// detSendMsg performs a send's memory semantics with per-access cache
 // simulation, returning the access latency in cycles and the line bytes
-// that missed every cache level (DRAM traffic).
-func (e *Env) detSend(det *Detailed, in *isa.Instruction, surfs []*Buffer, width, active int, freq float64, ds *DetailedStats) (uint64, uint64, error) {
+// that missed every cache level (DRAM traffic). cycle is the pipeline
+// cycle at which the send issues, supplied to the detailed timer hook.
+// Both the reference and pre-decoded cycle-level loops funnel through
+// this one body, so their per-lane memory semantics cannot drift.
+func (e *Env) detSendMsg(det *Detailed, msg *isa.MsgDesc, dst, addrReg, dataReg isa.Reg, pred isa.PredMode, surfs []*Buffer, width, active int, freq float64, cycle uint64, ds *DetailedStats) (uint64, uint64, error) {
 	c := &e.Core
-	msg := in.Msg
 	switch msg.Kind {
 	case isa.MsgEOT:
 		return 0, 0, nil
 	case isa.MsgTimer:
 		if det.Timer != nil {
-			c.GRF[in.Dst][0] = det.Timer()
+			c.GRF[dst][0] = det.Timer(cycle)
 		}
 		return 0, 0, nil
 	}
@@ -252,7 +299,7 @@ func (e *Env) detSend(det *Detailed, in *isa.Instruction, surfs []*Buffer, width
 	}
 	surf := surfs[msg.Surface]
 	elem := int(msg.ElemBytes)
-	addrs := &c.GRF[in.Src0.Reg]
+	addrs := &c.GRF[addrReg]
 	var worstNs float64
 	var missBytes uint64
 	memNs := det.MemLatencyNs
@@ -270,42 +317,42 @@ func (e *Env) detSend(det *Detailed, in *isa.Instruction, surfs []*Buffer, width
 
 	switch msg.Kind {
 	case isa.MsgLoad:
-		dst := &c.GRF[in.Dst]
+		d := &c.GRF[dst]
 		for l := 0; l < active; l++ {
-			if c.laneOn(in.Pred, l) {
-				dst[l] = uint32(surf.LoadElem(addrs[l], elem))
+			if c.laneOn(pred, l) {
+				d[l] = uint32(surf.LoadElem(addrs[l], elem))
 				access(addrs[l], false)
 			}
 		}
 	case isa.MsgStore:
-		data := &c.GRF[in.Src1.Reg]
+		data := &c.GRF[dataReg]
 		for l := 0; l < active; l++ {
-			if c.laneOn(in.Pred, l) {
+			if c.laneOn(pred, l) {
 				surf.StoreElem(addrs[l], elem, uint64(data[l]))
 				access(addrs[l], true)
 			}
 		}
 	case isa.MsgLoadBlock:
-		dst := &c.GRF[in.Dst]
+		d := &c.GRF[dst]
 		base := addrs[0]
 		for l := 0; l < width; l++ {
-			dst[l] = uint32(surf.LoadElem(base+uint32(l*elem), elem))
+			d[l] = uint32(surf.LoadElem(base+uint32(l*elem), elem))
 			access(base+uint32(l*elem), false)
 		}
 	case isa.MsgStoreBlock:
-		data := &c.GRF[in.Src1.Reg]
+		data := &c.GRF[dataReg]
 		base := addrs[0]
 		for l := 0; l < width; l++ {
 			surf.StoreElem(base+uint32(l*elem), elem, uint64(data[l]))
 			access(base+uint32(l*elem), true)
 		}
 	case isa.MsgAtomicAdd:
-		data := &c.GRF[in.Src1.Reg]
-		dst := &c.GRF[in.Dst]
+		data := &c.GRF[dataReg]
+		d := &c.GRF[dst]
 		for l := 0; l < active; l++ {
-			if c.laneOn(in.Pred, l) {
+			if c.laneOn(pred, l) {
 				old := surf.AtomicAdd(addrs[l], elem, uint64(data[l]))
-				dst[l] = uint32(old)
+				d[l] = uint32(old)
 				access(addrs[l], true)
 			}
 		}

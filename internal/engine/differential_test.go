@@ -19,9 +19,16 @@ import (
 // CoFluent and returns the recording, the invocation count, and the
 // final output-buffer image (recording buffer ID 1).
 func record(t testing.TB, seed int64, steps int) (*cofluent.Recording, int, []byte) {
+	return recordCfg(t, seed, steps, testgen.DefaultConfig(), nil)
+}
+
+// recordCfg is record with an explicit generator config and an optional
+// deterministic timer hook installed on the recording device. Workloads
+// that read the EU timer must supply the hook (and install the same one
+// on every replay backend), since live timer values differ per backend.
+func recordCfg(t testing.TB, seed int64, steps int, cfg testgen.Config, timer func(uint64) uint32) (*cofluent.Recording, int, []byte) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	cfg := testgen.DefaultConfig()
 	p := testgen.Program(rng, fmt.Sprintf("eng%d", seed), cfg)
 	sched := testgen.Driver(rng, p, steps, cfg)
 
@@ -29,6 +36,7 @@ func record(t testing.TB, seed int64, steps int) (*cofluent.Recording, int, []by
 	if err != nil {
 		t.Fatal(err)
 	}
+	dev.SetTimerHook(timer)
 	ctx := cl.NewContext(dev)
 	tr := cofluent.Attach(ctx)
 	q := ctx.CreateQueue()
@@ -88,11 +96,18 @@ func record(t testing.TB, seed int64, steps int) (*cofluent.Recording, int, []by
 // replay runs a recording through one backend configuration with a
 // probe attached and returns the probe and the output-buffer image.
 func replay(t *testing.T, rec *cofluent.Recording, ranges []detsim.Range) (*engine.Probe, []byte) {
+	return replayHook(t, rec, ranges, nil)
+}
+
+// replayHook is replay with a deterministic timer hook installed on the
+// simulator; it must match the hook the recording device ran with.
+func replayHook(t *testing.T, rec *cofluent.Recording, ranges []detsim.Range, timer func(uint64) uint32) (*engine.Probe, []byte) {
 	t.Helper()
 	sim, err := detsim.New(detsim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
+	sim.SetTimerHook(timer)
 	probe := engine.NewProbe()
 	sim.SetProbe(probe)
 	if _, err := sim.Run(rec, ranges); err != nil {
@@ -187,6 +202,57 @@ func TestDifferentialMixedRanges(t *testing.T) {
 		t.Fatal("mixed-range replay diverged from the recording device")
 	}
 	diffProfiles(t, "functional", "mixed", funcProbe, mixProbe)
+}
+
+// stepTimer returns a deterministic stateful timer hook: each MsgTimer
+// read observes a strictly advancing value regardless of backend, so
+// timer-dependent results compare equal across backends exactly when
+// the backends execute the same timer sends in the same order.
+func stepTimer() func(uint64) uint32 {
+	n := uint32(0)
+	return func(uint64) uint32 {
+		n += 0x9E3779B1
+		return n
+	}
+}
+
+// TestDifferentialTimerPredOff extends the differential property to the
+// interpreter-fidelity stressors: workloads that read the EU timer into
+// stored results and run fully-predicated-off regions (including
+// predicated-off loads). With the same deterministic timer hook
+// installed on the recording device and on every replay backend, the
+// functional, detailed, and mixed-range replays must still reproduce
+// identical memory images and dynamic profiles.
+func TestDifferentialTimerPredOff(t *testing.T) {
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rec, n, want := recordCfg(t, int64(7400+trial), 6, testgen.FidelityConfig(), stepTimer())
+
+			funcProbe, funcImg := replayHook(t, rec, nil, stepTimer())
+			detProbe, detImg := replayHook(t, rec, []detsim.Range{{From: 0, To: n}}, stepTimer())
+
+			if !bytes.Equal(funcImg, want) {
+				t.Fatal("functional backend diverged from the recording device on a timer/pred-off workload")
+			}
+			if !bytes.Equal(detImg, want) {
+				t.Fatal("detailed backend diverged from the recording device on a timer/pred-off workload")
+			}
+			diffProfiles(t, "functional", "detailed", funcProbe, detProbe)
+
+			if n >= 2 {
+				mixProbe, mixImg := replayHook(t, rec, []detsim.Range{{From: n / 2, To: n}}, stepTimer())
+				if !bytes.Equal(mixImg, want) {
+					t.Fatal("mixed-range replay diverged on a timer/pred-off workload")
+				}
+				diffProfiles(t, "functional", "mixed", funcProbe, mixProbe)
+			}
+		})
+	}
 }
 
 // statsCollector is a cl.Interceptor summing ground-truth ExecStats.

@@ -43,13 +43,26 @@ type Env struct {
 	// SMT-amortized share of memory latency the owning backend models
 	// (0 = memory time modelled elsewhere).
 	MemStallCycles uint64
+
+	// pre memoizes each kernel's pre-decoded threaded-code stream (see
+	// predecode.go), so the per-group loops pay one pointer-map hit per
+	// dispatch instead of a content hash. Lazily allocated.
+	pre map[*kernel.Kernel]*Predecoded
 }
 
 // RunGroup interprets one channel-group to completion under functional
 // semantics: full architectural effects, flat per-opcode cycle costs,
 // no microarchitectural state. It is the hot path of the functional
 // device and of detailed simulation's fast-forward and warmup modes.
+//
+// The loop executes the kernel's pre-decoded threaded-code stream:
+// dispatch classes, operand sources, and issue costs come from the pOp
+// records, and watchdog checks amortize over whole basic blocks while
+// preserving the exact per-instruction trip point (RunGroupRef in
+// reference.go is the unamortized executable spec the differential
+// tests compare against).
 func (e *Env) RunGroup(k *kernel.Kernel, args []uint32, surfs []*Buffer, group, active int, st *Stats) error {
+	pk := e.predecoded(k)
 	c := &e.Core
 	width := int(k.SIMD)
 	c.InitGroup(k, args, group, width)
@@ -61,40 +74,48 @@ func (e *Env) RunGroup(k *kernel.Kernel, args []uint32, surfs []*Buffer, group, 
 	groupCycles := uint64(0)
 
 	for {
-		if blk >= len(k.Blocks) {
+		if blk >= len(pk.blocks) {
 			return fmt.Errorf("fell off end of kernel (block %d)", blk)
 		}
 		if e.OnBlock != nil {
 			e.OnBlock(blk)
 		}
-		b := k.Blocks[blk]
+		b := &pk.blocks[blk]
 		next := blk + 1
+		// When the whole block fits every budget, skip the
+		// per-instruction watchdog check; blocks are straight-line, so
+		// either the whole block retires or the budget would not have
+		// tripped inside it anyway.
+		fast := e.Watchdog.blockFits(groupInstrs, b.n)
 	body:
-		for ii := range b.Instrs {
-			in := &b.Instrs[ii]
+		for pi := range b.ops {
+			p := &b.ops[pi]
 			groupInstrs++
-			groupCycles += uint64(IssueCost[in.Op])
-			if err := e.Watchdog.check(groupInstrs); err != nil {
-				return err
-			}
-
-			iw := int(in.Width) // instruction execution width
-			switch OpClass[in.Op] {
-			case ClassALU:
-				c.execALU(in, iw)
-			case ClassCmp:
-				s0 := c.operand(in.Src0, 0, iw)
-				s1 := c.operand(in.Src1, 1, iw)
-				c.execCmp(in.Cond, s0, s1, iw)
-			case ClassSend:
-				sendActive := active
-				if iw < sendActive {
-					sendActive = iw
-				}
-				if err := e.execSend(in, surfs, iw, sendActive, groupCycles, st); err != nil {
+			groupCycles += uint64(p.issueCost)
+			if !fast {
+				if err := e.Watchdog.check(groupInstrs); err != nil {
 					return err
 				}
-				if in.Msg.Kind.Reads() || in.Msg.Kind.Writes() {
+			}
+
+			switch p.class {
+			case ClassALU:
+				var s2 *[isa.MaxWidth]uint32
+				if p.op == isa.OpMad {
+					s2 = c.vec(&p.src2)
+				}
+				c.execALUVec(p.op, p.fn, p.pred, p.dst, c.vec(&p.src0), c.vec(&p.src1), s2, p.width)
+			case ClassCmp:
+				c.execCmp(p.cond, c.vec(&p.src0), c.vec(&p.src1), p.width)
+			case ClassSend:
+				sendActive := active
+				if p.width < sendActive {
+					sendActive = p.width
+				}
+				if err := e.execSendMsg(&p.msg, p.dst, p.src0.reg, p.src1.reg, p.pred, surfs, p.width, sendActive, groupCycles, st); err != nil {
+					return err
+				}
+				if p.msg.Kind.Reads() || p.msg.Kind.Writes() {
 					// Charge the thread's share of the memory latency, so
 					// both the timing model and intra-thread timer reads
 					// observe memory stall time.
@@ -106,18 +127,18 @@ func (e *Env) RunGroup(k *kernel.Kernel, args []uint32, surfs []*Buffer, group, 
 				e.Watchdog.commit(groupInstrs)
 				return nil
 			default: // ClassControl
-				switch in.Op {
+				switch p.op {
 				case isa.OpJmp:
-					next = int(in.Target)
+					next = p.target
 				case isa.OpBr:
 					// The branch reduces flags over its own execution width
 					// (a scalar br considers only channel 0).
 					ba := active
-					if iw < ba {
-						ba = iw
+					if p.width < ba {
+						ba = p.width
 					}
-					if c.reduceFlag(in.BrMode, ba) {
-						next = int(in.Target)
+					if c.reduceFlag(p.brMode, ba) {
+						next = p.target
 					}
 				case isa.OpCall:
 					if sp == len(retStack) {
@@ -125,7 +146,7 @@ func (e *Env) RunGroup(k *kernel.Kernel, args []uint32, surfs []*Buffer, group, 
 					}
 					retStack[sp] = blk + 1
 					sp++
-					next = int(in.Target)
+					next = p.target
 				case isa.OpRet:
 					if sp == 0 {
 						return fmt.Errorf("ret with empty call stack")

@@ -14,23 +14,32 @@ func sendKey(surface uint8, addr uint32) uint64 {
 }
 
 // execSend performs the memory message of a send instruction under
-// functional semantics. Only channels below active (the dispatch mask)
-// and enabled by predication participate in gather/scatter/atomic
-// messages; block messages move the full SIMD width addressed by
-// channel 0.
+// functional semantics, resolving the message fields from the
+// instruction form. It is the reference loop's entry point; the
+// pre-decoded loop calls execSendMsg directly with its pre-extracted
+// fields.
 func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, groupCycles uint64, st *Stats) error {
+	return e.execSendMsg(&in.Msg, in.Dst, in.Src0.Reg, in.Src1.Reg, in.Pred, surfs, width, active, groupCycles, st)
+}
+
+// execSendMsg performs a send's memory message under functional
+// semantics. Only channels below active (the dispatch mask) and enabled
+// by predication participate in gather/scatter/atomic messages; block
+// messages move the full SIMD width addressed by channel 0. Both
+// functional loops funnel through this one body, so their memory
+// semantics cannot drift.
+func (e *Env) execSendMsg(msg *isa.MsgDesc, dst, addrReg, dataReg isa.Reg, pred isa.PredMode, surfs []*Buffer, width, active int, groupCycles uint64, st *Stats) error {
 	st.Sends++
 	if e.SendFault != nil && e.SendFault(st.Sends) {
-		return fmt.Errorf("send %s (transaction %d): %w", in.Msg.Kind, st.Sends, faults.ErrSendFault)
+		return fmt.Errorf("send %s (transaction %d): %w", msg.Kind, st.Sends, faults.ErrSendFault)
 	}
 	c := &e.Core
-	msg := in.Msg
 	switch msg.Kind {
 	case isa.MsgEOT:
 		return nil
 	case isa.MsgTimer:
 		if e.Timer != nil {
-			c.GRF[in.Dst][0] = e.Timer(groupCycles)
+			c.GRF[dst][0] = e.Timer(groupCycles)
 		}
 		return nil
 	}
@@ -40,14 +49,14 @@ func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, 
 	}
 	surf := surfs[msg.Surface]
 	elem := int(msg.ElemBytes)
-	addrs := &c.GRF[in.Src0.Reg]
+	addrs := &c.GRF[addrReg]
 
 	switch msg.Kind {
 	case isa.MsgLoad:
-		dst := &c.GRF[in.Dst]
+		d := &c.GRF[dst]
 		for i := 0; i < active; i++ {
-			if c.laneOn(in.Pred, i) {
-				dst[i] = uint32(surf.LoadElem(addrs[i], elem))
+			if c.laneOn(pred, i) {
+				d[i] = uint32(surf.LoadElem(addrs[i], elem))
 				st.BytesRead += uint64(elem)
 				if e.Touch != nil {
 					e.Touch(sendKey(msg.Surface, addrs[i]), false)
@@ -55,9 +64,9 @@ func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, 
 			}
 		}
 	case isa.MsgStore:
-		data := &c.GRF[in.Src1.Reg]
+		data := &c.GRF[dataReg]
 		for i := 0; i < active; i++ {
-			if c.laneOn(in.Pred, i) {
+			if c.laneOn(pred, i) {
 				surf.StoreElem(addrs[i], elem, uint64(data[i]))
 				st.BytesWritten += uint64(elem)
 				if e.Touch != nil {
@@ -66,17 +75,17 @@ func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, 
 			}
 		}
 	case isa.MsgLoadBlock:
-		dst := &c.GRF[in.Dst]
+		d := &c.GRF[dst]
 		base := addrs[0]
 		for i := 0; i < width; i++ {
-			dst[i] = uint32(surf.LoadElem(base+uint32(i*elem), elem))
+			d[i] = uint32(surf.LoadElem(base+uint32(i*elem), elem))
 			if e.Touch != nil {
 				e.Touch(sendKey(msg.Surface, base+uint32(i*elem)), false)
 			}
 		}
 		st.BytesRead += uint64(elem * width)
 	case isa.MsgStoreBlock:
-		data := &c.GRF[in.Src1.Reg]
+		data := &c.GRF[dataReg]
 		base := addrs[0]
 		for i := 0; i < width; i++ {
 			surf.StoreElem(base+uint32(i*elem), elem, uint64(data[i]))
@@ -86,12 +95,12 @@ func (e *Env) execSend(in *isa.Instruction, surfs []*Buffer, width, active int, 
 		}
 		st.BytesWritten += uint64(elem * width)
 	case isa.MsgAtomicAdd:
-		data := &c.GRF[in.Src1.Reg]
-		dst := &c.GRF[in.Dst]
+		data := &c.GRF[dataReg]
+		d := &c.GRF[dst]
 		for i := 0; i < active; i++ {
-			if c.laneOn(in.Pred, i) {
+			if c.laneOn(pred, i) {
 				old := surf.AtomicAdd(addrs[i], elem, uint64(data[i]))
-				dst[i] = uint32(old)
+				d[i] = uint32(old)
 				st.BytesRead += uint64(elem)
 				st.BytesWritten += uint64(elem)
 				if e.Touch != nil {

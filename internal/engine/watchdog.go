@@ -48,3 +48,18 @@ func (w *Watchdog) check(groupInstrs uint64) error {
 
 // commit folds a retired group's instructions into the enqueue total.
 func (w *Watchdog) commit(groupInstrs uint64) { w.used += groupInstrs }
+
+// blockFits reports whether a whole basic block of n instructions can
+// execute without any budget tripping, given the group's instruction
+// count so far. When it does, the pre-decoded loops skip the
+// per-instruction check for the block — the amortization that makes the
+// watchdog nearly free — and when it does not, they fall back to exact
+// per-instruction checking so the budget still trips on the same dynamic
+// instruction as the unamortized reference loops.
+func (w *Watchdog) blockFits(groupInstrs, n uint64) bool {
+	gi := groupInstrs + n
+	if gi > MaxGroupInstrs {
+		return false
+	}
+	return w.Budget == 0 || w.used+gi <= w.Budget
+}

@@ -9,6 +9,8 @@
 package kernel
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 
 	"gtpin/internal/isa"
@@ -90,6 +92,35 @@ const (
 
 // ArgReg returns the register that receives kernel argument i.
 func ArgReg(i int) isa.Reg { return FirstArgReg + isa.Reg(i) }
+
+// Fingerprint returns a content address of the kernel's executable
+// form: the SIMD width, the block structure, and every instruction's
+// 16-byte encoding (injected instrumentation included, since it
+// executes). Two kernels with equal fingerprints run identically on
+// every interpreter, so caches of derived execution artifacts — the
+// engine's pre-decoded threaded-code streams — can share entries across
+// kernel objects the way the GT-Pin rewrite cache shares instrumented
+// binaries across devices. The name is deliberately excluded: it does
+// not affect execution.
+func (k *Kernel) Fingerprint() (string, error) {
+	h := sha256.New()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(k.SIMD))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(k.Blocks)))
+	h.Write(hdr[:])
+	var word [isa.InstrBytes]byte
+	for _, b := range k.Blocks {
+		binary.LittleEndian.PutUint32(hdr[:4], uint32(len(b.Instrs)))
+		h.Write(hdr[:4])
+		for _, in := range b.Instrs {
+			if err := isa.Encode(in, word[:]); err != nil {
+				return "", fmt.Errorf("kernel %s: fingerprint: %w", k.Name, err)
+			}
+			h.Write(word[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
 
 // StaticInstrs returns the kernel's static instruction count.
 func (k *Kernel) StaticInstrs() int {

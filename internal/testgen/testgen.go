@@ -18,11 +18,31 @@ type Config struct {
 	MaxKernels   int // ≥1
 	MaxBlockOps  int // straight-line ops per segment
 	MaxLoopIters int // loop trip counts
+
+	// Timers folds EU timestamp reads (MsgTimer sends) into the stored
+	// results. Backends disagree on live timer values, so tests that turn
+	// this on must install the same deterministic timer hook on every
+	// backend under comparison.
+	Timers bool
+	// PredOff emits regions where every channel is predicated off —
+	// including a predicated load — exercising the
+	// no-write/no-scoreboard-update paths.
+	PredOff bool
 }
 
-// DefaultConfig returns moderate bounds.
+// DefaultConfig returns moderate bounds. Timers and PredOff stay off so
+// seeded workloads (benchmarks, committed baselines) are unchanged.
 func DefaultConfig() Config {
 	return Config{MaxKernels: 3, MaxBlockOps: 8, MaxLoopIters: 6}
+}
+
+// FidelityConfig returns DefaultConfig with the interpreter-fidelity
+// stressors (timer sends, fully-predicated-off regions) enabled.
+func FidelityConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Timers = true
+	cfg.PredOff = true
+	return cfg
 }
 
 var dataOps = []isa.Opcode{
@@ -131,6 +151,29 @@ func Kernel(rng *rand.Rand, name string, cfg Config) *kernel.Kernel {
 		a.Label("big")
 		emitOps(1 + rng.Intn(cfg.MaxBlockOps))
 		a.Label("join")
+	}
+
+	if cfg.PredOff {
+		// Fully-predicated-off region: a register compared with itself is
+		// false on every channel, so with PredOn nothing executes. The ops
+		// below — including the load — must write no state and must not
+		// create a scoreboard dependency on their destinations.
+		a.Cmp(isa.CondLT, asm.R(regs[3]), asm.R(regs[3]))
+		a.SetPred(isa.PredOn)
+		emitOps(1 + rng.Intn(3))
+		a.And(addr, asm.R(regs[0]), asm.I(0x3FF))
+		a.Shl(addr, asm.R(addr), asm.I(2))
+		a.Load(regs[1], addr, in, 4)
+		a.AddI(regs[5], regs[5], 7)
+		a.SetPred(isa.PredNoneMode)
+	}
+	if cfg.Timers {
+		// Fold a timestamp read into the stored result. MsgTimer writes
+		// channel 0 only, so the temp is zeroed first.
+		rt := a.Temp()
+		a.MovI(rt, 0)
+		a.Timer(rt)
+		a.Add(regs[5], asm.R(regs[5]), asm.R(rt))
 	}
 
 	// Result store, sometimes atomic.
