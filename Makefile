@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check crash smoke service-race serve-smoke fleet-chaos bench bench-smoke clean
+.PHONY: all build test race vet check crash smoke snippets-smoke service-race serve-smoke fleet-chaos bench bench-smoke clean
 
 all: build
 
@@ -32,6 +32,20 @@ smoke:
 	$(GO) run ./cmd/characterize -scale tiny -fig 3c -state-dir .smoke/state -resume > .smoke/run2.out 2> .smoke/run2.err
 	cmp .smoke/run1.out .smoke/run2.out
 	rm -rf .smoke
+
+# snippets-smoke is the parallel-replay equivalence gate on the real
+# harness: simulate one application's selected subset twice — serially
+# (per-interval fast-forwarding, one worker) and via captured interval
+# snippets replayed on four workers — and require byte-identical
+# stdout. Mode and timing narration go to stderr, so cmp proves the
+# snippet path changes only wall time, never results.
+snippets-smoke:
+	rm -rf .snippets-smoke
+	mkdir -p .snippets-smoke
+	$(GO) run ./cmd/subsets -scale tiny -fig table3 -simulate -sim-mode serial -workers 1 -sim-apps cb-physics-ocean-surf > .snippets-smoke/serial.out 2> .snippets-smoke/serial.err
+	$(GO) run ./cmd/subsets -scale tiny -fig table3 -simulate -sim-mode snippets -workers 4 -sim-apps cb-physics-ocean-surf > .snippets-smoke/snippets.out 2> .snippets-smoke/snippets.err
+	cmp .snippets-smoke/serial.out .snippets-smoke/snippets.out
+	rm -rf .snippets-smoke
 
 # service-race runs the profiling-service suite — queue/shed, retry and
 # breaker chaos, drain ordering, and the SIGKILL crash-resume e2e — under
@@ -67,7 +81,7 @@ fleet-chaos:
 # crash-recovery suites must never panic or deadlock under -race), the
 # distributed-fleet chaos matrix, the resume smoke test, and the daemon
 # smoke test.
-check: vet build service-race race fleet-chaos crash smoke serve-smoke
+check: vet build service-race race fleet-chaos crash smoke snippets-smoke serve-smoke
 
 # bench runs the Go benchmark suites (instrumentation rewrite,
 # interpreters, end-to-end sweep) and then the benchmark-regression
@@ -115,4 +129,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .smoke .obs-smoke .serve-smoke
+	rm -rf .smoke .obs-smoke .serve-smoke .snippets-smoke

@@ -66,6 +66,10 @@ func run() (retErr error) {
 	stateDir := flag.String("state-dir", "", "checkpoint directory: journal each application and persist profiles atomically")
 	resume := flag.Bool("resume", false, "continue a journaled run from -state-dir: skip completed applications, re-run in-flight ones")
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
+	simFlag := flag.Bool("simulate", false, "after selection, simulate each application's error-minimizing subset in detail")
+	simMode := flag.String("sim-mode", "snippets", "subset simulation mode: snippets (parallel interval replay) or serial (per-interval fast-forwarding); stdout is byte-identical across modes")
+	simApps := flag.String("sim-apps", "", "comma-separated applications to simulate (default: the Figure 5 sample apps)")
+	simWarmup := flag.Int("sim-warmup", 2, "cache-warming invocations preceding each simulated interval")
 	fleetN := flag.Int("fleet", 0, "distribute the profiling sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); reports are identical either way")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
 	obsFlags := obsflag.Register(flag.CommandLine)
@@ -181,7 +185,7 @@ func run() (retErr error) {
 
 	// The 30-combination evaluation per application.
 	evals := make(map[string][]*selection.Evaluation)
-	needEvals := show(*figFlag, "5") || show(*figFlag, "6") || show(*figFlag, "7") || show(*figFlag, "bestavg")
+	needEvals := show(*figFlag, "5") || show(*figFlag, "6") || show(*figFlag, "7") || show(*figFlag, "bestavg") || *simFlag
 	if needEvals {
 		all := make([][]*selection.Evaluation, len(order))
 		if err := par.ForEachN(ctx, len(order), *workers, func(i int) error {
@@ -217,6 +221,19 @@ func run() (retErr error) {
 	}
 	if show(*figFlag, "7") {
 		printFig7(order, evals)
+	}
+	if *simFlag {
+		if err := runSimulate(ctx, os.Stdout, evals, simOptions{
+			Apps:     parseApps(*simApps),
+			Mode:     *simMode,
+			Warmup:   *simWarmup,
+			Workers:  *workers,
+			Scale:    sc,
+			Device:   cfg,
+			StateDir: *stateDir,
+		}); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -20,12 +20,10 @@ import (
 	"sort"
 
 	"gtpin/internal/cachesim"
-	"gtpin/internal/cl"
 	"gtpin/internal/cofluent"
 	"gtpin/internal/device"
 	"gtpin/internal/engine"
-	"gtpin/internal/jit"
-	"gtpin/internal/kernel"
+	"gtpin/internal/faults"
 )
 
 // Config describes the simulated machine.
@@ -89,6 +87,14 @@ type Report struct {
 	LaneOps        uint64 // per-lane operations evaluated (simulation work)
 
 	FastForwardTimeNs float64 // modelled time of fast-forwarded work
+
+	// WarmupTimeNs is the modelled time of warmup invocations. They
+	// execute through the same fast-forward device as plain functional
+	// invocations — on real hardware the warmup prefix runs like any
+	// other work — so FastForwardTimeNs + WarmupTimeNs is conserved no
+	// matter how much of the fast-forwarded region a Warmup window
+	// relabels.
+	WarmupTimeNs float64
 
 	Cache       []cachesim.Stats
 	MemAccesses uint64 // accesses missing all cache levels
@@ -171,12 +177,55 @@ func (s *Simulator) SetProbe(p *engine.Probe) { s.probe = p }
 // everywhere despite the backends' different notions of time.
 func (s *Simulator) SetTimerHook(h func(uint64) uint32) { s.timerHook = h }
 
+// validateRanges rejects malformed or ambiguous sampling plans on a
+// From-sorted range list: empty or negative ranges, overlapping
+// detailed ranges (the old linear scan silently resolved overlaps
+// first-match-wins), and warmup windows reaching back across an
+// earlier detailed range (which would silently re-run already-detailed
+// invocations in warmup mode). A warmup window larger than the
+// preceding program is fine — it clamps at invocation 0.
+func validateRanges(ranges []Range) error {
+	for i, r := range ranges {
+		if r.From < 0 {
+			return fmt.Errorf("detsim: range [%d, %d) has negative start: %w", r.From, r.To, faults.ErrBadConfig)
+		}
+		if r.To <= r.From {
+			return fmt.Errorf("detsim: range [%d, %d) is empty: %w", r.From, r.To, faults.ErrBadConfig)
+		}
+		if r.Warmup < 0 {
+			return fmt.Errorf("detsim: range [%d, %d) has negative warmup %d: %w", r.From, r.To, r.Warmup, faults.ErrBadConfig)
+		}
+		if r.SampleGroups < 0 {
+			return fmt.Errorf("detsim: range [%d, %d) has negative sample-groups %d: %w", r.From, r.To, r.SampleGroups, faults.ErrBadConfig)
+		}
+		if i == 0 {
+			continue
+		}
+		prev := ranges[i-1]
+		if r.From < prev.To {
+			return fmt.Errorf("detsim: ranges [%d, %d) and [%d, %d) overlap: %w",
+				prev.From, prev.To, r.From, r.To, faults.ErrBadConfig)
+		}
+		if r.Warmup > 0 && r.From-r.Warmup < prev.To {
+			return fmt.Errorf("detsim: warmup window [%d, %d) of range [%d, %d) crosses detailed range [%d, %d): %w",
+				r.From-r.Warmup, r.From, r.From, r.To, prev.From, prev.To, faults.ErrBadConfig)
+		}
+	}
+	return nil
+}
+
 // Run replays the recording, simulating invocations inside the detailed
 // ranges with the cycle-level model and fast-forwarding the rest.
+// Warmup invocations execute through the fast-forward device (so their
+// modelled time lands in WarmupTimeNs and the device clock advances as
+// it would without warmup) with the cache-touch hook installed.
 func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, error) {
 	s.caches.Reset()
 	ranges := append([]Range(nil), detailed...)
 	sort.Slice(ranges, func(i, j int) bool { return ranges[i].From < ranges[j].From })
+	if err := validateRanges(ranges); err != nil {
+		return nil, err
+	}
 
 	dev, err := device.New(s.cfg.Device)
 	if err != nil {
@@ -192,16 +241,13 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 	rep := &Report{}
 	buffers := make(map[int]*device.Buffer)
 	s.buffers = buffers
-	programs := make(map[int]map[string]*jit.Binary)
-	kernelIR := make(map[int]*kernel.Kernel) // kernel object ID -> IR
-	kernelBin := make(map[int]*jit.Binary)   // kernel object ID -> binary
-	kargs := make(map[int][]uint32)          // kernel object ID -> scalar args
-	ksurfs := make(map[int][]*device.Buffer) // kernel object ID -> surfaces
 
 	rep.Ranges = make([]RangeReport, len(ranges))
 	for i, r := range ranges {
 		rep.Ranges[i].Range = r
 	}
+	// Sorted, validated ranges are disjoint — and so are their warmup
+	// windows — so first match is the only match.
 	rangeOf := func(seq int) int {
 		for i, r := range ranges {
 			if seq >= r.From && seq < r.To {
@@ -219,105 +265,44 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 		return false
 	}
 
-	invocation := 0
-	for i := range rec.Calls {
-		c := &rec.Calls[i]
-		switch c.Name {
-		case cl.CallCreateBuffer:
-			b, err := device.NewBuffer(c.Size)
-			if err != nil {
-				return nil, fmt.Errorf("detsim: call %d: %w", i, err)
+	err = walkRecording(rec, buffers, walkHooks{onLaunch: func(l *launch) error {
+		if ri := rangeOf(l.Invocation); ri >= 0 {
+			beforeT, beforeI := rep.DetailedTimeNs, rep.DetailedInstrs
+			if err := s.runDetailed(l.IR, l.Args, l.Surfaces, l.GWS, ranges[ri].SampleGroups, rep); err != nil {
+				return fmt.Errorf("detsim: invocation %d (%s): %w", l.Invocation, l.IR.Name, err)
 			}
-			buffers[c.Buffer] = b
-		case cl.CallBuildProgram:
-			if c.Program >= len(rec.Programs) {
-				return nil, fmt.Errorf("detsim: call %d: program %d not in recording", i, c.Program)
-			}
-			bins, err := jit.CompileProgram(rec.Programs[c.Program])
-			if err != nil {
-				return nil, fmt.Errorf("detsim: call %d: %w", i, err)
-			}
-			programs[c.Program] = bins
-		case cl.CallCreateKernel:
-			bins, ok := programs[c.Program]
-			if !ok {
-				return nil, fmt.Errorf("detsim: call %d: kernel %s of unbuilt program %d", i, c.Kernel, c.Program)
-			}
-			ir := rec.Programs[c.Program].Kernel(c.Kernel)
-			if ir == nil || bins[c.Kernel] == nil {
-				return nil, fmt.Errorf("detsim: call %d: unknown kernel %s", i, c.Kernel)
-			}
-			kernelIR[c.KID] = ir
-			kernelBin[c.KID] = bins[c.Kernel]
-			kargs[c.KID] = make([]uint32, ir.NumArgs)
-			ksurfs[c.KID] = make([]*device.Buffer, ir.NumSurfaces)
-		case cl.CallSetKernelArg:
-			ir, ok := kernelIR[c.KID]
-			if !ok {
-				return nil, fmt.Errorf("detsim: call %d: arg on unknown kernel %d", i, c.KID)
-			}
-			if c.ArgIdx >= ir.NumArgs {
-				b, ok := buffers[c.Buffer]
-				if !ok {
-					return nil, fmt.Errorf("detsim: call %d: unknown buffer %d", i, c.Buffer)
-				}
-				ksurfs[c.KID][c.ArgIdx-ir.NumArgs] = b
-			} else {
-				kargs[c.KID][c.ArgIdx] = c.ArgVal
-			}
-		case cl.CallEnqueueWriteBuffer:
-			b, ok := buffers[c.Buffer]
-			if !ok {
-				return nil, fmt.Errorf("detsim: call %d: write to unknown buffer %d", i, c.Buffer)
-			}
-			copy(b.Bytes()[c.Offset:], c.Payload)
-		case cl.CallEnqueueCopyBuffer, cl.CallEnqueueCopyImgToBuf:
-			src, dst := buffers[c.Buffer], buffers[c.Buffer2]
-			if src == nil || dst == nil {
-				return nil, fmt.Errorf("detsim: call %d: copy with unknown buffer", i)
-			}
-			copy(dst.Bytes()[c.Offset2:c.Offset2+c.Size], src.Bytes()[c.Offset:c.Offset+c.Size])
-		case cl.CallEnqueueNDRangeKernel:
-			ir, ok := kernelIR[c.KID]
-			if !ok {
-				return nil, fmt.Errorf("detsim: call %d: enqueue of unknown kernel %d", i, c.KID)
-			}
-			// Dispatch is synchronous and the interpreters never append to
-			// these slices, so the kernel's live bindings are passed
-			// directly instead of copied per enqueue.
-			args := kargs[c.KID]
-			surfs := ksurfs[c.KID]
-			if ri := rangeOf(invocation); ri >= 0 {
-				beforeT, beforeI := rep.DetailedTimeNs, rep.DetailedInstrs
-				if err := s.runDetailed(ir, args, surfs, c.GWS, ranges[ri].SampleGroups, rep); err != nil {
-					return nil, fmt.Errorf("detsim: invocation %d (%s): %w", invocation, ir.Name, err)
-				}
-				rr := &rep.Ranges[ri]
-				rr.Invocations++
-				rr.DetailedTimeNs += rep.DetailedTimeNs - beforeT
-				rr.DetailedInstrs += rep.DetailedInstrs - beforeI
-				rep.Detailed++
-			} else if inWarmup(invocation) {
-				if err := s.runWarmup(ir, args, surfs, c.GWS, rep); err != nil {
-					return nil, fmt.Errorf("detsim: warmup invocation %d: %w", invocation, err)
-				}
-				rep.Warmed++
-				invocation++
-				continue
-			} else {
-				st, err := dev.Run(device.Dispatch{
-					Binary: kernelBin[c.KID], Args: args, Surfaces: surfs, GlobalWorkSize: c.GWS,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("detsim: fast-forward invocation %d: %w", invocation, err)
-				}
-				rep.FastForwardTimeNs += st.TimeNs
-				rep.FastForwarded++
-			}
-			invocation++
-		default:
-			// Host-only calls carry no device work.
+			rr := &rep.Ranges[ri]
+			rr.Invocations++
+			rr.DetailedTimeNs += rep.DetailedTimeNs - beforeT
+			rr.DetailedInstrs += rep.DetailedInstrs - beforeI
+			rep.Detailed++
+			return nil
 		}
+		touch := inWarmup(l.Invocation)
+		if touch {
+			dev.SetTouchHook(s.touchCache)
+		}
+		st, derr := dev.Run(device.Dispatch{
+			Binary: l.Bin, Args: l.Args, Surfaces: l.Surfaces, GlobalWorkSize: l.GWS,
+		})
+		if touch {
+			dev.SetTouchHook(nil)
+			if derr != nil {
+				return fmt.Errorf("detsim: warmup invocation %d: %w", l.Invocation, derr)
+			}
+			rep.WarmupTimeNs += st.TimeNs
+			rep.Warmed++
+			return nil
+		}
+		if derr != nil {
+			return fmt.Errorf("detsim: fast-forward invocation %d: %w", l.Invocation, derr)
+		}
+		rep.FastForwardTimeNs += st.TimeNs
+		rep.FastForwarded++
+		return nil
+	}})
+	if err != nil {
+		return nil, err
 	}
 	for _, c := range s.caches.Levels() {
 		rep.Cache = append(rep.Cache, c.Stats())

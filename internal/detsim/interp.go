@@ -10,10 +10,11 @@ import (
 
 // This file composes the shared execution engine into the detailed
 // backend: cycle-level groups run engine.Env.RunGroupDetailed against
-// the simulated cache hierarchy, unsampled and warmup groups run the
-// functional loop (the latter with the cache-touch hook installed), and
-// the per-enqueue watchdog budget is armed per invocation so it trips
-// at the same dynamic instruction as the functional device. All ISA
+// the simulated cache hierarchy, unsampled groups run the functional
+// loop, and the per-enqueue watchdog budget is armed per invocation so
+// it trips at the same dynamic instruction as the functional device.
+// (Warmup invocations run on the fast-forward device with the
+// cache-touch hook installed — see Run and RunSnippet.) All ISA
 // interpretation lives in internal/engine; this package contributes the
 // sampling, warmup, extrapolation, and wall-time modelling.
 
@@ -112,44 +113,11 @@ func (s *Simulator) runDetailed(k *kernel.Kernel, args []uint32, surfs []*device
 	return nil
 }
 
-// runWarmup executes an invocation in cache-warming mode: functional
-// semantics plus cache touches, no timing contribution.
-func (s *Simulator) runWarmup(k *kernel.Kernel, args []uint32, surfs []*device.Buffer, gws int, rep *Report) error {
-	if gws <= 0 {
-		return fmt.Errorf("global work size %d", gws)
-	}
-	if len(args) < k.NumArgs || len(surfs) < k.NumSurfaces {
-		return fmt.Errorf("insufficient args (%d/%d) or surfaces (%d/%d)",
-			len(args), k.NumArgs, len(surfs), k.NumSurfaces)
-	}
-	width := int(k.SIMD)
-	groups := (gws + width - 1) / width
-
-	s.beginInvocation(k)
-	s.eng.Touch = s.touchCache
-	base := rep.DetailedCycles
-	s.eng.Timer = func(groupCycles uint64) uint32 { return uint32(base + groupCycles) }
-	if s.timerHook != nil {
-		s.eng.Timer = s.timerHook
-	}
-
-	var fst engine.Stats
-	for g := 0; g < groups; g++ {
-		active := gws - g*width
-		if active > width {
-			active = width
-		}
-		if err := s.eng.RunGroup(k, args, surfs, g, active, &fst); err != nil {
-			s.eng.Touch = nil
-			return fmt.Errorf("group %d: %w", g, err)
-		}
-	}
-	s.eng.Touch = nil
-	return nil
-}
-
-// touchCache is the warmup hook: every send access walks the simulated
-// hierarchy so microarchitectural state stays warm.
+// touchCache is the warmup hook, installed on the fast-forward device
+// while a warmup invocation runs: every send access walks the simulated
+// hierarchy so microarchitectural state stays warm. (Warmup execution
+// itself moved onto the device — see Run — so warmup time is modelled
+// and the device clock advances exactly as it would without warmup.)
 func (s *Simulator) touchCache(key uint64, write bool) {
 	s.caches.Access(key, write)
 }

@@ -1,0 +1,625 @@
+// Snippet checkpoints: portable, self-verifying interval captures.
+//
+// The paper's subset step still replays every program from the start to
+// reach each selected interval, so subset speedup is capped by serial
+// fast-forwarding of the unselected prefix. Following Nugget's portable
+// interval checkpoints, Capture runs one functional pass over a
+// recording and extracts each selected interval — plus its warmup
+// prefix — as a standalone Snippet: the launch state of every enqueue
+// in the window (kernel binary, scalar args, surface bindings, global
+// work size), a memory image of the surfaces the window actually
+// touches (trimmed via the engine's Touch observer), the host events
+// that interleave with the window's launches, and the device-clock seed
+// at the window's start. RunSnippet then replays one snippet in
+// isolation — cache warmup first, then the detailed range — producing
+// bit-identical detailed results to a full fast-forwarding Run of the
+// same range, without executing any of the prefix. That makes subset
+// simulation embarrassingly parallel over intervals (cmd/subsets).
+//
+// Snippets are digest-verified twice over: the runstate store seals the
+// serialized bytes, and the snippet itself records SHA-256 digests of
+// every touched surface at window close, which RunSnippet checks after
+// replay (faults.ErrSnippetDiverged on mismatch).
+package detsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"gtpin/internal/cachesim"
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/device"
+	"gtpin/internal/engine"
+	"gtpin/internal/faults"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// SnippetVersion is the serialization version Encode writes and Decode
+// requires.
+const SnippetVersion = 1
+
+// Snippet is one captured interval: everything needed to replay the
+// invocation window [max(0, From-Warmup), To) on a fresh simulator,
+// independent of the recording it came from.
+type Snippet struct {
+	Version int    `json:"version"`
+	App     string `json:"app"`
+	Range   Range  `json:"range"`
+
+	// StartCycles and StartDispatches seed the replay device's clock
+	// with the values the fast-forwarded prefix would have produced, so
+	// MsgTimer reads and the thermal-drift phase of warmup invocations
+	// match a full replay exactly.
+	StartCycles     uint64 `json:"start_cycles"`
+	StartDispatches uint64 `json:"start_dispatches"`
+
+	// HasTimer marks windows whose kernels contain MsgTimer sends. Live
+	// timer values differ between the capture pass (functional device
+	// clock) and detailed replay (pipeline cycles), so post-replay digest
+	// verification is skipped for timer-reading windows unless a
+	// deterministic timer hook is installed on both sides.
+	HasTimer bool `json:"has_timer,omitempty"`
+
+	Kernels []SnippetKernel `json:"kernels"`
+	Buffers []SnippetBuffer `json:"buffers"`
+	Events  []SnippetEvent  `json:"events"`
+
+	// PostDigests records the SHA-256 of every touched buffer's bytes at
+	// window close, sorted by buffer ID — the capture-time ground truth
+	// RunSnippet verifies its replay against.
+	PostDigests []BufferDigest `json:"post_digests"`
+}
+
+// SnippetKernel is one kernel the window launches, carried as its
+// compiled device binary (jit.Decode round-trips exactly, so the IR,
+// and with it the engine's predecoded stream, is reconstructed
+// bit-identically anywhere).
+type SnippetKernel struct {
+	Name        string `json:"name"`
+	Fingerprint string `json:"fingerprint"`
+	Code        []byte `json:"code"`
+}
+
+// SnippetBuffer is one surface that exists when the window opens. Image
+// is its contents at window open; surfaces that are bound but never
+// touched by the window carry only their size (replay recreates them
+// zeroed — the window never observes their bytes).
+type SnippetBuffer struct {
+	ID    int    `json:"id"`
+	Size  int    `json:"size"`
+	Image []byte `json:"image,omitempty"`
+}
+
+// SnippetEvent is one window event in recording order: a kernel launch
+// (warmup or detailed) or a host-side buffer operation interleaved with
+// the launches.
+type SnippetEvent struct {
+	Kind string `json:"kind"` // "launch", "create", "write", "copy"
+
+	// launch
+	Kernel   int      `json:"kernel,omitempty"` // index into Kernels
+	Args     []uint32 `json:"args,omitempty"`
+	Surfaces []int    `json:"surfaces,omitempty"` // buffer IDs per slot
+	GWS      int      `json:"gws,omitempty"`
+	Detailed bool     `json:"detailed,omitempty"`
+
+	// create / write / copy
+	Buffer  int    `json:"buffer,omitempty"`
+	Buffer2 int    `json:"buffer2,omitempty"`
+	Offset  int    `json:"offset,omitempty"`
+	Offset2 int    `json:"offset2,omitempty"`
+	Size    int    `json:"size,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// BufferDigest binds a buffer ID to the hex SHA-256 of its bytes.
+type BufferDigest struct {
+	ID     int    `json:"id"`
+	SHA256 string `json:"sha256"`
+}
+
+// Event kinds.
+const (
+	evLaunch = "launch"
+	evCreate = "create"
+	evWrite  = "write"
+	evCopy   = "copy"
+)
+
+// Encode serializes the snippet. The encoding is deterministic: equal
+// snippets produce equal bytes, so sealed artifacts are content-stable
+// across capture runs.
+func (sn *Snippet) Encode() ([]byte, error) {
+	data, err := json.Marshal(sn)
+	if err != nil {
+		return nil, fmt.Errorf("detsim: encode snippet: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeSnippet parses and structurally validates a serialized snippet.
+func DecodeSnippet(data []byte) (*Snippet, error) {
+	sn := &Snippet{}
+	if err := json.Unmarshal(data, sn); err != nil {
+		return nil, fmt.Errorf("detsim: decode snippet: %w: %w", faults.ErrBadRecording, err)
+	}
+	if sn.Version != SnippetVersion {
+		return nil, fmt.Errorf("detsim: snippet version %d (want %d): %w", sn.Version, SnippetVersion, faults.ErrBadRecording)
+	}
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	return sn, nil
+}
+
+// validate checks referential integrity: every event points at a kernel
+// and buffers the snippet defines before use.
+func (sn *Snippet) validate() error {
+	have := make(map[int]bool, len(sn.Buffers))
+	for _, b := range sn.Buffers {
+		if b.Size <= 0 {
+			return fmt.Errorf("detsim: snippet buffer %d has size %d: %w", b.ID, b.Size, faults.ErrBadRecording)
+		}
+		have[b.ID] = true
+	}
+	for i, ev := range sn.Events {
+		switch ev.Kind {
+		case evCreate:
+			if ev.Size <= 0 {
+				return fmt.Errorf("detsim: snippet event %d: create with size %d: %w", i, ev.Size, faults.ErrBadRecording)
+			}
+			have[ev.Buffer] = true
+		case evWrite:
+			if !have[ev.Buffer] {
+				return fmt.Errorf("detsim: snippet event %d: write to undefined buffer %d: %w", i, ev.Buffer, faults.ErrBadRecording)
+			}
+		case evCopy:
+			if !have[ev.Buffer] || !have[ev.Buffer2] {
+				return fmt.Errorf("detsim: snippet event %d: copy with undefined buffer: %w", i, faults.ErrBadRecording)
+			}
+		case evLaunch:
+			if ev.Kernel < 0 || ev.Kernel >= len(sn.Kernels) {
+				return fmt.Errorf("detsim: snippet event %d: kernel %d out of range (%d kernels): %w",
+					i, ev.Kernel, len(sn.Kernels), faults.ErrBadRecording)
+			}
+			for _, id := range ev.Surfaces {
+				if !have[id] {
+					return fmt.Errorf("detsim: snippet event %d: launch binds undefined buffer %d: %w", i, id, faults.ErrBadRecording)
+				}
+			}
+		default:
+			return fmt.Errorf("detsim: snippet event %d: unknown kind %q: %w", i, ev.Kind, faults.ErrBadRecording)
+		}
+	}
+	for _, d := range sn.PostDigests {
+		if !have[d.ID] {
+			return fmt.Errorf("detsim: snippet digest for undefined buffer %d: %w", d.ID, faults.ErrBadRecording)
+		}
+	}
+	return nil
+}
+
+// capWindow is one in-progress capture.
+type capWindow struct {
+	r      Range
+	wstart int // max(0, From-Warmup): first invocation in the window
+	open   bool
+	done   bool
+	sn     *Snippet
+
+	images  map[int][]byte // buffer ID -> contents at window open
+	sizes   map[int]int    // buffer ID -> size (every referenced buffer)
+	touched map[int]bool   // buffer ID -> read/written/host-referenced
+	kidx    map[string]int // kernel fingerprint -> index into sn.Kernels
+}
+
+// reference snapshots a buffer the window is about to observe or
+// mutate. The first reference wins: every later mutation flows through
+// a recorded event, so contents at first reference are contents at
+// window open.
+func (w *capWindow) reference(id int, b *device.Buffer, touch bool) {
+	if _, ok := w.sizes[id]; !ok {
+		w.sizes[id] = b.Size()
+		w.images[id] = append([]byte(nil), b.Bytes()...)
+	}
+	if touch {
+		w.touched[id] = true
+	}
+}
+
+// Capture replays the recording once functionally and extracts one
+// snippet per requested range. Ranges are validated individually (each
+// snippet replays alone, so cross-range overlap is allowed — warmup
+// windows of different snippets may cover the same invocations). The
+// returned snippets align with the input ranges.
+//
+// The capture pass executes every invocation on a fresh fast-forward
+// device configured like Run's (same watchdog budget, same timer hook),
+// so the clock seeds recorded at each window's start equal the values a
+// real fast-forwarding replay reaches.
+func (s *Simulator) Capture(rec *cofluent.Recording, ranges []Range) ([]*Snippet, error) {
+	windows := make([]*capWindow, len(ranges))
+	for i, r := range ranges {
+		if err := validateRanges([]Range{r}); err != nil {
+			return nil, err
+		}
+		wstart := r.From - r.Warmup
+		if wstart < 0 {
+			wstart = 0
+		}
+		windows[i] = &capWindow{
+			r: r, wstart: wstart,
+			sn:      &Snippet{Version: SnippetVersion, App: rec.App, Range: r},
+			images:  make(map[int][]byte),
+			sizes:   make(map[int]int),
+			touched: make(map[int]bool),
+			kidx:    make(map[string]int),
+		}
+	}
+
+	dev, err := device.New(s.cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("detsim: %w", err)
+	}
+	dev.SetWatchdog(s.cfg.WatchdogInstrs)
+	dev.SetTimerHook(s.timerHook)
+	var cur *engine.TouchSet
+	dev.SetTouchHook(func(key uint64, write bool) {
+		if cur != nil {
+			cur.Observe(key, write)
+		}
+	})
+
+	// Per-walk memo of kernel fingerprints and timer scans.
+	fps := make(map[*kernel.Kernel]string)
+	timers := make(map[*kernel.Kernel]bool)
+
+	openAt := func(inv int) []*capWindow {
+		var out []*capWindow
+		for _, w := range windows {
+			if !w.done && inv >= w.wstart && inv < w.r.To {
+				if !w.open {
+					w.open = true
+					w.sn.StartCycles = dev.Timestamp()
+					w.sn.StartDispatches = dev.Dispatches()
+				}
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	// hostOpen: windows receiving host events — those already opened by
+	// their first launch and not yet closed. Host calls before a window's
+	// first launch are prefix state (baked into the images); host calls
+	// after its last launch cannot affect the window.
+	hostOpen := func() []*capWindow {
+		var out []*capWindow
+		for _, w := range windows {
+			if w.open && !w.done {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+
+	buffers := make(map[int]*device.Buffer)
+	err = walkRecording(rec, buffers, walkHooks{
+		onCreate: func(id int, b *device.Buffer, c *cl.APICall) error {
+			for _, w := range hostOpen() {
+				// Created inside the window: defined by the event, touched
+				// by definition (its zeroed birth state is observable).
+				w.sizes[id] = b.Size()
+				w.touched[id] = true
+				w.sn.Events = append(w.sn.Events, SnippetEvent{Kind: evCreate, Buffer: id, Size: b.Size()})
+			}
+			return nil
+		},
+		beforeWrite: func(c *cl.APICall, dst *device.Buffer) error {
+			for _, w := range hostOpen() {
+				w.reference(c.Buffer, dst, true)
+				w.sn.Events = append(w.sn.Events, SnippetEvent{
+					Kind: evWrite, Buffer: c.Buffer, Offset: c.Offset,
+					Payload: append([]byte(nil), c.Payload...),
+				})
+			}
+			return nil
+		},
+		beforeCopy: func(c *cl.APICall, src, dst *device.Buffer) error {
+			for _, w := range hostOpen() {
+				w.reference(c.Buffer, src, true)
+				w.reference(c.Buffer2, dst, true)
+				w.sn.Events = append(w.sn.Events, SnippetEvent{
+					Kind: evCopy, Buffer: c.Buffer, Buffer2: c.Buffer2,
+					Offset: c.Offset, Offset2: c.Offset2, Size: c.Size,
+				})
+			}
+			return nil
+		},
+		onLaunch: func(l *launch) error {
+			open := openAt(l.Invocation)
+			for _, w := range open {
+				for si, b := range l.Surfaces {
+					w.reference(l.SurfIDs[si], b, false)
+				}
+				fp, ok := fps[l.IR]
+				if !ok {
+					var ferr error
+					fp, ferr = l.IR.Fingerprint()
+					if ferr != nil {
+						return fmt.Errorf("detsim: capture invocation %d: %w", l.Invocation, ferr)
+					}
+					fps[l.IR] = fp
+					timers[l.IR] = engine.KernelReadsTimer(l.IR)
+				}
+				ki, ok := w.kidx[fp]
+				if !ok {
+					ki = len(w.sn.Kernels)
+					w.kidx[fp] = ki
+					w.sn.Kernels = append(w.sn.Kernels, SnippetKernel{
+						Name: l.IR.Name, Fingerprint: fp,
+						Code: append([]byte(nil), l.Bin.Code...),
+					})
+				}
+				if timers[l.IR] {
+					w.sn.HasTimer = true
+				}
+				w.sn.Events = append(w.sn.Events, SnippetEvent{
+					Kind:     evLaunch,
+					Kernel:   ki,
+					Args:     append([]uint32(nil), l.Args...),
+					Surfaces: append([]int(nil), l.SurfIDs...),
+					GWS:      l.GWS,
+					Detailed: l.Invocation >= w.r.From,
+				})
+			}
+			cur = engine.NewTouchSet(len(l.Surfaces))
+			_, derr := dev.Run(device.Dispatch{
+				Binary: l.Bin, Args: l.Args, Surfaces: l.Surfaces, GlobalWorkSize: l.GWS,
+			})
+			ts := cur
+			cur = nil
+			if derr != nil {
+				return fmt.Errorf("detsim: capture invocation %d (%s): %w", l.Invocation, l.IR.Name, derr)
+			}
+			for _, w := range open {
+				for si, id := range l.SurfIDs {
+					if ts.Touched(si) {
+						w.touched[id] = true
+					}
+				}
+				if l.Invocation == w.r.To-1 {
+					w.finalize(buffers)
+				}
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Snippet, len(windows))
+	var totalBytes uint64
+	for i, w := range windows {
+		if !w.done {
+			return nil, fmt.Errorf("detsim: range [%d, %d) extends past the recording's invocations: %w",
+				w.r.From, w.r.To, faults.ErrBadConfig)
+		}
+		out[i] = w.sn
+		if data, err := w.sn.Encode(); err == nil {
+			totalBytes += uint64(len(data))
+		}
+	}
+	mSnippetsCaptured.Add(uint64(len(out)))
+	mSnippetBytes.Add(totalBytes)
+	return out, nil
+}
+
+// finalize seals a window: assemble the buffer table (images kept only
+// for touched surfaces) and digest the touched surfaces' bytes at
+// window close.
+func (w *capWindow) finalize(buffers map[int]*device.Buffer) {
+	ids := make([]int, 0, len(w.sizes))
+	for id := range w.sizes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		sb := SnippetBuffer{ID: id, Size: w.sizes[id]}
+		if img, ok := w.images[id]; ok {
+			if w.touched[id] {
+				sb.Image = img
+			}
+			w.sn.Buffers = append(w.sn.Buffers, sb)
+		}
+		// Buffers created inside the window are defined by their create
+		// events, not the buffer table.
+		if w.touched[id] {
+			sum := sha256.Sum256(buffers[id].Bytes())
+			w.sn.PostDigests = append(w.sn.PostDigests, BufferDigest{ID: id, SHA256: hex.EncodeToString(sum[:])})
+		}
+	}
+	w.done = true
+	w.open = false
+}
+
+// RunSnippet replays one snippet in isolation: rebuild the window's
+// memory from the images, run warmup launches on a clock-seeded
+// fast-forward device with the cache-touch hook installed, run detailed
+// launches under the cycle-level model, then verify the final memory
+// images against the capture-time digests. The detailed results —
+// range report, cache statistics, warmup time — are bit-identical to
+// Run(rec, []Range{sn.Range}) on the originating recording.
+//
+// Digest verification is skipped for timer-reading windows when no
+// deterministic timer hook is installed (the capture pass and the
+// detailed model legitimately disagree on live timer values); install
+// the same hook on capture and replay to keep verification armed.
+func (s *Simulator) RunSnippet(sn *Snippet) (*Report, error) {
+	if sn == nil {
+		return nil, fmt.Errorf("detsim: nil snippet: %w", faults.ErrBadConfig)
+	}
+	if sn.Version != SnippetVersion {
+		return nil, fmt.Errorf("detsim: snippet version %d (want %d): %w", sn.Version, SnippetVersion, faults.ErrBadRecording)
+	}
+	if err := sn.validate(); err != nil {
+		return nil, err
+	}
+	s.caches.Reset()
+
+	type snipKernel struct {
+		ir  *kernel.Kernel
+		bin *jit.Binary
+	}
+	kernels := make([]snipKernel, len(sn.Kernels))
+	for i, sk := range sn.Kernels {
+		bin := &jit.Binary{Code: sk.Code}
+		ir, err := jit.Decode(bin)
+		if err != nil {
+			return nil, fmt.Errorf("detsim: snippet kernel %s: %w", sk.Name, err)
+		}
+		kernels[i] = snipKernel{ir: ir, bin: bin}
+	}
+
+	buffers := make(map[int]*device.Buffer, len(sn.Buffers))
+	s.buffers = buffers
+	for _, sb := range sn.Buffers {
+		b, err := device.NewBuffer(sb.Size)
+		if err != nil {
+			return nil, fmt.Errorf("detsim: snippet buffer %d: %w", sb.ID, err)
+		}
+		if len(sb.Image) > 0 {
+			if len(sb.Image) != b.Size() {
+				return nil, fmt.Errorf("detsim: snippet buffer %d: image is %d bytes, buffer is %d: %w",
+					sb.ID, len(sb.Image), b.Size(), faults.ErrBadRecording)
+			}
+			copy(b.Bytes(), sb.Image)
+		}
+		buffers[sb.ID] = b
+	}
+
+	dev, err := device.New(s.cfg.Device)
+	if err != nil {
+		return nil, fmt.Errorf("detsim: %w", err)
+	}
+	dev.SetWatchdog(s.cfg.WatchdogInstrs)
+	dev.SetProbe(s.probe)
+	dev.SetTimerHook(s.timerHook)
+	dev.SeedClock(sn.StartCycles, sn.StartDispatches)
+
+	rep := &Report{Ranges: []RangeReport{{Range: sn.Range}}}
+	rr := &rep.Ranges[0]
+	invocation := 0
+	for ei, ev := range sn.Events {
+		switch ev.Kind {
+		case evCreate:
+			b, err := device.NewBuffer(ev.Size)
+			if err != nil {
+				return nil, fmt.Errorf("detsim: snippet event %d: %w", ei, err)
+			}
+			buffers[ev.Buffer] = b
+		case evWrite:
+			b := buffers[ev.Buffer]
+			if ev.Offset < 0 || ev.Offset > b.Size() || len(ev.Payload) > b.Size()-ev.Offset {
+				return nil, fmt.Errorf("detsim: snippet event %d: write [%d, %d+%d) out of bounds (buffer %d is %d bytes): %w",
+					ei, ev.Offset, ev.Offset, len(ev.Payload), ev.Buffer, b.Size(), faults.ErrBadRecording)
+			}
+			copy(b.Bytes()[ev.Offset:], ev.Payload)
+		case evCopy:
+			src, dst := buffers[ev.Buffer], buffers[ev.Buffer2]
+			if ev.Size < 0 ||
+				ev.Offset < 0 || ev.Offset > src.Size() || ev.Size > src.Size()-ev.Offset ||
+				ev.Offset2 < 0 || ev.Offset2 > dst.Size() || ev.Size > dst.Size()-ev.Offset2 {
+				return nil, fmt.Errorf("detsim: snippet event %d: copy out of bounds: %w", ei, faults.ErrBadRecording)
+			}
+			copy(dst.Bytes()[ev.Offset2:ev.Offset2+ev.Size], src.Bytes()[ev.Offset:ev.Offset+ev.Size])
+		case evLaunch:
+			k := kernels[ev.Kernel]
+			surfs := make([]*device.Buffer, len(ev.Surfaces))
+			for si, id := range ev.Surfaces {
+				surfs[si] = buffers[id]
+			}
+			if ev.Detailed {
+				beforeT, beforeI := rep.DetailedTimeNs, rep.DetailedInstrs
+				if err := s.runDetailed(k.ir, ev.Args, surfs, ev.GWS, sn.Range.SampleGroups, rep); err != nil {
+					return nil, fmt.Errorf("detsim: snippet invocation %d (%s): %w", invocation, k.ir.Name, err)
+				}
+				rr.Invocations++
+				rr.DetailedTimeNs += rep.DetailedTimeNs - beforeT
+				rr.DetailedInstrs += rep.DetailedInstrs - beforeI
+				rep.Detailed++
+			} else {
+				dev.SetTouchHook(s.touchCache)
+				st, derr := dev.Run(device.Dispatch{
+					Binary: k.bin, Args: ev.Args, Surfaces: surfs, GlobalWorkSize: ev.GWS,
+				})
+				dev.SetTouchHook(nil)
+				if derr != nil {
+					return nil, fmt.Errorf("detsim: snippet warmup invocation %d: %w", invocation, derr)
+				}
+				rep.WarmupTimeNs += st.TimeNs
+				rep.Warmed++
+			}
+			invocation++
+		}
+	}
+	for _, c := range s.caches.Levels() {
+		rep.Cache = append(rep.Cache, c.Stats())
+	}
+	rep.MemAccesses = s.caches.MemAccesses
+
+	if !sn.HasTimer || s.timerHook != nil {
+		for _, d := range sn.PostDigests {
+			sum := sha256.Sum256(buffers[d.ID].Bytes())
+			if got := hex.EncodeToString(sum[:]); got != d.SHA256 {
+				return nil, fmt.Errorf("detsim: snippet %s range [%d, %d): buffer %d: sha256 %s != captured %s: %w",
+					sn.App, sn.Range.From, sn.Range.To, d.ID, got, d.SHA256, faults.ErrSnippetDiverged)
+			}
+		}
+	}
+	mSnippetReplays.Inc()
+	observeReport(rep)
+	return rep, nil
+}
+
+// MergeReports folds per-interval reports — one per selected interval,
+// in interval order, as produced by serial per-range Runs or parallel
+// RunSnippet replays — into one aggregate. Range reports concatenate in
+// order; counters and times sum; per-level cache statistics sum
+// elementwise. Deterministic: the merge is a pure fold, so equal inputs
+// in equal order produce an identical aggregate at any worker count.
+func MergeReports(reps []*Report) *Report {
+	out := &Report{}
+	for _, r := range reps {
+		if r == nil {
+			continue
+		}
+		out.Detailed += r.Detailed
+		out.FastForwarded += r.FastForwarded
+		out.Warmed += r.Warmed
+		out.DetailedInstrs += r.DetailedInstrs
+		out.DetailedCycles += r.DetailedCycles
+		out.DetailedTimeNs += r.DetailedTimeNs
+		out.LaneOps += r.LaneOps
+		out.FastForwardTimeNs += r.FastForwardTimeNs
+		out.WarmupTimeNs += r.WarmupTimeNs
+		out.MemAccesses += r.MemAccesses
+		out.Ranges = append(out.Ranges, r.Ranges...)
+		for i, c := range r.Cache {
+			if i >= len(out.Cache) {
+				out.Cache = append(out.Cache, cachesim.Stats{})
+			}
+			out.Cache[i].Accesses += c.Accesses
+			out.Cache[i].Hits += c.Hits
+			out.Cache[i].Misses += c.Misses
+			out.Cache[i].Evictions += c.Evictions
+			out.Cache[i].Writes += c.Writes
+		}
+	}
+	return out
+}

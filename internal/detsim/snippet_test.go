@@ -1,0 +1,425 @@
+package detsim_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/cofluent"
+	"gtpin/internal/detsim"
+	"gtpin/internal/device"
+	"gtpin/internal/faults"
+	"gtpin/internal/kernel"
+	"gtpin/internal/par"
+	"gtpin/internal/testgen"
+)
+
+// recordCfg is record with an explicit generator config and an optional
+// deterministic timer hook on the recording device. The snippet
+// differential needs both: the fidelity config emits timer-reading
+// kernels, and those are only byte-comparable across backends under a
+// shared hook.
+func recordCfg(t testing.TB, seed int64, steps int, cfg testgen.Config, timer func(uint64) uint32) (*cofluent.Recording, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := testgen.Program(rng, fmt.Sprintf("snip%d", seed), cfg)
+	sched := testgen.Driver(rng, p, steps, cfg)
+
+	dev, err := device.New(device.IvyBridgeHD4000())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetTimerHook(timer)
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	q := ctx.CreateQueue()
+	in, _ := ctx.CreateBuffer(1 << 12)
+	out, _ := ctx.CreateBuffer(1 << 12)
+	data := make([]byte, 1<<12)
+	for i := range data {
+		data[i] = byte(i*13 + 5)
+	}
+	if err := q.EnqueueWriteBuffer(in, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	prog := ctx.CreateProgram(p)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	kernels := map[string]*cl.Kernel{}
+	for _, k := range p.Kernels {
+		ko, err := prog.CreateKernel(k.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ko.SetBuffer(0, in); err != nil {
+			t.Fatal(err)
+		}
+		if err := ko.SetBuffer(1, out); err != nil {
+			t.Fatal(err)
+		}
+		kernels[k.Name] = ko
+	}
+	for _, s := range sched {
+		ko := kernels[s.Kernel]
+		if err := ko.SetArg(0, s.Iters); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.EnqueueNDRangeKernel(ko, s.GWS); err != nil {
+			t.Fatal(err)
+		}
+		if s.Sync {
+			if err := q.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := cofluent.Record("snip", tr, []*kernel.Program{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, len(tr.Timings())
+}
+
+// constTimer is a deterministic, stateless timer hook. Snippet replays
+// skip the prefix's timer reads, so only a hook with no cross-call
+// state produces identical values on the serial and snippet paths.
+func constTimer(uint64) uint32 { return 0x51C0FFEE }
+
+// snippetRanges picks a representative sampling plan for an n-invocation
+// recording: an early range with warmup clamping at program start, a
+// middle one with warmup, and one ending at the last invocation.
+func snippetRanges(n int) []detsim.Range {
+	if n < 6 {
+		return []detsim.Range{{From: n / 2, To: n/2 + 1, Warmup: 1}}
+	}
+	return []detsim.Range{
+		{From: 1, To: 2, Warmup: 1},
+		{From: n / 2, To: n/2 + 1, Warmup: 2},
+		{From: n - 1, To: n},
+	}
+}
+
+// comparable strips a report down to the fields the serial and snippet
+// paths must agree on byte-for-byte. Fast-forward fields are excluded
+// by construction: not fast-forwarding the prefix is the snippet path's
+// entire purpose.
+type comparableReport struct {
+	Detailed       int
+	Warmed         int
+	DetailedInstrs uint64
+	DetailedCycles uint64
+	DetailedTimeNs float64
+	LaneOps        uint64
+	WarmupTimeNs   float64
+	Cache          string
+	MemAccesses    uint64
+	Range          detsim.RangeReport
+}
+
+func comparable(rep *detsim.Report) comparableReport {
+	return comparableReport{
+		Detailed:       rep.Detailed,
+		Warmed:         rep.Warmed,
+		DetailedInstrs: rep.DetailedInstrs,
+		DetailedCycles: rep.DetailedCycles,
+		DetailedTimeNs: rep.DetailedTimeNs,
+		LaneOps:        rep.LaneOps,
+		WarmupTimeNs:   rep.WarmupTimeNs,
+		Cache:          fmt.Sprintf("%+v", rep.Cache),
+		MemAccesses:    rep.MemAccesses,
+		Range:          rep.Ranges[0],
+	}
+}
+
+// TestSnippetReplayMatchesSerial is the tentpole differential: for
+// random workloads — including timer-reading, predication-heavy ones —
+// capturing interval snippets and replaying them in parallel must
+// reproduce the exact per-range reports, cache statistics, and memory
+// images of the serial fast-forwarding path. Snippets round-trip
+// through their serialized form on the way, so the portability format
+// is under the same microscope.
+func TestSnippetReplayMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   testgen.Config
+		timer func(uint64) uint32
+	}{
+		{"default", testgen.DefaultConfig(), nil},
+		{"fidelity", testgen.FidelityConfig(), constTimer},
+	}
+	for _, tc := range cases {
+		for trial := 0; trial < 4; trial++ {
+			tc, trial := tc, trial
+			t.Run(fmt.Sprintf("%s/trial%d", tc.name, trial), func(t *testing.T) {
+				rec, n := recordCfg(t, int64(8600+trial), 8, tc.cfg, tc.timer)
+				ranges := snippetRanges(n)
+
+				// Serial baseline: one full fast-forwarding Run per range,
+				// each on a fresh simulator — exactly what cmd/subsets did
+				// before snippets.
+				serial := make([]comparableReport, len(ranges))
+				var serialOut [][]byte
+				for i, r := range ranges {
+					sim, err := detsim.New(detsim.DefaultConfig())
+					if err != nil {
+						t.Fatal(err)
+					}
+					sim.SetTimerHook(tc.timer)
+					rep, err := sim.Run(rec, []detsim.Range{r})
+					if err != nil {
+						t.Fatal(err)
+					}
+					serial[i] = comparable(rep)
+					if i == len(ranges)-1 && r.To == n {
+						serialOut = append(serialOut, append([]byte(nil), sim.Buffer(0).Bytes()...))
+						serialOut = append(serialOut, append([]byte(nil), sim.Buffer(1).Bytes()...))
+					}
+				}
+
+				// Capture once, round-trip the serialization, replay all
+				// snippets in parallel on private simulators.
+				capSim, err := detsim.New(detsim.DefaultConfig())
+				if err != nil {
+					t.Fatal(err)
+				}
+				capSim.SetTimerHook(tc.timer)
+				snips, err := capSim.Capture(rec, ranges)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(snips) != len(ranges) {
+					t.Fatalf("captured %d snippets for %d ranges", len(snips), len(ranges))
+				}
+				for i, sn := range snips {
+					data, err := sn.Encode()
+					if err != nil {
+						t.Fatal(err)
+					}
+					rt, err := detsim.DecodeSnippet(data)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(sn, rt) {
+						t.Fatalf("snippet %d did not survive the encode/decode round trip", i)
+					}
+					snips[i] = rt
+				}
+
+				type replayOut struct {
+					rep  comparableReport
+					bufs [][]byte
+				}
+				outs, err := par.Map(context.Background(), len(snips), 4, func(i int) (replayOut, error) {
+					sim, err := detsim.New(detsim.DefaultConfig())
+					if err != nil {
+						return replayOut{}, err
+					}
+					sim.SetTimerHook(tc.timer)
+					rep, err := sim.RunSnippet(snips[i])
+					if err != nil {
+						return replayOut{}, err
+					}
+					o := replayOut{rep: comparable(rep)}
+					if i == len(snips)-1 && snips[i].Range.To == n {
+						o.bufs = append(o.bufs, append([]byte(nil), sim.Buffer(0).Bytes()...))
+						o.bufs = append(o.bufs, append([]byte(nil), sim.Buffer(1).Bytes()...))
+					}
+					return o, nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for i := range ranges {
+					if outs[i].rep != serial[i] {
+						t.Errorf("range %d: snippet replay diverged from serial:\nserial:  %+v\nsnippet: %+v",
+							i, serial[i], outs[i].rep)
+					}
+				}
+				// The last range ends the recording, so its replay's final
+				// images must equal the serial path's (which in turn equal
+				// the original device's).
+				if len(serialOut) > 0 {
+					last := outs[len(outs)-1]
+					if len(last.bufs) != len(serialOut) {
+						t.Fatalf("buffer image sets differ in size")
+					}
+					for b := range serialOut {
+						if !bytes.Equal(last.bufs[b], serialOut[b]) {
+							t.Errorf("buffer %d: snippet replay memory diverged from serial", b)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSnippetTrimsUntouchedBuffers: a snippet must not carry images (or
+// digests) for buffers its window never touches — the size savings that
+// make snippets shippable.
+func TestSnippetTrimsUntouchedBuffers(t *testing.T) {
+	rec, n := recordCfg(t, 8701, 6, testgen.DefaultConfig(), nil)
+	sim, err := detsim.New(detsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snips, err := sim.Capture(rec, []detsim.Range{{From: n - 1, To: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := snips[0]
+	imaged := 0
+	for _, b := range sn.Buffers {
+		if len(b.Image) > 0 {
+			imaged++
+			if len(b.Image) != b.Size {
+				t.Errorf("buffer %d: image %d bytes, size %d", b.ID, len(b.Image), b.Size)
+			}
+		}
+	}
+	if imaged == 0 {
+		t.Fatal("no buffer carried an image — the window must touch something")
+	}
+	if len(sn.PostDigests) == 0 {
+		t.Fatal("no post-digests recorded")
+	}
+	for _, d := range sn.PostDigests {
+		if len(d.SHA256) != 64 {
+			t.Errorf("buffer %d: malformed digest %q", d.ID, d.SHA256)
+		}
+	}
+}
+
+// TestSnippetDivergenceDetected: corrupting a snippet's memory image
+// must surface as faults.ErrSnippetDiverged at replay, not as silently
+// wrong results.
+func TestSnippetDivergenceDetected(t *testing.T) {
+	rec, n := recordCfg(t, 8702, 6, testgen.DefaultConfig(), nil)
+	sim, err := detsim.New(detsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snips, err := sim.Capture(rec, []detsim.Range{{From: n - 1, To: n}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn := snips[0]
+	flipped := false
+	for i := range sn.Buffers {
+		if len(sn.Buffers[i].Image) > 0 {
+			sn.Buffers[i].Image[0] ^= 0xFF
+			flipped = true
+			break
+		}
+	}
+	if !flipped {
+		t.Fatal("no image to corrupt")
+	}
+	rsim, err := detsim.New(detsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rsim.RunSnippet(sn); !errors.Is(err, faults.ErrSnippetDiverged) {
+		t.Fatalf("corrupted snippet: want ErrSnippetDiverged, got %v", err)
+	}
+}
+
+// TestSnippetRejectsMalformed: structural validation refuses snippets
+// whose events reference undefined objects or whose version is foreign.
+func TestSnippetRejectsMalformed(t *testing.T) {
+	if _, err := detsim.DecodeSnippet([]byte("{")); !errors.Is(err, faults.ErrBadRecording) {
+		t.Errorf("truncated JSON: got %v", err)
+	}
+	if _, err := detsim.DecodeSnippet([]byte(`{"version":99}`)); !errors.Is(err, faults.ErrBadRecording) {
+		t.Errorf("foreign version: got %v", err)
+	}
+	bad := &detsim.Snippet{
+		Version: detsim.SnippetVersion,
+		Range:   detsim.Range{From: 0, To: 1},
+		Kernels: []detsim.SnippetKernel{{Name: "k"}},
+		Events:  []detsim.SnippetEvent{{Kind: "launch", Kernel: 0, Surfaces: []int{7}}},
+	}
+	data, err := bad.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := detsim.DecodeSnippet(data); !errors.Is(err, faults.ErrBadRecording) {
+		t.Errorf("undefined surface: got %v", err)
+	}
+}
+
+// TestCaptureRejectsRangePastEnd: a range beyond the recording's
+// invocations is a configuration error, not a silent partial snippet.
+func TestCaptureRejectsRangePastEnd(t *testing.T) {
+	rec, n := recordCfg(t, 8703, 4, testgen.DefaultConfig(), nil)
+	sim, err := detsim.New(detsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Capture(rec, []detsim.Range{{From: n, To: n + 2}}); !errors.Is(err, faults.ErrBadConfig) {
+		t.Fatalf("want ErrBadConfig, got %v", err)
+	}
+}
+
+// TestMergeReports: the aggregate of per-interval reports sums counters
+// and concatenates ranges in input order.
+func TestMergeReports(t *testing.T) {
+	rec, n := recordCfg(t, 8704, 8, testgen.DefaultConfig(), nil)
+	ranges := snippetRanges(n)
+	sim, err := detsim.New(detsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snips, err := sim.Capture(rec, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := make([]*detsim.Report, len(snips))
+	for i, sn := range snips {
+		rsim, err := detsim.New(detsim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reps[i], err = rsim.RunSnippet(sn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := detsim.MergeReports(reps)
+	var wantDet, wantWarm int
+	var wantInstrs uint64
+	for i, r := range reps {
+		wantDet += r.Detailed
+		wantWarm += r.Warmed
+		wantInstrs += r.DetailedInstrs
+		if m.Ranges[i].Range != ranges[i] {
+			t.Errorf("merged range %d = %+v, want %+v", i, m.Ranges[i].Range, ranges[i])
+		}
+	}
+	if m.Detailed != wantDet || m.Warmed != wantWarm || m.DetailedInstrs != wantInstrs {
+		t.Errorf("merged %d/%d/%d, want %d/%d/%d",
+			m.Detailed, m.Warmed, m.DetailedInstrs, wantDet, wantWarm, wantInstrs)
+	}
+	if len(m.Cache) != len(reps[0].Cache) {
+		t.Fatalf("merged %d cache levels, want %d", len(m.Cache), len(reps[0].Cache))
+	}
+	var acc uint64
+	for _, r := range reps {
+		acc += r.Cache[0].Accesses
+	}
+	if m.Cache[0].Accesses != acc {
+		t.Errorf("merged L3 accesses %d, want %d", m.Cache[0].Accesses, acc)
+	}
+	if detsim.MergeReports(nil).Detailed != 0 {
+		t.Error("empty merge not zero")
+	}
+}

@@ -131,6 +131,29 @@ func (d *Device) Jitter() *TimingJitter { return d.jitter }
 // never alter execution, timing, or statistics.
 func (d *Device) SetProbe(p *engine.Probe) { d.probe = p }
 
+// SetTouchHook installs an observer called once per element-sized
+// surface access with the engine's surface<<32|addr key and a write
+// flag; nil detaches. Pure observation — detsim uses it to warm its
+// simulated caches from fast-forwarded work and to record the touch
+// sets snippet checkpoints are trimmed by; execution, timing, and
+// statistics are unchanged.
+func (d *Device) SetTouchHook(h func(key uint64, write bool)) { d.eng.Touch = h }
+
+// SeedClock positions the device's timestamp counter and completed-
+// dispatch count as if a prefix of work had already executed. Snippet
+// replay (gtpin/internal/detsim) seeds a fresh device with the values
+// captured at its window's start, so MsgTimer reads and the
+// thermal-drift phase match a replay that actually fast-forwarded the
+// prefix.
+func (d *Device) SeedClock(cycles, dispatches uint64) {
+	d.cycles = cycles
+	d.dispatches = dispatches
+}
+
+// Dispatches returns the number of dispatches completed, the counter
+// that drives thermal drift.
+func (d *Device) Dispatches() uint64 { return d.dispatches }
+
 // SetTimerHook overrides the value MsgTimer sends read with a
 // deterministic function; nil restores the default live device cycle
 // counter. Cross-backend tests install the same hook everywhere so

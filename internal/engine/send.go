@@ -5,6 +5,7 @@ import (
 
 	"gtpin/internal/faults"
 	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
 )
 
 // sendKey maps a (surface, byte address) pair into the flat address
@@ -112,4 +113,23 @@ func (e *Env) execSendMsg(msg *isa.MsgDesc, dst, addrReg, dataReg isa.Reg, pred 
 		return fmt.Errorf("send: unsupported message kind %s", msg.Kind)
 	}
 	return nil
+}
+
+// KernelReadsTimer reports whether any instruction in the kernel is a
+// timer-reading send. Backends use it to decide whether a kernel's
+// memory results depend on the backend's notion of time (and therefore
+// whether functional and detailed replays of it can be compared
+// byte-for-byte without a shared deterministic timer hook). Lives here
+// because it decodes send payloads — ISA knowledge backends must not
+// reimplement.
+func KernelReadsTimer(k *kernel.Kernel) bool {
+	for _, b := range k.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Op.IsSend() && in.Msg.Kind == isa.MsgTimer {
+				return true
+			}
+		}
+	}
+	return false
 }

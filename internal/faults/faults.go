@@ -115,6 +115,21 @@ var (
 	// Retrying cannot fix a configuration.
 	ErrBadConfig = NewSentinel("invalid configuration", Permanent)
 
+	// ErrBadRecording marks a CoFluent recording whose call stream does
+	// not form a valid replay: data transfers with out-of-range offsets
+	// or sizes, references to objects that were never created. Permanent:
+	// replaying the same bytes fails the same way, so the recording must
+	// be regenerated.
+	ErrBadRecording = NewSentinel("corrupt recording", Permanent)
+
+	// ErrSnippetDiverged marks an interval-snippet replay whose final
+	// memory images no longer hash to the digests recorded at capture
+	// time — the snippet artifact and the simulator disagree about the
+	// interval's architectural effect, so its detailed results cannot be
+	// trusted. Permanent: the same snippet diverges identically on
+	// retry.
+	ErrSnippetDiverged = NewSentinel("snippet replay diverged", Permanent)
+
 	// ErrWorkerPanic marks a panic recovered inside a sweep worker. It
 	// is classified transient because the supervising pool grants
 	// panicked units a bounded restart budget before surfacing the

@@ -1,0 +1,56 @@
+package intervals
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Window is one simulation window derived from a selected interval: the
+// detailed invocation range [From, To) plus the warmup prefix the
+// simulator should run in cache-warming mode. It is the bridge between
+// interval selection (which speaks interval indices) and replay (which
+// speaks invocation ranges).
+type Window struct {
+	From, To int
+	Warmup   int
+}
+
+// SelectedWindows maps selected interval indices onto replay windows,
+// each with up to warmup invocations of cache-warming prefix. Windows
+// come back sorted by start and deduplicated; warmup prefixes are
+// clamped so they never reach back into an earlier selected interval's
+// detailed range (the simulator rejects such plans) nor past the start
+// of the timeline.
+func SelectedWindows(ivs []Interval, selected []int, warmup int) ([]Window, error) {
+	if warmup < 0 {
+		return nil, fmt.Errorf("intervals: negative warmup %d", warmup)
+	}
+	if len(selected) == 0 {
+		return nil, fmt.Errorf("intervals: no intervals selected")
+	}
+	idx := append([]int(nil), selected...)
+	sort.Ints(idx)
+	out := make([]Window, 0, len(idx))
+	for i, s := range idx {
+		if s < 0 || s >= len(ivs) {
+			return nil, fmt.Errorf("intervals: selected interval %d out of range (%d intervals)", s, len(ivs))
+		}
+		if i > 0 && s == idx[i-1] {
+			continue
+		}
+		w := Window{From: ivs[s].Start, To: ivs[s].End, Warmup: warmup}
+		if w.From-w.Warmup < 0 {
+			w.Warmup = w.From
+		}
+		if n := len(out); n > 0 {
+			if prev := out[n-1]; w.From < prev.To {
+				return nil, fmt.Errorf("intervals: selected intervals %d and %d overlap as invocation ranges [%d, %d) and [%d, %d)",
+					idx[i-1], s, prev.From, prev.To, w.From, w.To)
+			} else if w.From-w.Warmup < prev.To {
+				w.Warmup = w.From - prev.To
+			}
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package intervals
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelectedWindows(t *testing.T) {
+	ivs := []Interval{
+		{Start: 0, End: 3},
+		{Start: 3, End: 7},
+		{Start: 7, End: 10},
+		{Start: 10, End: 16},
+	}
+
+	t.Run("basic", func(t *testing.T) {
+		got, err := SelectedWindows(ivs, []int{3, 1}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Window{{From: 3, To: 7, Warmup: 2}, {From: 10, To: 16, Warmup: 2}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("clamp at timeline start", func(t *testing.T) {
+		got, err := SelectedWindows(ivs, []int{0}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0].Warmup != 0 {
+			t.Fatalf("warmup %d, want 0 (clamped at invocation 0)", got[0].Warmup)
+		}
+	})
+
+	t.Run("clamp against earlier selection", func(t *testing.T) {
+		// Interval 2 starts right where interval 1 ends; its warmup must
+		// shrink to zero rather than reach into the detailed range.
+		got, err := SelectedWindows(ivs, []int{1, 2}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []Window{{From: 3, To: 7, Warmup: 3}, {From: 7, To: 10, Warmup: 0}}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("got %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("dedupe", func(t *testing.T) {
+		got, err := SelectedWindows(ivs, []int{2, 2, 2}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("got %d windows, want 1", len(got))
+		}
+	})
+
+	t.Run("rejects bad input", func(t *testing.T) {
+		if _, err := SelectedWindows(ivs, []int{0}, -1); err == nil {
+			t.Error("negative warmup accepted")
+		}
+		if _, err := SelectedWindows(ivs, nil, 0); err == nil {
+			t.Error("empty selection accepted")
+		}
+		if _, err := SelectedWindows(ivs, []int{4}, 0); err == nil {
+			t.Error("out-of-range index accepted")
+		}
+		overlapping := []Interval{{Start: 0, End: 5}, {Start: 3, End: 8}}
+		if _, err := SelectedWindows(overlapping, []int{0, 1}, 0); err == nil {
+			t.Error("overlapping intervals accepted")
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package runstate
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Sealed artifacts: standalone digest-verified files for payloads that
+// live outside a journaled state directory — interval snippets, merged
+// reports, anything handed between processes by path alone. A sealed
+// file binds its own digest into a one-line header:
+//
+//	gtpin-sealed-v1 <hex sha256>\n<payload bytes>
+//
+// so the reader needs no journal to verify it: truncation, bit rot, or
+// a partially-migrated file all surface as ErrDigestMismatch instead of
+// silently feeding corrupt bytes into a replay.
+
+// sealedMagic is the header tag; the version is part of the tag so a
+// future format bump fails loudly on old readers.
+const sealedMagic = "gtpin-sealed-v1"
+
+// WriteSealed atomically writes data to path under a digest header and
+// returns the payload digest.
+func WriteSealed(path string, data []byte) (string, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return "", fmt.Errorf("runstate: sealed %s: %w", path, err)
+	}
+	digest := Digest(data)
+	var buf bytes.Buffer
+	buf.Grow(len(sealedMagic) + 1 + len(digest) + 1 + len(data))
+	fmt.Fprintf(&buf, "%s %s\n", sealedMagic, digest)
+	buf.Write(data)
+	if err := WriteFileAtomic(path, buf.Bytes()); err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// ReadSealed loads a sealed file, verifies the payload against the
+// header digest, and returns the payload. A malformed header or a
+// digest mismatch returns ErrDigestMismatch.
+func ReadSealed(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runstate: sealed %s: %w", path, err)
+	}
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("runstate: sealed %s: missing header: %w", path, ErrDigestMismatch)
+	}
+	header := string(raw[:nl])
+	payload := raw[nl+1:]
+	want := ""
+	if n, _ := fmt.Sscanf(header, sealedMagic+" %64s", &want); n != 1 || len(header) != len(sealedMagic)+1+64 {
+		return nil, fmt.Errorf("runstate: sealed %s: malformed header %q: %w", path, header, ErrDigestMismatch)
+	}
+	if got := Digest(payload); got != want {
+		return nil, fmt.Errorf("runstate: sealed %s: %w: sha256 %s != sealed %s", path, ErrDigestMismatch, got, want)
+	}
+	return payload, nil
+}

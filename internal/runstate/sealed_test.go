@@ -1,0 +1,78 @@
+package runstate
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSealedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b.snip")
+	payload := []byte("hello\nsealed\x00world")
+	digest, err := WriteSealed(path, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != Digest(payload) {
+		t.Fatalf("digest %s != %s", digest, Digest(payload))
+	}
+	got, err := ReadSealed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q != %q", got, payload)
+	}
+}
+
+func TestSealedEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.snip")
+	if _, err := WriteSealed(path, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSealed(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("want empty payload, got %d bytes", len(got))
+	}
+}
+
+func TestSealedDetectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.snip")
+	if _, err := WriteSealed(path, []byte("payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSealed(path); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("corrupt payload: want ErrDigestMismatch, got %v", err)
+	}
+}
+
+func TestSealedDetectsTruncatedHeader(t *testing.T) {
+	dir := t.TempDir()
+	for name, contents := range map[string][]byte{
+		"noheader.snip":  []byte("no newline at all"),
+		"badmagic.snip":  []byte("gtpin-sealed-v9 0000\npayload"),
+		"shortsum.snip":  []byte("gtpin-sealed-v1 abc\npayload"),
+		"truncated.snip": {},
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, contents, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadSealed(path); !errors.Is(err, ErrDigestMismatch) {
+			t.Errorf("%s: want ErrDigestMismatch, got %v", name, err)
+		}
+	}
+}

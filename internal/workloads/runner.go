@@ -245,6 +245,32 @@ func runPipeline(spec *Spec, sc Scale, cfg device.Config, trialSeed int64, fo *F
 	return &Result{App: app, Recording: rec, Tracer: tr, GTPin: g, Profile: p, FaultStats: st}, nil
 }
 
+// Record runs the application natively once, without timing jitter, and
+// returns just its CoFluent recording — the replayable call stream
+// detsim and snippet capture consume. Recordings are jitter-independent
+// (jitter perturbs reported times, never the call stream), so one
+// unjittered run yields the same recording any trial would.
+func Record(spec *Spec, sc Scale, cfg device.Config) (*cofluent.Recording, error) {
+	app, err := spec.Build(sc)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: build %s: %w", spec.Name, err)
+	}
+	dev, err := device.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", spec.Name, err)
+	}
+	ctx := cl.NewContext(dev)
+	tr := cofluent.Attach(ctx)
+	if err := app.Run(ctx); err != nil {
+		return nil, fmt.Errorf("workloads: run %s: %w", spec.Name, err)
+	}
+	rec, err := cofluent.Record(spec.Name, tr, app.Programs)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: record %s: %w", spec.Name, err)
+	}
+	return rec, nil
+}
+
 // TimedReplay re-executes a recording without instrumentation on the
 // given device configuration and returns per-invocation times — a new
 // trial (different seed), frequency, or architecture generation for the
