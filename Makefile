@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet check crash smoke snippets-smoke service-race serve-smoke fleet-chaos bench bench-smoke clean
+.PHONY: all build test race vet check crash smoke snippets-smoke xlate-smoke service-race serve-smoke fleet-chaos bench bench-smoke clean
 
 all: build
 
@@ -47,6 +47,24 @@ snippets-smoke:
 	cmp .snippets-smoke/serial.out .snippets-smoke/snippets.out
 	rm -rf .snippets-smoke
 
+# xlate-smoke is the cross-ISA translation gate on the real harness,
+# run under the race detector: characterize the seeded workloads
+# natively (GEN end to end), then again with every program retargeted
+# to the GENX dialect at CreateProgram and every compiled binary
+# translated back to GEN below the instrumentation layer, and require
+# byte-identical reports — per-kernel profiles, instruction mixes, and
+# SPI-derived figures included. The seeded workloads contain no W2, so
+# the translation is a pure cross-dialect re-encode and any divergence
+# is a translator or dialect-plumbing bug, never a legalization
+# artifact.
+xlate-smoke:
+	rm -rf .xlate-smoke
+	mkdir -p .xlate-smoke
+	$(GO) run -race ./cmd/characterize -scale tiny -fig all > .xlate-smoke/native.out 2> .xlate-smoke/native.err
+	$(GO) run -race ./cmd/characterize -scale tiny -fig all -dialect genx -translate gen > .xlate-smoke/xlate.out 2> .xlate-smoke/xlate.err
+	cmp .xlate-smoke/native.out .xlate-smoke/xlate.out
+	rm -rf .xlate-smoke
+
 # service-race runs the profiling-service suite — queue/shed, retry and
 # breaker chaos, drain ordering, and the SIGKILL crash-resume e2e — under
 # the race detector on its own, so a service regression names itself
@@ -81,7 +99,7 @@ fleet-chaos:
 # crash-recovery suites must never panic or deadlock under -race), the
 # distributed-fleet chaos matrix, the resume smoke test, and the daemon
 # smoke test.
-check: vet build service-race race fleet-chaos crash smoke snippets-smoke serve-smoke
+check: vet build service-race race fleet-chaos crash smoke snippets-smoke xlate-smoke serve-smoke
 
 # bench runs the Go benchmark suites (instrumentation rewrite,
 # interpreters, end-to-end sweep) and then the benchmark-regression
@@ -129,4 +147,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -rf .smoke .obs-smoke .serve-smoke .snippets-smoke
+	rm -rf .smoke .obs-smoke .serve-smoke .snippets-smoke .xlate-smoke

@@ -45,6 +45,7 @@ import (
 	"gtpin/internal/runstate"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
+	"gtpin/internal/xlate"
 )
 
 // main delegates to run so that every error path unwinds through the
@@ -74,8 +75,12 @@ func run() (retErr error) {
 	workers := flag.Int("workers", 0, "concurrent sweep shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	fleetN := flag.Int("fleet", 0, "distribute the sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); reports are identical either way")
 	timeout := flag.Duration("timeout", 0, "overall sweep deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
+	xlFlags := xlate.RegisterFlags(flag.CommandLine)
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := xlFlags.Install(); err != nil {
+		return err
+	}
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -40,6 +40,7 @@ import (
 	"gtpin/internal/selection"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
+	"gtpin/internal/xlate"
 )
 
 // fig5Apps are the three sample applications shown in Figure 5.
@@ -72,8 +73,12 @@ func run() (retErr error) {
 	simWarmup := flag.Int("sim-warmup", 2, "cache-warming invocations preceding each simulated interval")
 	fleetN := flag.Int("fleet", 0, "distribute the profiling sweep across N worker processes with lease-based fault tolerance (0 = in-process pool); reports are identical either way")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); units still running at the deadline are abandoned and classified as unit-timeout faults")
+	xlFlags := xlate.RegisterFlags(flag.CommandLine)
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := xlFlags.Install(); err != nil {
+		return err
+	}
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc

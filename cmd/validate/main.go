@@ -38,6 +38,7 @@ import (
 	"gtpin/internal/selection"
 	"gtpin/internal/stats"
 	"gtpin/internal/workloads"
+	"gtpin/internal/xlate"
 )
 
 var freqsMHz = []int{1000, 850, 700, 550, 350}
@@ -64,8 +65,12 @@ func run() (retErr error) {
 	watchdog := flag.Uint64("watchdog", 0, "per-enqueue kernel watchdog budget in instructions (0 = off)")
 	workers := flag.Int("workers", 0, "concurrent validation shards (0 = GOMAXPROCS, 1 = serial); reports are identical at any setting")
 	timeout := flag.Duration("timeout", 0, "overall run deadline (0 = none); profiling units still running at the deadline are abandoned and classified as unit-timeout faults")
+	xlFlags := xlate.RegisterFlags(flag.CommandLine)
 	obsFlags := obsflag.Register(flag.CommandLine)
 	flag.Parse()
+	if err := xlFlags.Install(); err != nil {
+		return err
+	}
 
 	if *timeout > 0 {
 		var cancel context.CancelFunc

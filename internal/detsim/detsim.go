@@ -24,6 +24,7 @@ import (
 	"gtpin/internal/device"
 	"gtpin/internal/engine"
 	"gtpin/internal/faults"
+	"gtpin/internal/isa"
 )
 
 // Config describes the simulated machine.
@@ -308,8 +309,21 @@ func (s *Simulator) Run(rec *cofluent.Recording, detailed []Range) (*Report, err
 		rep.Cache = append(rep.Cache, c.Stats())
 	}
 	rep.MemAccesses = s.caches.MemAccesses
-	observeReport(rep)
+	observeReport(rep, recordingDialect(rec))
 	return rep, nil
+}
+
+// recordingDialect reports the ISA dialect a recording's programs were
+// authored in (recordings are single-dialect: one application builds
+// against one device generation). Zero-program recordings report the
+// default dialect.
+func recordingDialect(rec *cofluent.Recording) isa.Dialect {
+	for _, p := range rec.Programs {
+		for _, k := range p.Kernels {
+			return k.Dialect
+		}
+	}
+	return 0
 }
 
 // Buffer returns the last run's buffer with the given recording ID, or

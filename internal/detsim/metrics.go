@@ -2,6 +2,7 @@ package detsim
 
 import (
 	"gtpin/internal/engine"
+	"gtpin/internal/isa"
 	"gtpin/internal/obs"
 )
 
@@ -37,12 +38,14 @@ var (
 
 // observeReport folds one finished simulation into the counters and —
 // when a tracer is installed — records the detailed ranges as spans on
-// the virtual timeline, positioned by modeled simulation time.
-func observeReport(rep *Report) {
+// the virtual timeline, positioned by modeled simulation time. The
+// dialect attributes the engine-level instruction counters; recordings
+// and snippets are single-dialect, so one value covers the report.
+func observeReport(rep *Report, d isa.Dialect) {
 	mDetailedInvocations.Add(uint64(rep.Detailed))
 	mFastForwardInvocations.Add(uint64(rep.FastForwarded))
 	mWarmedInvocations.Add(uint64(rep.Warmed))
-	engine.ObserveExecution(uint64(rep.Detailed), rep.DetailedInstrs, rep.LaneOps)
+	engine.ObserveExecution(d, uint64(rep.Detailed), rep.DetailedInstrs, rep.LaneOps)
 	for _, c := range rep.Cache {
 		mSimCacheHits.Add(c.Hits)
 		mSimCacheMisses.Add(c.Misses)

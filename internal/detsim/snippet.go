@@ -35,6 +35,7 @@ import (
 	"gtpin/internal/device"
 	"gtpin/internal/engine"
 	"gtpin/internal/faults"
+	"gtpin/internal/isa"
 	"gtpin/internal/jit"
 	"gtpin/internal/kernel"
 )
@@ -583,7 +584,11 @@ func (s *Simulator) RunSnippet(sn *Snippet) (*Report, error) {
 		}
 	}
 	mSnippetReplays.Inc()
-	observeReport(rep)
+	var snd isa.Dialect
+	if len(kernels) > 0 {
+		snd = kernels[0].ir.Dialect
+	}
+	observeReport(rep, snd)
 	return rep, nil
 }
 

@@ -264,6 +264,6 @@ func (d *Device) Run(disp Dispatch) (ExecStats, error) {
 	st.TimeNs = d.jitter.Perturb(d.cfg.dispatchTimeNs(&st) * d.thermalDrift())
 	d.dispatches++
 	d.cycles += uint64(st.TimeNs * d.cfg.freqGHz())
-	d.observeDispatch(k.Name, &st)
+	d.observeDispatch(k, &st)
 	return st, nil
 }

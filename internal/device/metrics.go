@@ -7,6 +7,7 @@ import (
 
 	"gtpin/internal/engine"
 	"gtpin/internal/faults"
+	"gtpin/internal/kernel"
 	"gtpin/internal/obs"
 )
 
@@ -44,11 +45,12 @@ var deviceIDs atomic.Uint64
 // distribute round-robin over EUs, and each EU's busy time is its group
 // share of the dispatch's execution window (the fullest EU spans the
 // whole window). Pure observation: nothing here feeds back into timing.
-func (d *Device) observeDispatch(kernelName string, st *ExecStats) {
+func (d *Device) observeDispatch(k *kernel.Kernel, st *ExecStats) {
+	kernelName := k.Name
 	start := d.virtNs
 	d.virtNs += st.TimeNs
 
-	engine.ObserveExecution(1, st.Instrs, 0)
+	engine.ObserveExecution(k.Dialect, 1, st.Instrs, 0)
 	mSends.Add(st.Sends)
 	mBytesRead.Add(st.BytesRead)
 	mBytesWritten.Add(st.BytesWritten)

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"gtpin/internal/isa"
+	"gtpin/internal/kernel"
+)
+
+func costKernel(d isa.Dialect) *kernel.Kernel {
+	return &kernel.Kernel{
+		Name:    "cost",
+		Dialect: d,
+		SIMD:    isa.W16,
+		Blocks: []*kernel.Block{{ID: 0, Instrs: []isa.Instruction{
+			{Op: isa.OpMath, Width: isa.W16, Fn: isa.MathSqrt,
+				Dst: kernel.FirstFreeReg, Src0: isa.Imm(81)},
+			{Op: isa.OpEnd, Width: isa.W16},
+		}}},
+	}
+}
+
+// TestPredecodeCacheMissesAcrossDialects: two kernels identical except
+// for their dialect must predecode to two distinct cached streams —
+// the dialect changes only the issue-cost lowering, which is invisible
+// to the instruction bytes, so this is exactly the aliasing a
+// fingerprint that ignored the dialect would cause.
+func TestPredecodeCacheMissesAcrossDialects(t *testing.T) {
+	gen := costKernel(isa.DialectGEN)
+	genx := costKernel(isa.DialectGENX)
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := genx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg := PredecodeFor(gen)
+	px := PredecodeFor(genx)
+	if pg == px {
+		t.Fatal("cross-dialect kernels shared one predecoded stream")
+	}
+	// Hitting the cache again returns the same per-dialect streams.
+	if PredecodeFor(gen) != pg || PredecodeFor(genx) != px {
+		t.Error("re-lookup did not hit the per-dialect entries")
+	}
+
+	gm, xm := pg.blocks[0].ops[0], px.blocks[0].ops[0]
+	if gm.issueCost != isa.DialectGEN.IssueCost(isa.OpMath) ||
+		xm.issueCost != isa.DialectGENX.IssueCost(isa.OpMath) {
+		t.Errorf("lowered issue costs %d/%d do not match the dialect tables", gm.issueCost, xm.issueCost)
+	}
+	if gm.issueCost == xm.issueCost {
+		t.Error("streams lowered identical math issue costs across dialects")
+	}
+	if gm.hold == xm.hold {
+		t.Error("streams lowered identical math holds across dialects")
+	}
+}

@@ -57,28 +57,6 @@ var OpClass = func() [isa.NumOpcodes]uint8 {
 	return t
 }()
 
-// IssueCost is each opcode's base cost in EU cycles, charged by the
-// functional loop's cycle accounting; send latency beyond the issue
-// cost is modelled at dispatch level by the owning backend.
-var IssueCost = func() [isa.NumOpcodes]uint32 {
-	var c [isa.NumOpcodes]uint32
-	for op := isa.Opcode(1); int(op) < isa.NumOpcodes; op++ {
-		switch {
-		case op == isa.OpMath:
-			c[op] = 8
-		case op == isa.OpMul || op == isa.OpMach || op == isa.OpMad:
-			c[op] = 2
-		case op.IsControl():
-			c[op] = 2
-		case op.IsSend():
-			c[op] = 4
-		default:
-			c[op] = 1
-		}
-	}
-	return c
-}()
-
 // Stats accumulates what the functional loop executed on behalf of one
 // enqueue. Instrs and Cycles commit when a channel-group retires — a
 // watchdog kill does not count the partial group — while Sends and the

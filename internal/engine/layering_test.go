@@ -24,7 +24,33 @@ func TestBackendsContainNoDispatch(t *testing.T) {
 		"in.Msg",         // send payload decoding
 		"engine.OpClass", // even the engine's table: backends get stats, not dispatch
 	}
-	for _, dir := range []string{"../device", "../detsim"} {
+	scanForbidden(t, []string{"../device", "../detsim"}, forbidden, "backend contains interpreter logic")
+}
+
+// TestExecutionLayersAreDialectNeutral is the dialect split's layering
+// invariant: the engine, device, and detsim consume the neutral kernel
+// IR and the dialect method surface (IssueCost, ExecHold) — never a
+// dialect's encoding functions or a dialect constant. A backend that
+// names a specific dialect has re-specialized code the translator and
+// per-dialect JIT exist to keep out of the execution layers.
+func TestExecutionLayersAreDialectNeutral(t *testing.T) {
+	forbidden := []string{
+		"DialectGEN",   // matches DialectGENX too: no dialect constants
+		"isa.Encode",   // dialect-specific binary surface
+		"isa.Decode",   //   (the neutral jit package owns transcoding)
+		"ParseDialect", // flag parsing belongs to the tools, not backends
+		"encodeGENX",   // unexported in isa, but keep the fingerprint
+		"decodeGENX",
+	}
+	scanForbidden(t, []string{".", "../device", "../detsim"}, forbidden,
+		"execution layer contains dialect-specific logic")
+}
+
+// scanForbidden greps every non-test Go source in dirs for the given
+// substrings, reporting each hit with its location.
+func scanForbidden(t *testing.T, dirs, forbidden []string, msg string) {
+	t.Helper()
+	for _, dir := range dirs {
 		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
 		if err != nil {
 			t.Fatal(err)
@@ -43,8 +69,8 @@ func TestBackendsContainNoDispatch(t *testing.T) {
 			for _, pat := range forbidden {
 				for i, line := range strings.Split(string(src), "\n") {
 					if strings.Contains(line, pat) {
-						t.Errorf("%s:%d: backend contains interpreter logic (%q): %s",
-							f, i+1, pat, strings.TrimSpace(line))
+						t.Errorf("%s:%d: %s (%q): %s",
+							f, i+1, msg, pat, strings.TrimSpace(line))
 					}
 				}
 			}

@@ -26,7 +26,7 @@ import (
 // every cache key, so changing the pOp lowering in any way must bump it —
 // otherwise streams pre-decoded by an older generation would execute as
 // current.
-const PredecodeVersion = "engine-predecode/1"
+const PredecodeVersion = "engine-predecode/2"
 
 // pSrc is a pre-resolved instruction source: either a register (vec is
 // nil, read through the live GRF) or a pre-broadcast constant vector
@@ -63,7 +63,7 @@ type pOp struct {
 	msg    isa.MsgDesc
 	target int
 
-	issueCost uint32 // functional-loop cycle charge (IssueCost[op])
+	issueCost uint32 // functional-loop cycle charge (dialect IssueCost)
 	hold      uint64 // detailed execute-stage occupancy beyond one cycle
 
 	// Scoreboard sets for the cycle-level loop: the register sources the
@@ -133,16 +133,11 @@ func Predecode(k *kernel.Kernel) *Predecoded {
 				fn:        in.Fn,
 				msg:       in.Msg,
 				target:    int(in.Target),
-				issueCost: IssueCost[in.Op],
+				issueCost: k.Dialect.IssueCost(in.Op),
+				hold:      k.Dialect.ExecHold(in.Op),
 			}
 			if p.widthDet > width {
 				p.widthDet = width
-			}
-			switch in.Op {
-			case isa.OpMath:
-				p.hold = 8
-			case isa.OpMul, isa.OpMach, isa.OpMad:
-				p.hold = 2
 			}
 			for _, s := range [3]isa.Operand{in.Src0, in.Src1, in.Src2} {
 				if s.Kind == isa.OperandReg {

@@ -50,7 +50,7 @@ func (e *Env) RunGroupRef(k *kernel.Kernel, args []uint32, surfs []*Buffer, grou
 		for ii := range b.Instrs {
 			in := &b.Instrs[ii]
 			groupInstrs++
-			groupCycles += uint64(IssueCost[in.Op])
+			groupCycles += uint64(k.Dialect.IssueCost(in.Op))
 			if err := e.Watchdog.check(groupInstrs); err != nil {
 				return err
 			}
@@ -269,13 +269,7 @@ func (e *Env) RunGroupDetailedRef(det *Detailed, k *kernel.Kernel, args []uint32
 					cycle = issue(start, 0)
 					continue
 				}
-				var hold uint64
-				if in.Op == isa.OpMath {
-					hold = 8
-				} else if in.Op == isa.OpMul || in.Op == isa.OpMach || in.Op == isa.OpMad {
-					hold = 2
-				}
-				cycle = issue(start, hold)
+				cycle = issue(start, k.Dialect.ExecHold(in.Op))
 				det.regReady[in.Dst] = cycle + depth
 			}
 		}

@@ -115,6 +115,15 @@ var (
 	// Retrying cannot fix a configuration.
 	ErrBadConfig = NewSentinel("invalid configuration", Permanent)
 
+	// ErrUntranslatable marks a kernel the cross-ISA binary translator
+	// cannot retarget: a construct with no sound equivalent in the
+	// target dialect (a dispatch or send at a width the target lacks, a
+	// flag-reducing branch at such a width, a loop back into the entry
+	// block when a legalization preamble is required, or a register file
+	// too small for the kernel). Permanent: the same kernel fails the
+	// same way until it is re-authored.
+	ErrUntranslatable = NewSentinel("untranslatable kernel", Permanent)
+
 	// ErrBadRecording marks a CoFluent recording whose call stream does
 	// not form a valid replay: data transfers with out-of-range offsets
 	// or sizes, references to objects that were never created. Permanent:

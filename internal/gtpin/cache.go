@@ -19,7 +19,7 @@ import (
 // into every cache key, so changing the injected instruction sequences in
 // any way must bump this string — otherwise stale instrumented binaries
 // from an older rewriter would be replayed as current.
-const RewriterVersion = "gtpin-rewriter/1"
+const RewriterVersion = "gtpin-rewriter/2"
 
 // RewriteCache is a content-addressed cache of instrumented binaries plus
 // the per-kernel metadata GT-Pin must reinstall on a hit. It is safe for
@@ -79,9 +79,14 @@ type rewriteMeta struct {
 //   - nextSlot: counter slot numbers are embedded as immediates, so the
 //     same binary rewritten at a different allocation cursor produces
 //     different code.
+//   - The binary's ISA dialect: it selects the scratch-register band the
+//     injected sequences use, so identical code bytes under two dialects
+//     must never collide to one cached instrumentation. (The dialect is
+//     in the header, hence in the code bytes too — hashing it separately
+//     keeps the key correct even for byte-coincident encodings.)
 //   - The source binary bytes.
 func (g *GTPin) cacheKey(bin *jit.Binary) string {
-	var cfg [17]byte
+	var cfg [18]byte
 	if g.opts.MemTrace {
 		cfg[0] |= 1
 	}
@@ -90,6 +95,11 @@ func (g *GTPin) cacheKey(bin *jit.Binary) string {
 	}
 	binary.LittleEndian.PutUint64(cfg[1:9], uint64(g.ringEntries))
 	binary.LittleEndian.PutUint64(cfg[9:17], uint64(g.nextSlot))
+	if d, err := jit.BinaryDialect(bin); err == nil {
+		cfg[17] = byte(d)
+	} else {
+		cfg[17] = 0xFF // malformed header; instrument() will reject it
+	}
 	return jit.Key([]byte(RewriterVersion), cfg[:], bin.Code)
 }
 

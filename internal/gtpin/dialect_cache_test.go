@@ -1,0 +1,96 @@
+package gtpin
+
+import (
+	"testing"
+
+	"gtpin/internal/asm"
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// binFor compiles the standard test kernel under the given dialect.
+func binFor(t testing.TB, d isa.Dialect) *jit.Binary {
+	t.Helper()
+	a := asm.NewKernel("k", isa.W16)
+	x := a.Surface(0)
+	addr := a.Temp()
+	v := a.Temp()
+	a.Shl(addr, asm.R(kernel.GIDReg), asm.I(2))
+	a.Load(v, addr, x, 4)
+	a.AddI(v, v, 1)
+	a.Store(x, addr, v, 4)
+	a.End()
+	k, err := a.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Dialect = d
+	bin, err := jit.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestRewriteCacheMissesAcrossDialects is the regression test for the
+// dialect-aware cache key: rewriting the same kernel IR compiled under
+// two dialects through one shared cache must produce two entries (two
+// misses, no cross-dialect hit), and each instrumented binary must use
+// its own dialect's scratch band.
+func TestRewriteCacheMissesAcrossDialects(t *testing.T) {
+	rc := NewRewriteCache()
+	opts := Options{MemTrace: true, Latency: true, Cache: rc}
+
+	for _, d := range isa.Dialects() {
+		g := newAttached(t, opts)
+		out, err := g.rewrite(binFor(t, d))
+		if err != nil {
+			t.Fatalf("%v: rewrite: %v", d, err)
+		}
+		od, err := jit.BinaryDialect(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if od != d {
+			t.Errorf("instrumented binary dialect = %v, want %v", od, d)
+		}
+		k, err := jit.Decode(out)
+		if err != nil {
+			t.Fatalf("%v: decode instrumented: %v", d, err)
+		}
+		scratch := 0
+		for _, b := range k.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Injected {
+					continue
+				}
+				for _, r := range []isa.Reg{in.Dst} {
+					if r >= d.ScratchBase() {
+						scratch++
+						if !d.RegValid(r) {
+							t.Errorf("%v: injected register r%d outside the register file", d, r)
+						}
+					}
+				}
+			}
+		}
+		if scratch == 0 {
+			t.Errorf("%v: no injected scratch-band writes found", d)
+		}
+	}
+
+	st := rc.Stats()
+	if st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("cache stats = %+v, want 2 misses, 0 hits: cross-dialect binaries collided", st)
+	}
+
+	// Same dialect again: now it hits.
+	g := newAttached(t, opts)
+	if _, err := g.rewrite(binFor(t, isa.DialectGEN)); err != nil {
+		t.Fatal(err)
+	}
+	if st := rc.Stats(); st.Hits != 1 {
+		t.Errorf("repeat rewrite did not hit the cache: %+v", st)
+	}
+}

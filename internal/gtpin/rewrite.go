@@ -48,16 +48,28 @@ const (
 	ringOffset = counterRegionBytes
 )
 
-// Instrumentation scratch registers (the reserved r120..r127 band).
-const (
-	regAddr  = isa.ScratchBase + 0 // counter/ring byte address
-	regData  = isa.ScratchBase + 1 // increment / stored datum
-	regSink  = isa.ScratchBase + 2 // atomic return sink
-	regPos   = isa.ScratchBase + 3 // ring position
-	regTime0 = isa.ScratchBase + 4 // latency: timer before
-	regTime1 = isa.ScratchBase + 5 // latency: timer after
-	regDelta = isa.ScratchBase + 6 // latency: cycle delta
-)
+// scratchRegs names the instrumentation scratch registers, allocated
+// from the kernel dialect's reserved band (r120..r127 on GEN, r88..r95
+// on GENX) — the rewriter works in whichever register file the binary
+// it intercepts was compiled for.
+type scratchRegs struct {
+	addr  isa.Reg // counter/ring byte address
+	data  isa.Reg // increment / stored datum
+	sink  isa.Reg // atomic return sink
+	pos   isa.Reg // ring position
+	time0 isa.Reg // latency: timer before
+	time1 isa.Reg // latency: timer after
+	delta isa.Reg // latency: cycle delta
+}
+
+// scratchFor lays the scratch registers out at the dialect's band.
+func scratchFor(d isa.Dialect) scratchRegs {
+	b := d.ScratchBase()
+	return scratchRegs{
+		addr: b, data: b + 1, sink: b + 2, pos: b + 3,
+		time0: b + 4, time1: b + 5, delta: b + 6,
+	}
+}
 
 // sendSite identifies one original send instruction in an instrumented
 // kernel, for memory tracing and latency profiling.
@@ -132,11 +144,11 @@ func w1(in isa.Instruction) isa.Instruction {
 
 // counterBump emits the instruction sequence that atomically adds delta to
 // a trace-buffer counter slot: two scalar moves and one atomic-add send.
-func counterBump(slot int, delta uint32, traceSurf uint8) []isa.Instruction {
+func counterBump(sr scratchRegs, slot int, delta uint32, traceSurf uint8) []isa.Instruction {
 	return []isa.Instruction{
-		w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(uint32(slot * 8))}),
-		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(delta)}),
-		w1(isa.Instruction{Op: isa.OpSend, Dst: regSink, Src0: isa.R(regAddr), Src1: isa.R(regData),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.addr, Src0: isa.Imm(uint32(slot * 8))}),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.data, Src0: isa.Imm(delta)}),
+		w1(isa.Instruction{Op: isa.OpSend, Dst: sr.sink, Src0: isa.R(sr.addr), Src1: isa.R(sr.data),
 			Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}),
 	}
 }
@@ -220,6 +232,7 @@ func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 			k.Name, k.NumSurfaces, faults.ErrSurfaceOverflow)
 	}
 	traceSurf := uint8(k.NumSurfaces)
+	sr := scratchFor(k.Dialect)
 	ik := &instrKernel{
 		Name:         k.Name,
 		SIMD:         k.SIMD,
@@ -240,7 +253,7 @@ func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 		ik.BlockSlots[bi] = slot
 
 		// Block-entry counter: +1 per channel-group execution.
-		body := counterBump(slot, 1, traceSurf)
+		body := counterBump(sr, slot, 1, traceSurf)
 		for _, in := range b.Instrs {
 			if in.Op.IsSend() && in.Msg.Kind != isa.MsgEOT && in.Msg.Kind != isa.MsgTimer && !in.Injected {
 				site := sendSite{
@@ -252,7 +265,7 @@ func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 				}
 				siteID := len(ik.Sites)
 				if g.opts.MemTrace {
-					body = append(body, g.memTraceSeq(uint32(siteID), in, traceSurf)...)
+					body = append(body, g.memTraceSeq(sr, uint32(siteID), in, traceSurf)...)
 				}
 				if g.opts.Latency {
 					sum, err1 := g.allocSlot()
@@ -262,15 +275,15 @@ func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 					}
 					site.LatSumSlot, site.LatCntSlot = sum, cnt
 					body = append(body,
-						w1(isa.Instruction{Op: isa.OpSend, Dst: regTime0, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}))
+						w1(isa.Instruction{Op: isa.OpSend, Dst: sr.time0, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}))
 					body = append(body, in)
 					body = append(body,
-						w1(isa.Instruction{Op: isa.OpSend, Dst: regTime1, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}),
-						w1(isa.Instruction{Op: isa.OpSub, Dst: regDelta, Src0: isa.R(regTime1), Src1: isa.R(regTime0)}),
-						w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(uint32(sum * 8))}),
-						w1(isa.Instruction{Op: isa.OpSend, Dst: regSink, Src0: isa.R(regAddr), Src1: isa.R(regDelta),
+						w1(isa.Instruction{Op: isa.OpSend, Dst: sr.time1, Msg: isa.MsgDesc{Kind: isa.MsgTimer}}),
+						w1(isa.Instruction{Op: isa.OpSub, Dst: sr.delta, Src0: isa.R(sr.time1), Src1: isa.R(sr.time0)}),
+						w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.addr, Src0: isa.Imm(uint32(sum * 8))}),
+						w1(isa.Instruction{Op: isa.OpSend, Dst: sr.sink, Src0: isa.R(sr.addr), Src1: isa.R(sr.delta),
 							Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}))
-					body = append(body, counterBump(cnt, 1, traceSurf)...)
+					body = append(body, counterBump(sr, cnt, 1, traceSurf)...)
 					ik.Sites = append(ik.Sites, site)
 					continue
 				}
@@ -292,27 +305,27 @@ func (g *GTPin) instrument(bin *jit.Binary) (*jit.Binary, error) {
 // chunk to the memory-trace ring: an atomic fetch-add reserves an aligned
 // 16-slot chunk, a scalar store writes the site header, and one SIMD
 // block store dumps the send's full per-channel address vector.
-func (g *GTPin) memTraceSeq(siteID uint32, send isa.Instruction, traceSurf uint8) []isa.Instruction {
+func (g *GTPin) memTraceSeq(sr scratchRegs, siteID uint32, send isa.Instruction, traceSurf uint8) []isa.Instruction {
 	slotMask := uint32(g.ringEntries-1) &^ uint32(ringChunkSlots-1)
 	seq := []isa.Instruction{
 		// pos = ringPos; ringPos += chunkSlots (atomic fetch-add, slot 0)
-		w1(isa.Instruction{Op: isa.OpMovi, Dst: regAddr, Src0: isa.Imm(ringPosSlot * 8)}),
-		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(ringChunkSlots)}),
-		w1(isa.Instruction{Op: isa.OpSend, Dst: regPos, Src0: isa.R(regAddr), Src1: isa.R(regData),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.addr, Src0: isa.Imm(ringPosSlot * 8)}),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.data, Src0: isa.Imm(ringChunkSlots)}),
+		w1(isa.Instruction{Op: isa.OpSend, Dst: sr.pos, Src0: isa.R(sr.addr), Src1: isa.R(sr.data),
 			Msg: isa.MsgDesc{Kind: isa.MsgAtomicAdd, Surface: traceSurf, ElemBytes: 8}}),
 		// chunkAddr = ringOffset + (pos & alignedMask) * 8
-		w1(isa.Instruction{Op: isa.OpAnd, Dst: regPos, Src0: isa.R(regPos), Src1: isa.Imm(slotMask)}),
-		w1(isa.Instruction{Op: isa.OpShl, Dst: regPos, Src0: isa.R(regPos), Src1: isa.Imm(3)}),
-		w1(isa.Instruction{Op: isa.OpAdd, Dst: regAddr, Src0: isa.R(regPos), Src1: isa.Imm(ringOffset)}),
+		w1(isa.Instruction{Op: isa.OpAnd, Dst: sr.pos, Src0: isa.R(sr.pos), Src1: isa.Imm(slotMask)}),
+		w1(isa.Instruction{Op: isa.OpShl, Dst: sr.pos, Src0: isa.R(sr.pos), Src1: isa.Imm(3)}),
+		w1(isa.Instruction{Op: isa.OpAdd, Dst: sr.addr, Src0: isa.R(sr.pos), Src1: isa.Imm(ringOffset)}),
 		// header word: site ID
-		w1(isa.Instruction{Op: isa.OpMovi, Dst: regData, Src0: isa.Imm(siteID)}),
-		w1(isa.Instruction{Op: isa.OpSend, Src0: isa.R(regAddr), Src1: isa.R(regData),
+		w1(isa.Instruction{Op: isa.OpMovi, Dst: sr.data, Src0: isa.Imm(siteID)}),
+		w1(isa.Instruction{Op: isa.OpSend, Src0: isa.R(sr.addr), Src1: isa.R(sr.data),
 			Msg: isa.MsgDesc{Kind: isa.MsgStore, Surface: traceSurf, ElemBytes: 4}}),
 		// address vector at chunk byte offset 8
-		w1(isa.Instruction{Op: isa.OpAdd, Dst: regAddr, Src0: isa.R(regAddr), Src1: isa.Imm(8)}),
+		w1(isa.Instruction{Op: isa.OpAdd, Dst: sr.addr, Src0: isa.R(sr.addr), Src1: isa.Imm(8)}),
 	}
 	dump := isa.Instruction{
-		Op: isa.OpSend, Src0: isa.R(regAddr), Src1: isa.R(send.Src0.Reg),
+		Op: isa.OpSend, Src0: isa.R(sr.addr), Src1: isa.R(send.Src0.Reg),
 		Width: send.Width, Injected: true,
 		Msg: isa.MsgDesc{Kind: isa.MsgStoreBlock, Surface: traceSurf, ElemBytes: 4},
 	}

@@ -1,0 +1,191 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randInstrFor draws a random encodable instruction whose width is
+// legal under the dialect.
+func randInstrFor(rng *rand.Rand, d Dialect) Instruction {
+	for {
+		in := randInstr(rng)
+		if d.WidthValid(in.Width) && d.RegValid(in.Dst) &&
+			(in.Src0.Kind != OperandReg || d.RegValid(in.Src0.Reg)) &&
+			(in.Src1.Kind != OperandReg || d.RegValid(in.Src1.Reg)) &&
+			(in.Src2.Kind != OperandReg || d.RegValid(in.Src2.Reg)) {
+			return in
+		}
+	}
+}
+
+func TestDialectStringParseRoundTrip(t *testing.T) {
+	for _, d := range Dialects() {
+		got, err := ParseDialect(d.String())
+		if err != nil {
+			t.Fatalf("ParseDialect(%q): %v", d.String(), err)
+		}
+		if got != d {
+			t.Errorf("ParseDialect(%q) = %v, want %v", d.String(), got, d)
+		}
+	}
+	if _, err := ParseDialect("gen9"); err == nil {
+		t.Error("ParseDialect must reject unknown names")
+	}
+	if Dialect(7).Valid() {
+		t.Error("Dialect(7) must be invalid")
+	}
+}
+
+func TestDialectWidthSets(t *testing.T) {
+	for _, w := range Widths {
+		if !DialectGEN.WidthValid(w) {
+			t.Errorf("GEN must accept width %d", w)
+		}
+	}
+	if DialectGENX.WidthValid(W2) {
+		t.Error("GENX must reject W2")
+	}
+	for _, w := range []Width{W1, W4, W8, W16} {
+		if !DialectGENX.WidthValid(w) {
+			t.Errorf("GENX must accept width %d", w)
+		}
+	}
+	if got := len(DialectGENX.Widths()); got != 4 {
+		t.Errorf("GENX has %d widths, want 4", got)
+	}
+}
+
+func TestDialectGeometry(t *testing.T) {
+	if DialectGEN.NumRegs() != NumRegs || DialectGEN.ScratchBase() != ScratchBase {
+		t.Error("GEN geometry must match the neutral constants")
+	}
+	if DialectGENX.NumRegs() != 96 || DialectGENX.ScratchBase() != 88 {
+		t.Errorf("GENX geometry = %d/%d, want 96/88",
+			DialectGENX.NumRegs(), DialectGENX.ScratchBase())
+	}
+	if DialectGENX.RegValid(96) || !DialectGENX.RegValid(95) {
+		t.Error("GENX register validity boundary wrong")
+	}
+	for _, d := range Dialects() {
+		// The instrumentation band must fit inside the register file.
+		if int(d.ScratchBase()) >= d.NumRegs() {
+			t.Errorf("%v scratch band starts past the register file", d)
+		}
+	}
+}
+
+// TestDialectIssueCostsDiverge pins the property the cross-dialect
+// cache tests rely on: the two cost tables are not identical, and each
+// covers every opcode with a nonzero cost.
+func TestDialectIssueCostsDiverge(t *testing.T) {
+	diverged := false
+	for op := Opcode(1); op < opcodeCount; op++ {
+		for _, d := range Dialects() {
+			if d.IssueCost(op) == 0 {
+				t.Errorf("%v issue cost of %v is zero", d, op)
+			}
+		}
+		if DialectGEN.IssueCost(op) != DialectGENX.IssueCost(op) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("GEN and GENX issue-cost tables are identical")
+	}
+	if DialectGEN.ExecHold(OpMath) == DialectGENX.ExecHold(OpMath) {
+		t.Error("GEN and GENX math holds are identical")
+	}
+}
+
+// TestDialectEncodeDecodeRoundTrip is the per-dialect core property:
+// Decode(Encode(x)) == x under each dialect's own layout.
+func TestDialectEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range Dialects() {
+		rng := rand.New(rand.NewSource(int64(3 + d)))
+		for i := 0; i < 5000; i++ {
+			in := randInstrFor(rng, d)
+			var buf [InstrBytes]byte
+			if err := d.Encode(in, buf[:]); err != nil {
+				t.Fatalf("%v encode %v: %v", d, in, err)
+			}
+			got, err := d.Decode(buf[:])
+			if err != nil {
+				t.Fatalf("%v decode %v: %v", d, in, err)
+			}
+			if !reflect.DeepEqual(normalize(in), normalize(got)) {
+				t.Fatalf("%v round-trip mismatch:\n in: %#v\nout: %#v",
+					d, normalize(in), normalize(got))
+			}
+		}
+	}
+}
+
+// TestDialectLayoutsDiverge: the same instruction encodes to different
+// bytes under the two dialects — the layouts are genuinely distinct,
+// so decoding with the wrong dialect cannot silently succeed for
+// typical words.
+func TestDialectLayoutsDiverge(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	differ := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		in := randInstrFor(rng, DialectGENX) // widths legal in both
+		var gen, genx [InstrBytes]byte
+		if err := DialectGEN.Encode(in, gen[:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := DialectGENX.Encode(in, genx[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gen[:], genx[:]) {
+			differ++
+		}
+	}
+	if differ < trials*9/10 {
+		t.Errorf("only %d/%d instructions encode differently across dialects", differ, trials)
+	}
+}
+
+func TestGENXRejectsW2(t *testing.T) {
+	in := Instruction{Op: OpAdd, Width: W2, Dst: 1, Src0: R(2), Src1: R(3)}
+	var buf [InstrBytes]byte
+	if err := DialectGENX.Encode(in, buf[:]); err == nil {
+		t.Error("GENX must refuse to encode W2")
+	}
+	if err := DialectGEN.Encode(in, buf[:]); err != nil {
+		t.Errorf("GEN must encode W2: %v", err)
+	}
+}
+
+// TestCrossDialectTranscode: GEN-decode ∘ GEN-encode applied to a
+// GENX-decoded instruction preserves the instruction — the property
+// the binary translator's re-encode step depends on (GEN's width set
+// is a superset of GENX's).
+func TestCrossDialectTranscode(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 2000; i++ {
+		in := randInstrFor(rng, DialectGENX)
+		var xw [InstrBytes]byte
+		if err := DialectGENX.Encode(in, xw[:]); err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DialectGENX.Decode(xw[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var gw [InstrBytes]byte
+		if err := DialectGEN.Encode(dec, gw[:]); err != nil {
+			t.Fatalf("GEN re-encode of GENX instruction %v: %v", dec, err)
+		}
+		back, err := DialectGEN.Decode(gw[:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalize(dec), normalize(back)) {
+			t.Fatalf("transcode mismatch:\n in: %#v\nout: %#v", normalize(dec), normalize(back))
+		}
+	}
+}

@@ -47,3 +47,48 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDialect extends the decode∘encode∘decode identity to every
+// dialect's layout: the first input byte selects the dialect, the rest
+// is the candidate instruction word.
+func FuzzDecodeDialect(f *testing.F) {
+	seed := []Instruction{
+		{Op: OpAdd, Width: W16, Dst: 20, Src0: R(1), Src1: R(2)},
+		{Op: OpBr, Width: W8, BrMode: BranchAll, Target: 7},
+		{Op: OpSend, Width: W16, Dst: 3, Src0: R(4),
+			Msg: MsgDesc{Kind: MsgLoad, Surface: 2, ElemBytes: 4}},
+		{Op: OpMath, Width: W1, Fn: MathSqrt, Dst: 5, Src0: Imm(81)},
+		{Op: OpEnd, Width: W16},
+	}
+	for _, d := range Dialects() {
+		for _, in := range seed {
+			var buf [InstrBytes]byte
+			if err := d.Encode(in, buf[:]); err != nil {
+				f.Fatal(err)
+			}
+			f.Add(byte(d), buf[:])
+		}
+	}
+	f.Fuzz(func(t *testing.T, db byte, data []byte) {
+		d := Dialect(db % byte(NumDialects))
+		in, err := d.Decode(data)
+		if err != nil {
+			return // invalid words must error, not panic
+		}
+		var rt [InstrBytes]byte
+		if err := d.Encode(in, rt[:]); err != nil {
+			t.Fatalf("%v: decoded instruction failed to re-encode: %v (%v)", d, err, in)
+		}
+		in2, err := d.Decode(rt[:])
+		if err != nil {
+			t.Fatalf("%v: re-encoded word failed to decode: %v", d, err)
+		}
+		var rt2 [InstrBytes]byte
+		if err := d.Encode(in2, rt2[:]); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt[:], rt2[:]) {
+			t.Fatalf("%v: encode not stable: % x vs % x", d, rt, rt2)
+		}
+	})
+}

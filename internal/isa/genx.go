@@ -1,0 +1,137 @@
+package isa
+
+import "fmt"
+
+// GENX binary surface: the same 16-byte instruction word as GEN, but
+// with the fields laid out differently — the kind of generation-to-
+// generation encoding shuffle real GEN hardware went through — and a
+// 2-bit width field covering only the widths GENX supports.
+//
+// Encoding layout (big-endian where multi-byte, deliberately the
+// opposite of GEN's little-endian fields):
+//
+//	byte 0      msg surface
+//	byte 1      opcode
+//	byte 2      src0 kind (bits 0-1) | src1 kind (bits 2-3) | src2 kind (bits 4-5) | injected (bit 6)
+//	byte 3      width code (bits 0-1) | pred (bits 2-3) | brmode (bits 4-5) | log2 elem bytes (bits 6-7)
+//	byte 4      dst register
+//	byte 5      cond (bits 0-3) | msg kind (bits 4-7)
+//	byte 6      math fn
+//	byte 7-9    src0, src1, src2 register numbers
+//	byte 10-11  branch target block index (big-endian)
+//	byte 12-15  immediate (big-endian; at most one source may be immediate)
+
+// genxWidths maps the 2-bit GENX width code to an execution width.
+var genxWidths = [4]Width{W1, W4, W8, W16}
+
+// genxWidthCode returns the width code for w, or -1 if GENX lacks it.
+func genxWidthCode(w Width) int {
+	switch w {
+	case W1:
+		return 0
+	case W4:
+		return 1
+	case W8:
+		return 2
+	case W16:
+		return 3
+	}
+	return -1
+}
+
+func encodeGENX(in Instruction, buf []byte) error {
+	if len(buf) < InstrBytes {
+		return fmt.Errorf("encode genx: buffer too small (%d bytes)", len(buf))
+	}
+	wc := genxWidthCode(in.Width)
+	if wc < 0 {
+		return fmt.Errorf("encode genx %s: width %d not in the GENX width set", in.Op, in.Width)
+	}
+	var imm uint32
+	immSeen := false
+	srcs := [3]Operand{in.Src0, in.Src1, in.Src2}
+	kinds := byte(0)
+	for i, s := range srcs {
+		kinds |= byte(s.Kind) << (2 * i)
+		if s.Kind == OperandImm {
+			if immSeen {
+				return fmt.Errorf("encode genx %s: more than one immediate source", in.Op)
+			}
+			immSeen = true
+			imm = s.Imm
+		}
+	}
+	eb := byte(0)
+	switch in.Msg.ElemBytes {
+	case 0, 1:
+		eb = 0
+	case 2:
+		eb = 1
+	case 4:
+		eb = 2
+	case 8:
+		eb = 3
+	default:
+		return fmt.Errorf("encode genx %s: unsupported element size %d", in.Op, in.Msg.ElemBytes)
+	}
+	buf[0] = in.Msg.Surface
+	buf[1] = byte(in.Op)
+	b2 := kinds
+	if in.Injected {
+		b2 |= 1 << 6
+	}
+	buf[2] = b2
+	buf[3] = byte(wc) | byte(in.Pred)<<2 | byte(in.BrMode)<<4 | eb<<6
+	buf[4] = byte(in.Dst)
+	buf[5] = byte(in.Cond) | byte(in.Msg.Kind)<<4
+	buf[6] = byte(in.Fn)
+	buf[7] = byte(srcs[0].Reg)
+	buf[8] = byte(srcs[1].Reg)
+	buf[9] = byte(srcs[2].Reg)
+	buf[10] = byte(in.Target >> 8)
+	buf[11] = byte(in.Target)
+	buf[12] = byte(imm >> 24)
+	buf[13] = byte(imm >> 16)
+	buf[14] = byte(imm >> 8)
+	buf[15] = byte(imm)
+	return nil
+}
+
+func decodeGENX(buf []byte) (Instruction, error) {
+	if len(buf) < InstrBytes {
+		return Instruction{}, fmt.Errorf("decode genx: buffer too small (%d bytes)", len(buf))
+	}
+	var in Instruction
+	in.Op = Opcode(buf[1])
+	if !in.Op.Valid() {
+		return Instruction{}, fmt.Errorf("decode genx: invalid opcode %d", buf[1])
+	}
+	in.Width = genxWidths[buf[3]&0x3]
+	in.Pred = PredMode((buf[3] >> 2) & 0x3)
+	in.BrMode = BranchMode((buf[3] >> 4) & 0x3)
+	in.Injected = buf[2]&(1<<6) != 0
+	in.Dst = Reg(buf[4])
+	in.Cond = CondMod(buf[5] & 0xF)
+	in.Fn = MathFn(buf[6])
+	imm := uint32(buf[12])<<24 | uint32(buf[13])<<16 | uint32(buf[14])<<8 | uint32(buf[15])
+	srcs := [3]*Operand{&in.Src0, &in.Src1, &in.Src2}
+	for i, s := range srcs {
+		kind := OperandKind((buf[2] >> (2 * i)) & 0x3)
+		s.Kind = kind
+		switch kind {
+		case OperandReg:
+			s.Reg = Reg(buf[7+i])
+		case OperandImm:
+			s.Imm = imm
+		}
+	}
+	in.Target = uint16(buf[10])<<8 | uint16(buf[11])
+	in.Msg.Kind = MsgKind(buf[5] >> 4)
+	in.Msg.ElemBytes = 1 << ((buf[3] >> 6) & 0x3)
+	switch in.Msg.Kind {
+	case MsgNone, MsgTimer, MsgEOT:
+		in.Msg.ElemBytes = 0 // these messages move no data elements
+	}
+	in.Msg.Surface = buf[0]
+	return in, nil
+}

@@ -26,8 +26,10 @@ import (
 // Magic identifies a device kernel binary.
 const Magic = 0x424E4547 // "GENB"
 
-// Version is the binary format version.
-const Version = 1
+// Version is the binary format version. Version 2 added the dialect
+// byte to the header and encodes instruction words in the kernel's
+// dialect surface rather than always in GEN's.
+const Version = 2
 
 // Binary is a compiled, machine-specific kernel binary as produced by the
 // driver JIT and consumed by the device.
@@ -35,14 +37,16 @@ type Binary struct {
 	Code []byte
 }
 
-// Compile lowers a validated kernel to a device binary.
+// Compile lowers a validated kernel to a device binary in the kernel's
+// dialect encoding.
 //
 // Layout (little-endian):
 //
-//	u32 magic, u8 version, u8 simd, u8 numArgs, u8 numSurfaces
+//	u32 magic, u8 version, u8 dialect, u8 simd, u8 numArgs, u8 numSurfaces
 //	u16 nameLen, name bytes
 //	u32 numBlocks
-//	per block: u32 numInstrs, instructions (16 bytes each)
+//	per block: u32 numInstrs, instructions (16 bytes each, in the
+//	dialect's field layout)
 func Compile(k *kernel.Kernel) (*Binary, error) {
 	if err := k.Validate(); err != nil {
 		return nil, fmt.Errorf("jit: %w", err)
@@ -60,7 +64,7 @@ func Compile(k *kernel.Kernel) (*Binary, error) {
 // the reserved scratch registers.)
 func Decode(bin *Binary) (*kernel.Kernel, error) {
 	code := bin.Code
-	if len(code) < 14 {
+	if len(code) < 15 {
 		return nil, fmt.Errorf("jit: binary too short (%d bytes): %w", len(code), faults.ErrBadBinary)
 	}
 	if got := binary.LittleEndian.Uint32(code); got != Magic {
@@ -70,15 +74,19 @@ func Decode(bin *Binary) (*kernel.Kernel, error) {
 		return nil, fmt.Errorf("jit: unsupported binary version %d: %w", code[4], faults.ErrBadBinary)
 	}
 	k := &kernel.Kernel{
-		SIMD:        isa.Width(code[5]),
-		NumArgs:     int(code[6]),
-		NumSurfaces: int(code[7]),
+		Dialect:     isa.Dialect(code[5]),
+		SIMD:        isa.Width(code[6]),
+		NumArgs:     int(code[7]),
+		NumSurfaces: int(code[8]),
 	}
-	if !k.SIMD.Valid() {
-		return nil, fmt.Errorf("jit: invalid dispatch width %d: %w", code[5], faults.ErrBadBinary)
+	if !k.Dialect.Valid() {
+		return nil, fmt.Errorf("jit: invalid dialect %d: %w", code[5], faults.ErrBadBinary)
 	}
-	nameLen := int(binary.LittleEndian.Uint16(code[8:]))
-	pos := 10
+	if !k.Dialect.WidthValid(k.SIMD) {
+		return nil, fmt.Errorf("jit: invalid dispatch width %d for dialect %s: %w", code[6], k.Dialect, faults.ErrBadBinary)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(code[9:]))
+	pos := 11
 	if pos+nameLen+4 > len(code) {
 		return nil, fmt.Errorf("jit: truncated header: %w", faults.ErrBadBinary)
 	}
@@ -95,7 +103,7 @@ func Decode(bin *Binary) (*kernel.Kernel, error) {
 		if pos+n*isa.InstrBytes > len(code) {
 			return nil, fmt.Errorf("jit: truncated block body (block %d): %w", id, faults.ErrBadBinary)
 		}
-		instrs, err := isa.DecodeSlice(code[pos : pos+n*isa.InstrBytes])
+		instrs, err := k.Dialect.DecodeSlice(code[pos : pos+n*isa.InstrBytes])
 		if err != nil {
 			return nil, fmt.Errorf("jit: block %d: %w: %w", id, faults.ErrBadBinary, err)
 		}
@@ -131,7 +139,7 @@ func compileUnchecked(k *kernel.Kernel) (*Binary, error) {
 		return nil, fmt.Errorf("jit: kernel %s: %d args / %d surfaces overflow the byte-wide header fields: %w",
 			k.Name, k.NumArgs, k.NumSurfaces, faults.ErrBadBinary)
 	}
-	size := 4 + 4 + 2 + len(k.Name) + 4
+	size := 4 + 5 + 2 + len(k.Name) + 4
 	for _, b := range k.Blocks {
 		size += 4 + len(b.Instrs)*isa.InstrBytes
 	}
@@ -142,7 +150,7 @@ func compileUnchecked(k *kernel.Kernel) (*Binary, error) {
 		code = append(code, scratch[:4]...)
 	}
 	putU32(Magic)
-	code = append(code, Version, byte(k.SIMD), byte(k.NumArgs), byte(k.NumSurfaces))
+	code = append(code, Version, byte(k.Dialect), byte(k.SIMD), byte(k.NumArgs), byte(k.NumSurfaces))
 	binary.LittleEndian.PutUint16(scratch[:2], uint16(len(k.Name)))
 	code = append(code, scratch[:2]...)
 	code = append(code, k.Name...)
@@ -151,13 +159,30 @@ func compileUnchecked(k *kernel.Kernel) (*Binary, error) {
 	for _, b := range k.Blocks {
 		putU32(uint32(len(b.Instrs)))
 		for _, in := range b.Instrs {
-			if err := isa.Encode(in, word[:]); err != nil {
+			if err := k.Dialect.Encode(in, word[:]); err != nil {
 				return nil, fmt.Errorf("jit: kernel %s block %d: %w", k.Name, b.ID, err)
 			}
 			code = append(code, word[:]...)
 		}
 	}
 	return &Binary{Code: code}, nil
+}
+
+// BinaryDialect reads the dialect byte from a binary's header without
+// decoding the body — how caches that key on raw binary bytes (the
+// GT-Pin rewrite cache) learn which ISA surface those bytes are in.
+func BinaryDialect(bin *Binary) (isa.Dialect, error) {
+	if bin == nil || len(bin.Code) < 6 {
+		return 0, fmt.Errorf("jit: binary too short for a header: %w", faults.ErrBadBinary)
+	}
+	if got := binary.LittleEndian.Uint32(bin.Code); got != Magic {
+		return 0, fmt.Errorf("jit: bad magic %#x: %w", got, faults.ErrBadBinary)
+	}
+	d := isa.Dialect(bin.Code[5])
+	if !d.Valid() {
+		return 0, fmt.Errorf("jit: invalid dialect %d: %w", bin.Code[5], faults.ErrBadBinary)
+	}
+	return d, nil
 }
 
 // CompileProgram compiles every kernel in the program, returning binaries

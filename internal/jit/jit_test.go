@@ -99,7 +99,8 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 		{"short", func(b []byte) []byte { return b[:4] }, "too short"},
 		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, "magic"},
 		{"bad version", func(b []byte) []byte { b[4] = 99; return b }, "version"},
-		{"bad width", func(b []byte) []byte { b[5] = 3; return b }, "width"},
+		{"bad dialect", func(b []byte) []byte { b[5] = 99; return b }, "dialect"},
+		{"bad width", func(b []byte) []byte { b[6] = 3; return b }, "width"},
 		{"truncated body", func(b []byte) []byte { return b[:len(b)-8] }, "truncated"},
 		{"trailing bytes", func(b []byte) []byte { return append(b, 0, 0, 0, 0) }, "trailing"},
 	}

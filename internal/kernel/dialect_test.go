@@ -1,0 +1,85 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"gtpin/internal/isa"
+)
+
+// TestFingerprintDistinguishesDialect: two kernels with identical
+// instructions but different dialects must fingerprint differently —
+// every content-addressed cache in the stack (predecode, detsim
+// compile) keys on the fingerprint, and a collision would serve one
+// dialect's lowering to the other.
+func TestFingerprintDistinguishesDialect(t *testing.T) {
+	gen := validKernel()
+	genx := validKernel()
+	genx.Dialect = isa.DialectGENX
+
+	fpGen, err := gen.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpGenx, err := genx.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpGen == fpGenx {
+		t.Fatal("kernels differing only in dialect share a fingerprint")
+	}
+
+	// Same dialect, same content: the fingerprint stays deterministic.
+	fpGen2, err := validKernel().Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpGen != fpGen2 {
+		t.Error("fingerprint not deterministic")
+	}
+}
+
+// TestValidateDialectRules: width and register checks follow the
+// kernel's dialect, not the neutral package constants.
+func TestValidateDialectRules(t *testing.T) {
+	// W2 is legal GEN, illegal GENX.
+	k := validKernel()
+	k.Blocks[0].Instrs[0] = isa.Instruction{Op: isa.OpAdd, Width: isa.W2,
+		Dst: FirstFreeReg, Src0: isa.R(1), Src1: isa.R(2)}
+	if err := k.Validate(); err != nil {
+		t.Fatalf("GEN kernel with W2 rejected: %v", err)
+	}
+	k.Dialect = isa.DialectGENX
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Errorf("GENX kernel with W2 must fail on width, got %v", err)
+	}
+
+	// r90 is a program register under GEN (scratch starts at 120) but
+	// sits inside GENX's scratch band (88).
+	k = validKernel()
+	k.Blocks[0].Instrs[0] = add(90)
+	if err := k.Validate(); err != nil {
+		t.Fatalf("GEN kernel using r90 rejected: %v", err)
+	}
+	k.Dialect = isa.DialectGENX
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("GENX kernel using r90 must fail on the scratch band, got %v", err)
+	}
+
+	// r120 is out of GENX's 96-register file entirely, even injected.
+	k = validKernel()
+	k.Dialect = isa.DialectGENX
+	in := add(120)
+	in.Injected = true
+	k.Blocks[0].Instrs[0] = in
+	if err := k.Validate(); err == nil {
+		t.Error("GENX kernel addressing r120 must fail")
+	}
+
+	// An undefined dialect is rejected outright.
+	k = validKernel()
+	k.Dialect = isa.Dialect(9)
+	if err := k.Validate(); err == nil || !strings.Contains(err.Error(), "dialect") {
+		t.Errorf("undefined dialect must fail, got %v", err)
+	}
+}

@@ -59,6 +59,12 @@ func (b *Block) NumInstrs() int { return len(b.Instrs) }
 // dispatch.
 type Kernel struct {
 	Name string
+	// Dialect is the ISA surface the kernel targets: which widths are
+	// legal, which issue-cost table the engine lowers from, how many
+	// registers exist, and how the JIT encodes the instruction words.
+	// The zero value (DialectGEN) matches kernels that predate the
+	// dialect split.
+	Dialect isa.Dialect
 	// SIMD is the dispatch width: how many work-items one hardware thread
 	// executes per channel-group. Most instructions in the kernel should
 	// use this width.
@@ -94,19 +100,24 @@ const (
 func ArgReg(i int) isa.Reg { return FirstArgReg + isa.Reg(i) }
 
 // Fingerprint returns a content address of the kernel's executable
-// form: the SIMD width, the block structure, and every instruction's
-// 16-byte encoding (injected instrumentation included, since it
-// executes). Two kernels with equal fingerprints run identically on
-// every interpreter, so caches of derived execution artifacts — the
-// engine's pre-decoded threaded-code streams — can share entries across
-// kernel objects the way the GT-Pin rewrite cache shares instrumented
-// binaries across devices. The name is deliberately excluded: it does
-// not affect execution.
+// form: the dialect, the SIMD width, the block structure, and every
+// instruction's 16-byte encoding (injected instrumentation included,
+// since it executes). Two kernels with equal fingerprints run
+// identically on every interpreter, so caches of derived execution
+// artifacts — the engine's pre-decoded threaded-code streams — can
+// share entries across kernel objects the way the GT-Pin rewrite cache
+// shares instrumented binaries across devices. The name is deliberately
+// excluded: it does not affect execution. The dialect is included even
+// though instruction words are hashed in the neutral (GEN) encoding:
+// the same instruction stream executes with different issue costs under
+// different dialects, so derived artifacts must not be shared across
+// them.
 func (k *Kernel) Fingerprint() (string, error) {
 	h := sha256.New()
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(k.SIMD))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(k.Blocks)))
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(k.Dialect))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(k.SIMD))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(k.Blocks)))
 	h.Write(hdr[:])
 	var word [isa.InstrBytes]byte
 	for _, b := range k.Blocks {
@@ -139,8 +150,11 @@ func (k *Kernel) Validate() error {
 	if k.Name == "" {
 		return fmt.Errorf("kernel has no name")
 	}
-	if !k.SIMD.Valid() {
-		return fmt.Errorf("kernel %s: invalid SIMD width %d", k.Name, k.SIMD)
+	if !k.Dialect.Valid() {
+		return fmt.Errorf("kernel %s: invalid dialect %d", k.Name, uint8(k.Dialect))
+	}
+	if !k.Dialect.WidthValid(k.SIMD) {
+		return fmt.Errorf("kernel %s: invalid SIMD width %d for dialect %s", k.Name, k.SIMD, k.Dialect)
 	}
 	if len(k.Blocks) == 0 {
 		return fmt.Errorf("kernel %s: no blocks", k.Name)
@@ -159,6 +173,10 @@ func (k *Kernel) Validate() error {
 			if err := in.Validate(len(k.Blocks)); err != nil {
 				return fmt.Errorf("kernel %s: block %d instr %d: %w", k.Name, i, j, err)
 			}
+			if !k.Dialect.WidthValid(in.Width) {
+				return fmt.Errorf("kernel %s: block %d instr %d: width %d not in dialect %s",
+					k.Name, i, j, in.Width, k.Dialect)
+			}
 			isLast := j == len(b.Instrs)-1
 			if isLast != in.Op.IsControl() {
 				if isLast {
@@ -172,12 +190,14 @@ func (k *Kernel) Validate() error {
 						k.Name, i, j, in.Msg.Surface, k.NumSurfaces)
 				}
 			}
-			if !in.Injected {
-				for _, r := range instrRegs(in) {
-					if int(r) >= isa.ScratchBase {
-						return fmt.Errorf("kernel %s: block %d instr %d: register %s is reserved for instrumentation",
-							k.Name, i, j, r)
-					}
+			for _, r := range instrRegs(in) {
+				if !k.Dialect.RegValid(r) {
+					return fmt.Errorf("kernel %s: block %d instr %d: register %s outside dialect %s file (%d regs)",
+						k.Name, i, j, r, k.Dialect, k.Dialect.NumRegs())
+				}
+				if !in.Injected && r >= k.Dialect.ScratchBase() {
+					return fmt.Errorf("kernel %s: block %d instr %d: register %s is reserved for instrumentation",
+						k.Name, i, j, r)
 				}
 			}
 		}

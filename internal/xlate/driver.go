@@ -1,0 +1,59 @@
+package xlate
+
+import (
+	"flag"
+	"fmt"
+
+	"gtpin/internal/cl"
+	"gtpin/internal/isa"
+	"gtpin/internal/jit"
+	"gtpin/internal/kernel"
+)
+
+// Flags holds the command-line surface of the translator, shared by
+// every harness binary (characterize, validate, subsets).
+type Flags struct {
+	Dialect   *string
+	Translate *string
+}
+
+// RegisterFlags registers -dialect and -translate on the flag set.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Dialect: fs.String("dialect", "",
+			"retarget every program's IR to this ISA dialect before compilation (gen or genx)"),
+		Translate: fs.String("translate", "",
+			"binary-translate every compiled kernel to this ISA dialect before instrumentation (gen or genx)"),
+	}
+}
+
+// Install applies the parsed flags: -dialect installs a process-wide
+// program transform that retargets IR as it enters the driver (the
+// workload now behaves as if authored for that dialect), and -translate
+// installs a process-wide binary transform that runs the cross-ISA
+// translator on every compiled kernel, below GT-Pin's rewriter. Both
+// are idempotent on already-matching input, so either may be combined
+// with any workload. Call once at startup, before any context exists;
+// fleet worker processes re-exec with the parent's arguments, so the
+// same installation happens in every shard.
+func (f *Flags) Install() error {
+	if *f.Dialect != "" {
+		d, err := isa.ParseDialect(*f.Dialect)
+		if err != nil {
+			return fmt.Errorf("-dialect: %w", err)
+		}
+		cl.SetDefaultProgramTransform(func(ir *kernel.Program) (*kernel.Program, error) {
+			return RetargetProgram(ir, d)
+		})
+	}
+	if *f.Translate != "" {
+		d, err := isa.ParseDialect(*f.Translate)
+		if err != nil {
+			return fmt.Errorf("-translate: %w", err)
+		}
+		cl.SetDefaultBinaryTransform(func(bin *jit.Binary) (*jit.Binary, error) {
+			return TranslateBinary(bin, d)
+		})
+	}
+	return nil
+}

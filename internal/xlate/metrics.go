@@ -1,0 +1,15 @@
+package xlate
+
+import "gtpin/internal/obs"
+
+// Observability for the binary translator. Kernel counts measure how
+// much of a workload crossed the translator; legalization counts
+// measure how much of it needed width rewriting — a workload with
+// zero legalizations translates by pure re-encoding, so any
+// cross-dialect result divergence cannot be blamed on the sandwich.
+var (
+	mKernels = obs.DefaultCounter("xlate_kernels_total",
+		"kernels retargeted to another ISA dialect")
+	mLegalizations = obs.DefaultCounter("xlate_width_legalizations_total",
+		"instructions rewritten because the target dialect lacks their width")
+)
